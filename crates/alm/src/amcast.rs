@@ -1,0 +1,268 @@
+//! The AMCast greedy heuristic (Figure 6 without the dashed box).
+//!
+//! Grow the tree from the root. Every pending member tracks its best
+//! attachment point — the tree node with free capacity minimizing the
+//! member's resulting height. Each iteration absorbs the pending member of
+//! minimum tentative height, then relaxes the remaining members against the
+//! newly added node (and recomputes any member whose chosen parent just ran
+//! out of degree). O(N³) worst case, as in the paper.
+//!
+//! The same engine drives the critical-node variant: a `HelperFinder`
+//! hook fires when a chosen parent's free degree drops to one, and may
+//! splice a pool helper in between (the dashed box).
+
+use std::collections::HashMap;
+
+use netsim::{HostId, LatencyModel};
+
+use crate::problem::Problem;
+use crate::tree::MulticastTree;
+
+/// Hook invoked by the greedy engine at the *critical* moment: `parent` has
+/// exactly one free child slot and `u` is about to take it.
+pub(crate) trait HelperFinder<L: LatencyModel> {
+    /// Return a helper to splice under `parent` (the helper then adopts
+    /// `u`), or `None` to proceed normally. `siblings` are the pending
+    /// members (u included) whose current best parent is `parent` — the
+    /// helper's likely future children.
+    fn find(
+        &mut self,
+        tree: &MulticastTree,
+        parent: HostId,
+        u: HostId,
+        siblings: &[HostId],
+        latency: &L,
+    ) -> Option<HostId>;
+}
+
+/// The no-op finder: plain AMCast.
+pub(crate) struct NoHelper;
+impl<L: LatencyModel> HelperFinder<L> for NoHelper {
+    fn find(
+        &mut self,
+        _tree: &MulticastTree,
+        _parent: HostId,
+        _u: HostId,
+        _siblings: &[HostId],
+        _latency: &L,
+    ) -> Option<HostId> {
+        None
+    }
+}
+
+/// Plain AMCast: build the greedy degree-bounded tree over the member set.
+///
+/// # Panics
+/// If the members' degree bounds cannot host a spanning tree (infeasible
+/// only when every member has bound 1; the paper's distribution starts
+/// at 2).
+pub fn amcast<L: LatencyModel, D: Fn(HostId) -> u32>(p: &Problem<L, D>) -> MulticastTree {
+    greedy_engine(p, &mut NoHelper)
+}
+
+/// The shared greedy engine.
+pub(crate) fn greedy_engine<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    finder: &mut impl HelperFinder<L>,
+) -> MulticastTree {
+    let mut tree = MulticastTree::new(p.root);
+    let mut pending: Vec<HostId> = p.members.iter().copied().filter(|&m| m != p.root).collect();
+    // Best attachment per pending member: (resulting height, parent).
+    let mut best: HashMap<HostId, (f64, HostId)> = pending
+        .iter()
+        .map(|&v| (v, (p.latency.latency_ms(p.root, v), p.root)))
+        .collect();
+
+    while !pending.is_empty() {
+        // The pending member with minimum tentative height.
+        let (pos, &u) = pending
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                let ha = best[a.1].0;
+                let hb = best[b.1].0;
+                ha.partial_cmp(&hb).unwrap().then(a.1.cmp(b.1))
+            })
+            .expect("pending non-empty");
+        let (_, pu) = best[&u];
+        pending.swap_remove(pos);
+        best.remove(&u);
+
+        debug_assert!(
+            p.free_child_slots(&tree, pu) >= 1,
+            "chosen parent has no capacity — best-parent bookkeeping broken"
+        );
+
+        // Critical moment: the chosen parent is about to fill up.
+        let mut spliced: Option<HostId> = None;
+        if p.free_child_slots(&tree, pu) == 1 {
+            let siblings: Vec<HostId> = std::iter::once(u)
+                .chain(
+                    pending
+                        .iter()
+                        .copied()
+                        .filter(|v| best[v].1 == pu),
+                )
+                .collect();
+            if let Some(h) = finder.find(&tree, pu, u, &siblings, p.latency) {
+                debug_assert!(!tree.contains(h), "helper already in tree");
+                tree.attach(h, pu, p.latency.latency_ms(pu, h));
+                tree.attach(u, h, p.latency.latency_ms(h, u));
+                spliced = Some(h);
+            }
+        }
+        if spliced.is_none() {
+            tree.attach(u, pu, p.latency.latency_ms(pu, u));
+        }
+
+        // Relax remaining members against the newly added node(s), and
+        // recompute anyone whose chosen parent just became full.
+        let newly_added: Vec<HostId> = spliced.into_iter().chain(std::iter::once(u)).collect();
+        for v in pending.clone() {
+            let (mut hv, mut pv) = best[&v];
+            if p.free_child_slots(&tree, pv) == 0 {
+                // Full recompute over tree nodes with capacity.
+                let (nh, np) = best_attachment(p, &tree, v)
+                    .expect("tree out of capacity for remaining members");
+                hv = nh;
+                pv = np;
+            } else {
+                for &w in &newly_added {
+                    if p.free_child_slots(&tree, w) >= 1 {
+                        let cand = tree.height_of(w) + p.latency.latency_ms(w, v);
+                        if cand < hv {
+                            hv = cand;
+                            pv = w;
+                        }
+                    }
+                }
+            }
+            best.insert(v, (hv, pv));
+        }
+    }
+    tree
+}
+
+/// The best attachment point for `v`: min height over tree nodes with free
+/// capacity.
+pub(crate) fn best_attachment<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    tree: &MulticastTree,
+    v: HostId,
+) -> Option<(f64, HostId)> {
+    tree.hosts()
+        .iter()
+        .filter(|&&w| p.free_child_slots(tree, w) >= 1)
+        .map(|&w| (tree.height_of(w) + p.latency.latency_ms(w, v), w))
+        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Network, NetworkConfig};
+
+    struct Uniform;
+    impl LatencyModel for Uniform {
+        fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+            if a == b {
+                0.0
+            } else {
+                10.0
+            }
+        }
+        fn num_hosts(&self) -> usize {
+            1000
+        }
+    }
+
+    fn net(n: usize, seed: u64) -> Network {
+        Network::generate(
+            &NetworkConfig {
+                transit_domains: 2,
+                transit_per_domain: 3,
+                stub_domains_per_transit: 2,
+                routers_per_stub: 3,
+                num_hosts: n,
+                ..NetworkConfig::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn spans_all_members_and_respects_bounds() {
+        let net = net(300, 1);
+        let members: Vec<HostId> = (0..80).map(HostId).collect();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let p = Problem::new(HostId(0), members.clone(), &net.latency, dbound);
+        let t = amcast(&p);
+        assert_eq!(t.len(), members.len());
+        for &m in &members {
+            assert!(t.contains(m));
+        }
+        t.validate(&net.latency, dbound).unwrap();
+    }
+
+    #[test]
+    fn unbounded_uniform_case_is_a_star() {
+        // With huge degree bounds and uniform latency, everyone attaches
+        // straight to the root: height = one hop.
+        let members: Vec<HostId> = (0..20).map(HostId).collect();
+        let p = Problem::new(HostId(0), members, &Uniform, |_| 100);
+        let t = amcast(&p);
+        assert_eq!(t.max_height(), 10.0);
+        assert_eq!(t.child_count(HostId(0)), 19);
+    }
+
+    #[test]
+    fn degree_two_everywhere_forms_feasible_tree() {
+        // Bound 2 on everyone forces a path-like tree; must stay feasible.
+        let members: Vec<HostId> = (0..15).map(HostId).collect();
+        let p = Problem::new(HostId(0), members, &Uniform, |_| 2);
+        let t = amcast(&p);
+        t.validate(&Uniform, |_| 2).unwrap();
+        assert_eq!(t.len(), 15);
+        // Bound 2: the root (no parent link) anchors two chains of 7,
+        // everyone else is a link in a chain → height 7 hops.
+        assert_eq!(t.max_height(), 70.0);
+        assert_eq!(t.child_count(HostId(0)), 2);
+    }
+
+    #[test]
+    fn greedy_height_is_no_worse_than_a_path() {
+        let net = net(300, 2);
+        let members: Vec<HostId> = (0..60).map(HostId).collect();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let p = Problem::new(HostId(0), members.clone(), &net.latency, dbound);
+        let t = amcast(&p);
+        // Crude sanity: greedy must beat chaining members in id order.
+        let mut path_height = 0.0;
+        let mut worst: f64 = 0.0;
+        for w in members.windows(2) {
+            path_height += net.latency.latency_ms(w[0], w[1]);
+            worst = worst.max(path_height);
+        }
+        assert!(t.max_height() < worst);
+    }
+
+    #[test]
+    fn two_member_session() {
+        let p = Problem::new(HostId(0), vec![HostId(1)], &Uniform, |_| 2);
+        let t = amcast(&p);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.parent_of(HostId(1)), Some(HostId(0)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = net(200, 3);
+        let members: Vec<HostId> = (0..50).map(HostId).collect();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let p = Problem::new(HostId(0), members, &net.latency, dbound);
+        let a = amcast(&p);
+        let b = amcast(&p);
+        assert_eq!(a.hosts(), b.hosts());
+        assert_eq!(a.max_height(), b.max_height());
+    }
+}

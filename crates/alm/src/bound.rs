@@ -1,0 +1,82 @@
+//! The theoretical improvement ceiling.
+//!
+//! §5.2: "The upper bound is the latency between the furthest node to the
+//! root, corresponding to the ideal performance if the root has degree of
+//! infinity." No tree can beat a direct root→member edge for its furthest
+//! member, so
+//!
+//! ```text
+//! bound = (H_AMCast − max_v l(root, v)) / H_AMCast
+//! ```
+//!
+//! For the paper's data set this lands between 40 and 50%.
+
+use netsim::{HostId, LatencyModel};
+
+use crate::problem::{improvement, Problem};
+
+/// The ideal (infinite-root-degree) tree height: the latency from the root
+/// to its furthest member.
+pub fn ideal_height<L: LatencyModel, D: Fn(HostId) -> u32>(p: &Problem<L, D>) -> f64 {
+    p.members
+        .iter()
+        .map(|&v| p.latency.latency_ms(p.root, v))
+        .fold(0.0, f64::max)
+}
+
+/// The improvement upper bound relative to a given AMCast height.
+pub fn improvement_upper_bound<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    h_amcast: f64,
+) -> f64 {
+    improvement(h_amcast, ideal_height(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amcast::amcast;
+    use netsim::{Network, NetworkConfig};
+
+    #[test]
+    fn bound_dominates_any_algorithm() {
+        let net = Network::generate(
+            &NetworkConfig {
+                num_hosts: 400,
+                ..NetworkConfig::default()
+            },
+            31,
+        );
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let members: Vec<HostId> = (0..40).map(HostId).collect();
+        let p = Problem::new(HostId(0), members, &net.latency, dbound);
+        let t = amcast(&p);
+        let h = t.max_height();
+        // The tree's height can never beat the furthest direct edge.
+        assert!(h >= ideal_height(&p) - 1e-9);
+        let b = improvement_upper_bound(&p, h);
+        assert!((0.0..1.0).contains(&b), "bound {b} out of range");
+    }
+
+    #[test]
+    fn star_capable_root_reaches_the_bound() {
+        struct Uniform;
+        impl LatencyModel for Uniform {
+            fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+                if a == b {
+                    0.0
+                } else {
+                    10.0
+                }
+            }
+            fn num_hosts(&self) -> usize {
+                20
+            }
+        }
+        let members: Vec<HostId> = (0..10).map(HostId).collect();
+        let p = Problem::new(HostId(0), members, &Uniform, |_| 100);
+        let t = amcast(&p);
+        assert_eq!(t.max_height(), ideal_height(&p));
+        assert_eq!(improvement_upper_bound(&p, t.max_height()), 0.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Dynamic session membership (the extension §5 flags: "the algorithm can
+//! be extended to accommodate dynamic membership as well").
+//!
+//! Incremental operations on a live multicast tree:
+//!
+//! * [`add_member`] — a late joiner attaches to the best node with free
+//!   capacity (the same relaxation rule the greedy builder uses);
+//! * [`remove_member`] — a leaver's orphaned subtrees re-attach greedily,
+//!   and helpers left without children are pruned back to the pool;
+//! * [`prune_idle_helpers`] — reclaim helpers that no longer forward to
+//!   anyone (returning their degrees to the pool is the caller's job).
+//!
+//! Incremental repair trades optimality for disruption: only the paths
+//! through the leaver change. A session can always fall back to a full
+//! replan (`critical` + `adjust`) on its periodic rescheduling tick.
+
+use netsim::{HostId, LatencyModel};
+
+use crate::amcast::best_attachment;
+use crate::problem::Problem;
+use crate::tree::MulticastTree;
+
+/// A join or repair could not find any node with free capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NoCapacity;
+
+impl std::fmt::Display for NoCapacity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no tree node has a free child slot")
+    }
+}
+impl std::error::Error for NoCapacity {}
+
+/// Attach a late joiner to the best node with free capacity.
+///
+/// # Panics
+/// If `v` is already in the tree.
+pub fn add_member<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    tree: &mut MulticastTree,
+    v: HostId,
+) -> Result<(), NoCapacity> {
+    assert!(!tree.contains(v), "joiner already in tree");
+    let (_, parent) = best_attachment(p, tree, v).ok_or(NoCapacity)?;
+    tree.attach(v, parent, p.latency.latency_ms(parent, v));
+    Ok(())
+}
+
+/// Remove `v` from the tree, greedily re-attaching its orphaned subtrees.
+/// Returns the rebuilt tree (the original is consumed conceptually: pass a
+/// clone if you need the old one).
+///
+/// # Panics
+/// If `v` is the tree root (the session source cannot leave — the session
+/// ends instead), or `v` is not in the tree.
+pub fn remove_member<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    tree: &MulticastTree,
+    v: HostId,
+) -> Result<MulticastTree, NoCapacity> {
+    assert!(tree.contains(v), "leaver not in tree");
+    assert!(v != tree.root(), "the session root cannot leave");
+
+    // Residual capacity each survivor will have once its *old* children are
+    // all copied over: dbound − old degree (+1 for v's old parent, whose
+    // edge to v disappears). Orphans may only take these residual slots —
+    // checking against the partially rebuilt tree alone would overcommit
+    // nodes whose old children simply haven't been copied yet.
+    let mut residual: std::collections::HashMap<HostId, i64> = tree
+        .hosts()
+        .iter()
+        .filter(|&&u| u != v)
+        .map(|&u| {
+            let mut r = (p.dbound)(u) as i64 - tree.degree(u) as i64;
+            if tree.parent_of(v) == Some(u) {
+                r += 1;
+            }
+            (u, r)
+        })
+        .collect();
+
+    // Rebuild: walk the old tree in BFS order (parent-before-child even
+    // after adjustment surgery); everyone keeps their parent except v
+    // (skipped) and v's children (re-attached greedily).
+    let mut rebuilt = MulticastTree::new(tree.root());
+    for u in tree.bfs_order() {
+        if u == tree.root() || u == v {
+            continue;
+        }
+        let old_parent = tree.parent_of(u).expect("non-root has a parent");
+        if old_parent == v {
+            // Orphan: best node with *residual* capacity (only direct
+            // children of v take this branch — order is parent-first).
+            let (_, w) = rebuilt
+                .hosts()
+                .iter()
+                .copied()
+                .filter(|w| residual.get(w).copied().unwrap_or(0) > 0)
+                .map(|w| (rebuilt.height_of(w) + p.latency.latency_ms(w, u), w))
+                .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+                .ok_or(NoCapacity)?;
+            *residual.get_mut(&w).expect("candidate accounted") -= 1;
+            rebuilt.attach(u, w, p.latency.latency_ms(w, u));
+        } else {
+            rebuilt.attach(u, old_parent, p.latency.latency_ms(old_parent, u));
+        }
+    }
+    Ok(rebuilt)
+}
+
+/// Remove helpers (tree nodes outside `members`) that have no children,
+/// repeatedly, until none remain. Returns the pruned helpers.
+pub fn prune_idle_helpers<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    tree: &mut MulticastTree,
+    members: &[HostId],
+) -> Vec<HostId> {
+    let mut pruned = Vec::new();
+    loop {
+        let idle: Vec<HostId> = tree
+            .hosts()
+            .iter()
+            .copied()
+            .filter(|h| {
+                !members.contains(h) && *h != tree.root() && tree.child_count(*h) == 0
+            })
+            .collect();
+        if idle.is_empty() {
+            return pruned;
+        }
+        // Rebuild without the idle helpers (they are leaves, so everyone
+        // else keeps their parent).
+        let mut rebuilt = MulticastTree::new(tree.root());
+        for u in tree.bfs_order() {
+            if u == tree.root() || idle.contains(&u) {
+                continue;
+            }
+            let parent = tree.parent_of(u).expect("non-root");
+            rebuilt.attach(u, parent, p.latency.latency_ms(parent, u));
+        }
+        pruned.extend(idle);
+        *tree = rebuilt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amcast::amcast;
+    use crate::critical::{critical, helpers_used, HelperPool};
+    use netsim::{Network, NetworkConfig};
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        Network::generate(
+            &NetworkConfig {
+                num_hosts: 400,
+                ..NetworkConfig::default()
+            },
+            91,
+        )
+    }
+
+    fn session(net: &Network, size: usize, seed: u64) -> Vec<HostId> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut all: Vec<u32> = (0..net.num_hosts() as u32).collect();
+        all.shuffle(&mut rng);
+        all[..size].iter().copied().map(HostId).collect()
+    }
+
+    #[test]
+    fn join_keeps_tree_valid() {
+        let net = net();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let members = session(&net, 20, 1);
+        let joiner = net
+            .hosts
+            .ids()
+            .find(|h| !members.contains(h))
+            .expect("some host outside the session");
+        let p = Problem::new(members[0], members.clone(), &net.latency, dbound);
+        let mut t = amcast(&p);
+        add_member(&p, &mut t, joiner).unwrap();
+        assert!(t.contains(joiner));
+        t.validate(&net.latency, dbound).unwrap();
+    }
+
+    #[test]
+    fn join_fails_cleanly_when_tree_is_saturated() {
+        struct Uniform;
+        impl LatencyModel for Uniform {
+            fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+                if a == b {
+                    0.0
+                } else {
+                    10.0
+                }
+            }
+            fn num_hosts(&self) -> usize {
+                10
+            }
+        }
+        // Root bound 2, everyone else bound 1 (no child slots): the tree
+        // saturates at root + 2 children.
+        let dbound = |h: HostId| if h == HostId(0) { 2 } else { 1 };
+        let members: Vec<HostId> = (0..3).map(HostId).collect();
+        let p = Problem::new(HostId(0), members, &Uniform, dbound);
+        let mut t = amcast(&p);
+        assert_eq!(t.len(), 3);
+        assert_eq!(add_member(&p, &mut t, HostId(5)), Err(NoCapacity));
+        t.validate(&Uniform, dbound).unwrap();
+    }
+
+    #[test]
+    fn leave_reattaches_orphans_and_stays_valid() {
+        let net = net();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let members = session(&net, 30, 2);
+        let p = Problem::new(members[0], members.clone(), &net.latency, dbound);
+        let t = amcast(&p);
+        // Remove an internal node (one with children) if any, else a leaf.
+        let leaver = members
+            .iter()
+            .copied()
+            .find(|&m| m != t.root() && t.child_count(m) > 0)
+            .unwrap_or(members[1]);
+        let orphans = t.children_of(leaver).len();
+        let rebuilt = remove_member(&p, &t, leaver).unwrap();
+        assert!(!rebuilt.contains(leaver));
+        assert_eq!(rebuilt.len(), t.len() - 1);
+        rebuilt.validate(&net.latency, dbound).unwrap();
+        // All orphans still present.
+        for c in t.children_of(leaver) {
+            assert!(rebuilt.contains(c), "orphan lost");
+        }
+        let _ = orphans;
+    }
+
+    #[test]
+    #[should_panic(expected = "root cannot leave")]
+    fn root_cannot_leave() {
+        let net = net();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let members = session(&net, 10, 3);
+        let p = Problem::new(members[0], members.clone(), &net.latency, dbound);
+        let t = amcast(&p);
+        let _ = remove_member(&p, &t, t.root());
+    }
+
+    #[test]
+    fn pruning_reclaims_helpers_after_members_leave() {
+        let net = net();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let members = session(&net, 25, 4);
+        let p = Problem::new(members[0], members.clone(), &net.latency, dbound);
+        let pool = HelperPool::new(net.hosts.ids().collect());
+        let mut t = critical(&p, &pool);
+        let helpers_before = helpers_used(&t, &members).len();
+        if helpers_before == 0 {
+            return; // nothing to prune on this seed; other seeds cover it
+        }
+        // Remove every member that sits under a helper, then prune.
+        let helper_set = helpers_used(&t, &members);
+        let mut under_helpers: Vec<HostId> = members
+            .iter()
+            .copied()
+            .filter(|&m| {
+                m != t.root() && t.parent_of(m).map(|pp| helper_set.contains(&pp)) == Some(true)
+            })
+            .collect();
+        // Leaves first so removals stay simple.
+        under_helpers.sort_by_key(|&m| std::cmp::Reverse((t.height_of(m) * 1000.0) as u64));
+        for m in under_helpers {
+            t = remove_member(&p, &t, m).unwrap();
+        }
+        let pruned = prune_idle_helpers(&p, &mut t, &members);
+        t.validate(&net.latency, dbound).unwrap();
+        assert!(
+            !pruned.is_empty(),
+            "expected at least one idle helper to be reclaimed"
+        );
+        for h in &pruned {
+            assert!(!t.contains(*h));
+        }
+    }
+
+    #[test]
+    fn repeated_churn_preserves_validity() {
+        let net = net();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let members = session(&net, 20, 5);
+        let p = Problem::new(members[0], members.clone(), &net.latency, dbound);
+        let mut t = amcast(&p);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut present: Vec<HostId> = members.clone();
+        let mut fresh: Vec<HostId> = net.hosts.ids().filter(|h| !members.contains(h)).collect();
+        for _step in 0..40 {
+            use rand::Rng;
+            if rng.random::<bool>() || present.len() <= 3 {
+                // join a fresh host
+                let h = fresh.pop().expect("enough fresh hosts");
+                if add_member(&p, &mut t, h).is_ok() {
+                    present.push(h);
+                }
+            } else {
+                let idx = rng.random_range(1..present.len());
+                let leaver = present[idx];
+                if leaver != t.root() {
+                    t = remove_member(&p, &t, leaver).unwrap();
+                    present.swap_remove(idx);
+                }
+            }
+            t.validate(&net.latency, dbound).unwrap();
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Problem definition and the paper's improvement metric.
+
+use netsim::{HostId, LatencyModel};
+
+use crate::tree::MulticastTree;
+
+/// One DB-MHT instance: a session's member set, degree bounds, and the
+/// latency model planning runs against.
+///
+/// `latency` may be the oracle (the paper's *Critical* family) or a
+/// coordinate store (*Leafset* family); `dbound` typically reads the
+/// underlay's per-host degree bound, or — in the multi-session setting —
+/// the *free* degree visible at this session's priority.
+pub struct Problem<'a, L: LatencyModel, D: Fn(HostId) -> u32> {
+    /// The session root (source of the multicast).
+    pub root: HostId,
+    /// All members including the root, M(s).
+    pub members: Vec<HostId>,
+    /// The latency model used for planning.
+    pub latency: &'a L,
+    /// Degree bound per host.
+    pub dbound: D,
+}
+
+impl<'a, L: LatencyModel, D: Fn(HostId) -> u32> Problem<'a, L, D> {
+    /// Create an instance. The root is inserted into `members` if absent.
+    ///
+    /// # Panics
+    /// If `members` contains duplicates, or any member has a degree bound
+    /// below 1 (it could not even hold its parent link).
+    pub fn new(root: HostId, mut members: Vec<HostId>, latency: &'a L, dbound: D) -> Self {
+        if !members.contains(&root) {
+            members.insert(0, root);
+        }
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "duplicate members");
+        for &m in &members {
+            assert!(
+                dbound(m) >= 1,
+                "member {m:?} has degree bound 0 — cannot join any tree"
+            );
+        }
+        Problem {
+            root,
+            members,
+            latency,
+            dbound,
+        }
+    }
+
+    /// Free capacity of `h` for additional children in `tree`: the degree
+    /// bound minus the parent link (non-root) minus current children.
+    pub fn free_child_slots(&self, tree: &MulticastTree, h: HostId) -> u32 {
+        let used = tree.degree(h);
+        (self.dbound)(h).saturating_sub(used)
+    }
+}
+
+/// The paper's headline metric:
+/// `improvement = (H_AMCast − H_alg) / H_AMCast`.
+pub fn improvement(h_amcast: f64, h_alg: f64) -> f64 {
+    if h_amcast <= 0.0 {
+        0.0
+    } else {
+        (h_amcast - h_alg) / h_amcast
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Uniform;
+    impl LatencyModel for Uniform {
+        fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+            if a == b {
+                0.0
+            } else {
+                10.0
+            }
+        }
+        fn num_hosts(&self) -> usize {
+            10
+        }
+    }
+
+    #[test]
+    fn root_added_if_missing() {
+        let p = Problem::new(HostId(0), vec![HostId(1), HostId(2)], &Uniform, |_| 4);
+        assert!(p.members.contains(&HostId(0)));
+        assert_eq!(p.members.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        Problem::new(HostId(0), vec![HostId(1), HostId(1)], &Uniform, |_| 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree bound 0")]
+    fn zero_degree_member_rejected() {
+        Problem::new(HostId(0), vec![HostId(1)], &Uniform, |h| {
+            if h == HostId(1) {
+                0
+            } else {
+                4
+            }
+        });
+    }
+
+    #[test]
+    fn free_slots_account_for_parent_link() {
+        let p = Problem::new(HostId(0), vec![HostId(1)], &Uniform, |_| 3);
+        let mut t = MulticastTree::new(HostId(0));
+        t.attach(HostId(1), HostId(0), 10.0);
+        // Root: bound 3, one child, no parent → 2 free.
+        assert_eq!(p.free_child_slots(&t, HostId(0)), 2);
+        // Leaf: bound 3, parent link → 2 free.
+        assert_eq!(p.free_child_slots(&t, HostId(1)), 2);
+    }
+
+    #[test]
+    fn improvement_metric() {
+        assert_eq!(improvement(100.0, 70.0), 0.3);
+        assert_eq!(improvement(100.0, 100.0), 0.0);
+        assert_eq!(improvement(0.0, 0.0), 0.0);
+        assert!(improvement(100.0, 130.0) < 0.0); // regressions are visible
+    }
+}

@@ -1,0 +1,376 @@
+//! The multicast tree: parent/child structure plus per-node *height*
+//! (aggregated latency from the root — the paper's QoS metric).
+
+use std::collections::HashMap;
+
+use netsim::{HostId, LatencyModel};
+
+/// A rooted multicast tree over end hosts.
+///
+/// Nodes are added with [`MulticastTree::attach`]; heights are maintained
+/// incrementally and can be recomputed wholesale after structural surgery
+/// (the adjustment moves).
+#[derive(Clone, Debug)]
+pub struct MulticastTree {
+    nodes: Vec<HostId>,
+    idx: HashMap<HostId, usize>,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    height: Vec<f64>,
+}
+
+impl MulticastTree {
+    /// A tree containing only the root.
+    pub fn new(root: HostId) -> MulticastTree {
+        MulticastTree {
+            nodes: vec![root],
+            idx: HashMap::from([(root, 0)]),
+            parent: vec![None],
+            children: vec![Vec::new()],
+            height: vec![0.0],
+        }
+    }
+
+    /// The root host.
+    pub fn root(&self) -> HostId {
+        self.nodes[0]
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has only the root (never empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All hosts in the tree, root first, in attachment order.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.nodes
+    }
+
+    /// Whether `h` is in the tree.
+    pub fn contains(&self, h: HostId) -> bool {
+        self.idx.contains_key(&h)
+    }
+
+    /// Attach `child` under `parent` with the given link latency.
+    ///
+    /// # Panics
+    /// If `child` is already present or `parent` is not.
+    pub fn attach(&mut self, child: HostId, parent: HostId, link_ms: f64) {
+        assert!(!self.contains(child), "node already in tree");
+        let p = *self.idx.get(&parent).expect("parent not in tree");
+        let i = self.nodes.len();
+        self.nodes.push(child);
+        self.idx.insert(child, i);
+        self.parent.push(Some(p));
+        self.children.push(Vec::new());
+        self.height.push(self.height[p] + link_ms);
+        self.children[p].push(i);
+    }
+
+    /// The parent of a host (`None` for the root).
+    pub fn parent_of(&self, h: HostId) -> Option<HostId> {
+        let i = self.idx[&h];
+        self.parent[i].map(|p| self.nodes[p])
+    }
+
+    /// The children of a host.
+    pub fn children_of(&self, h: HostId) -> Vec<HostId> {
+        let i = self.idx[&h];
+        self.children[i].iter().map(|&c| self.nodes[c]).collect()
+    }
+
+    /// Number of children of a host.
+    pub fn child_count(&self, h: HostId) -> usize {
+        self.children[self.idx[&h]].len()
+    }
+
+    /// The tree degree of a host: children plus the parent link.
+    pub fn degree(&self, h: HostId) -> u32 {
+        let i = self.idx[&h];
+        (self.children[i].len() + usize::from(self.parent[i].is_some())) as u32
+    }
+
+    /// Height of a host: aggregated latency from the root, ms.
+    pub fn height_of(&self, h: HostId) -> f64 {
+        self.height[self.idx[&h]]
+    }
+
+    /// The tree height: the maximum node height (0 for a root-only tree).
+    pub fn max_height(&self) -> f64 {
+        self.height.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The host at maximum height (the root for a root-only tree).
+    pub fn highest(&self) -> HostId {
+        let (i, _) = self
+            .height
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        self.nodes[i]
+    }
+
+    /// All hosts in breadth-first order from the root — guaranteed
+    /// parent-before-child even after structural surgery (`move_node`,
+    /// `swap_nodes`), unlike [`MulticastTree::hosts`] which is attachment
+    /// order.
+    pub fn bfs_order(&self) -> Vec<HostId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(i) = queue.pop_front() {
+            out.push(self.nodes[i]);
+            queue.extend(self.children[i].iter().copied());
+        }
+        out
+    }
+
+    /// Whether `anc` is an ancestor of `h` (a node is not its own ancestor).
+    pub fn is_ancestor(&self, anc: HostId, h: HostId) -> bool {
+        let a = self.idx[&anc];
+        let mut cur = self.idx[&h];
+        while let Some(p) = self.parent[cur] {
+            if p == a {
+                return true;
+            }
+            cur = p;
+        }
+        false
+    }
+
+    /// Re-parent host `v` (and its subtree) under `new_parent`.
+    ///
+    /// # Panics
+    /// If the move would create a cycle (`new_parent` inside `v`'s subtree),
+    /// or `v` is the root.
+    pub fn move_node(&mut self, v: HostId, new_parent: HostId, latency: &impl LatencyModel) {
+        assert!(
+            v != new_parent && !self.is_ancestor(v, new_parent),
+            "move would create a cycle"
+        );
+        let vi = self.idx[&v];
+        let np = self.idx[&new_parent];
+        let old_p = self.parent[vi].expect("cannot move the root");
+        self.children[old_p].retain(|&c| c != vi);
+        self.parent[vi] = Some(np);
+        self.children[np].push(vi);
+        self.recompute_heights(latency);
+    }
+
+    /// Swap the positions of two hosts (each takes the other's parent).
+    /// Typically used on leaves but valid for any two nodes in different
+    /// subtrees; with `a` a child of `b` (or vice versa) the swap is
+    /// rejected.
+    ///
+    /// # Panics
+    /// If either is the root, or one is an ancestor of the other.
+    pub fn swap_nodes(&mut self, a: HostId, b: HostId, latency: &impl LatencyModel) {
+        assert!(a != b);
+        assert!(
+            !self.is_ancestor(a, b) && !self.is_ancestor(b, a),
+            "cannot swap nested nodes"
+        );
+        let ai = self.idx[&a];
+        let bi = self.idx[&b];
+        let ap = self.parent[ai].expect("cannot swap the root");
+        let bp = self.parent[bi].expect("cannot swap the root");
+        self.children[ap].retain(|&c| c != ai);
+        self.children[bp].retain(|&c| c != bi);
+        self.parent[ai] = Some(bp);
+        self.parent[bi] = Some(ap);
+        self.children[bp].push(ai);
+        self.children[ap].push(bi);
+        self.recompute_heights(latency);
+    }
+
+    /// Recompute all heights from link latencies (after structural surgery).
+    pub fn recompute_heights(&mut self, latency: &impl LatencyModel) {
+        let mut stack = vec![0usize];
+        self.height[0] = 0.0;
+        while let Some(i) = stack.pop() {
+            let hi = self.height[i];
+            let node = self.nodes[i];
+            for k in 0..self.children[i].len() {
+                let c = self.children[i][k];
+                self.height[c] = hi + latency.latency_ms(node, self.nodes[c]);
+                stack.push(c);
+            }
+        }
+    }
+
+    /// Validate structural invariants: connectivity, acyclicity, height
+    /// consistency with `latency`, and per-node degree bounds.
+    pub fn validate(
+        &self,
+        latency: &impl LatencyModel,
+        dbound: impl Fn(HostId) -> u32,
+    ) -> Result<(), String> {
+        // Every node reachable from the root exactly once.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = stack.pop() {
+            for &c in &self.children[i] {
+                if seen[c] {
+                    return Err(format!("node {:?} reached twice", self.nodes[c]));
+                }
+                if self.parent[c] != Some(i) {
+                    return Err("parent/child links disagree".into());
+                }
+                seen[c] = true;
+                count += 1;
+                stack.push(c);
+            }
+        }
+        if count != self.nodes.len() {
+            return Err(format!(
+                "{} of {} nodes unreachable from root",
+                self.nodes.len() - count,
+                self.nodes.len()
+            ));
+        }
+        // Heights match latencies.
+        for i in 1..self.nodes.len() {
+            let p = self.parent[i].unwrap();
+            let expect =
+                self.height[p] + latency.latency_ms(self.nodes[p], self.nodes[i]);
+            if (self.height[i] - expect).abs() > 1e-6 {
+                return Err(format!(
+                    "height of {:?} is {} but links sum to {}",
+                    self.nodes[i], self.height[i], expect
+                ));
+            }
+        }
+        // Degree bounds.
+        for &h in &self.nodes {
+            if self.degree(h) > dbound(h) {
+                return Err(format!(
+                    "degree {} of {:?} exceeds bound {}",
+                    self.degree(h),
+                    h,
+                    dbound(h)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All pairs 10 ms apart — convenient for exact height arithmetic.
+    struct Uniform;
+    impl LatencyModel for Uniform {
+        fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+            if a == b {
+                0.0
+            } else {
+                10.0
+            }
+        }
+        fn num_hosts(&self) -> usize {
+            100
+        }
+    }
+
+    fn chain() -> MulticastTree {
+        // 0 -> 1 -> 2, plus 3 under 0.
+        let mut t = MulticastTree::new(HostId(0));
+        t.attach(HostId(1), HostId(0), 10.0);
+        t.attach(HostId(2), HostId(1), 10.0);
+        t.attach(HostId(3), HostId(0), 10.0);
+        t
+    }
+
+    #[test]
+    fn heights_accumulate() {
+        let t = chain();
+        assert_eq!(t.height_of(HostId(0)), 0.0);
+        assert_eq!(t.height_of(HostId(2)), 20.0);
+        assert_eq!(t.max_height(), 20.0);
+        assert_eq!(t.highest(), HostId(2));
+    }
+
+    #[test]
+    fn degrees_count_parent_link() {
+        let t = chain();
+        assert_eq!(t.degree(HostId(0)), 2); // two children, no parent
+        assert_eq!(t.degree(HostId(1)), 2); // one child + parent
+        assert_eq!(t.degree(HostId(2)), 1); // leaf
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let t = chain();
+        assert!(t.is_ancestor(HostId(0), HostId(2)));
+        assert!(t.is_ancestor(HostId(1), HostId(2)));
+        assert!(!t.is_ancestor(HostId(2), HostId(1)));
+        assert!(!t.is_ancestor(HostId(3), HostId(2)));
+        assert!(!t.is_ancestor(HostId(2), HostId(2)));
+    }
+
+    #[test]
+    fn move_node_updates_heights() {
+        let mut t = chain();
+        t.move_node(HostId(2), HostId(3), &Uniform);
+        assert_eq!(t.parent_of(HostId(2)), Some(HostId(3)));
+        assert_eq!(t.height_of(HostId(2)), 20.0);
+        assert!(t.validate(&Uniform, |_| 10).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn move_into_own_subtree_panics() {
+        let mut t = chain();
+        t.move_node(HostId(1), HostId(2), &Uniform);
+    }
+
+    #[test]
+    fn swap_nodes_exchanges_parents() {
+        let mut t = chain();
+        t.swap_nodes(HostId(2), HostId(3), &Uniform);
+        assert_eq!(t.parent_of(HostId(2)), Some(HostId(0)));
+        assert_eq!(t.parent_of(HostId(3)), Some(HostId(1)));
+        assert!(t.validate(&Uniform, |_| 10).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_degree_violation() {
+        let t = chain();
+        // Root has degree 2; bound of 1 must fail.
+        let err = t
+            .validate(&Uniform, |h| if h == HostId(0) { 1 } else { 10 })
+            .unwrap_err();
+        assert!(err.contains("degree"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "already in tree")]
+    fn duplicate_attach_panics() {
+        let mut t = chain();
+        t.attach(HostId(2), HostId(0), 10.0);
+    }
+
+    #[test]
+    fn subtree_swap_via_swap_nodes() {
+        // Swap two internal nodes from disjoint subtrees.
+        let mut t = MulticastTree::new(HostId(0));
+        t.attach(HostId(1), HostId(0), 10.0);
+        t.attach(HostId(2), HostId(0), 10.0);
+        t.attach(HostId(3), HostId(1), 10.0);
+        t.attach(HostId(4), HostId(2), 10.0);
+        t.swap_nodes(HostId(1), HostId(2), &Uniform);
+        // Children move with their subtree roots.
+        assert_eq!(t.parent_of(HostId(3)), Some(HostId(1)));
+        assert_eq!(t.parent_of(HostId(4)), Some(HostId(2)));
+        assert!(t.validate(&Uniform, |_| 10).is_ok());
+    }
+}

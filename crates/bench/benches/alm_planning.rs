@@ -1,0 +1,63 @@
+//! Criterion bench for §5.2's runtime claim: "this algorithm can generate
+//! a solution for hundreds of nodes in less than one second."
+
+use alm::{adjust, amcast, critical, HelperPool, Problem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::{HostId, Network, NetworkConfig};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn members(net: &Network, size: usize, seed: u64) -> Vec<HostId> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut all: Vec<u32> = (0..net.num_hosts() as u32).collect();
+    all.shuffle(&mut rng);
+    all[..size].iter().copied().map(HostId).collect()
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let net = Network::generate(&NetworkConfig::default(), 7);
+    let dbound = |h: HostId| net.hosts.degree_bound(h);
+
+    let mut g = c.benchmark_group("amcast");
+    g.sample_size(20);
+    for size in [50usize, 100, 200, 400] {
+        let m = members(&net, size, size as u64);
+        let p = Problem::new(m[0], m, &net.latency, dbound);
+        g.bench_with_input(BenchmarkId::from_parameter(size), &p, |b, p| {
+            b.iter(|| black_box(amcast(p).max_height()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("critical");
+    g.sample_size(10);
+    for size in [50usize, 100, 200] {
+        let m = members(&net, size, size as u64);
+        let p = Problem::new(m[0], m, &net.latency, dbound);
+        let pool = HelperPool::new(net.hosts.ids().collect());
+        g.bench_with_input(BenchmarkId::from_parameter(size), &p, |b, p| {
+            b.iter(|| black_box(critical(p, &pool).max_height()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("adjust");
+    g.sample_size(20);
+    for size in [50usize, 100, 200] {
+        let m = members(&net, size, size as u64);
+        let p = Problem::new(m[0], m, &net.latency, dbound);
+        let t = amcast(&p);
+        g.bench_with_input(BenchmarkId::from_parameter(size), &p, |b, p| {
+            b.iter(|| {
+                let mut t2 = t.clone();
+                adjust(p, &mut t2);
+                black_box(t2.max_height())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

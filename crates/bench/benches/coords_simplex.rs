@@ -1,0 +1,56 @@
+//! Criterion bench: the cost of one node's coordinate update — the
+//! Nelder–Mead simplex run every node performs per refinement round. This
+//! is the per-heartbeat CPU budget of the §4.1 protocol.
+
+use coords::simplex::{minimize, SimplexOptions};
+use coords::space::Coord;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coord_update");
+    for leafset in [8usize, 16, 32] {
+        // A synthetic but realistic instance: neighbors scattered in a
+        // 5-D ball, measured distances with mild inconsistency.
+        let mut rng = StdRng::seed_from_u64(7);
+        let neighbors: Vec<Coord> = (0..leafset)
+            .map(|_| {
+                let v: Vec<f64> = (0..5).map(|_| 200.0 * rng.random::<f64>()).collect();
+                Coord::from_slice(&v)
+            })
+            .collect();
+        let me = Coord::from_slice(&[90.0, 110.0, 95.0, 105.0, 100.0]);
+        let measured: Vec<f64> = neighbors
+            .iter()
+            .map(|nb| me.distance(nb) * (0.95 + 0.1 * rng.random::<f64>()))
+            .collect();
+        let opts = SimplexOptions {
+            initial_step: 30.0,
+            tolerance: 0.1,
+            max_evals: 400,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(leafset), &leafset, |b, _| {
+            b.iter(|| {
+                let r = minimize(
+                    |p| {
+                        let c = Coord::from_slice(p);
+                        neighbors
+                            .iter()
+                            .zip(&measured)
+                            .map(|(nb, &m)| (c.distance(nb) - m).abs())
+                            .sum()
+                    },
+                    me.as_slice(),
+                    opts,
+                );
+                black_box(r.value)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simplex);
+criterion_main!(benches);

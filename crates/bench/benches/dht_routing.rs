@@ -1,0 +1,55 @@
+//! Criterion bench: O(N) ring walk vs O(log N) finger routing (§3.1's
+//! lookup-performance contrast), plus finger-table construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dht::routing::{route_fingers, route_ring_walk, FingerTables};
+use dht::{NodeId, Ring};
+use netsim::HostId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    for n in [256usize, 1024, 4096] {
+        let ring = Ring::with_random_ids((0..n as u32).map(HostId), 3);
+        let fingers = FingerTables::build(&ring);
+        let mut rng = StdRng::seed_from_u64(9);
+        let keys: Vec<(usize, NodeId)> = (0..64)
+            .map(|_| (rng.random_range(0..n), NodeId(rng.random())))
+            .collect();
+
+        let mut g = c.benchmark_group(format!("routing_n{n}"));
+        g.bench_with_input(BenchmarkId::new("ring_walk", n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut hops = 0;
+                for &(from, key) in keys {
+                    hops += route_ring_walk(&ring, from, key).hops;
+                }
+                black_box(hops)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fingers", n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut hops = 0;
+                for &(from, key) in keys {
+                    hops += route_fingers(&ring, &fingers, from, key).hops;
+                }
+                black_box(hops)
+            })
+        });
+        g.finish();
+    }
+
+    let mut g = c.benchmark_group("finger_table_build");
+    g.sample_size(20);
+    for n in [1024usize, 4096] {
+        let ring = Ring::with_random_ids((0..n as u32).map(HostId), 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ring, |b, ring| {
+            b.iter(|| black_box(FingerTables::build(ring).of(0).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: SOMO tree construction and one full synchronized
+//! gather round over rings of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dht::Ring;
+use netsim::HostId;
+use simcore::SimTime;
+use somo::flow::{FlowMode, FreshnessReport, GatherSim};
+use somo::SomoTree;
+use std::hint::black_box;
+
+fn bench_somo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("somo_tree_build");
+    for n in [256usize, 1024, 4096] {
+        let ring = Ring::with_random_ids((0..n as u32).map(HostId), 5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ring, |b, ring| {
+            b.iter(|| black_box(SomoTree::build(ring, 8).len()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("somo_sync_gather_round");
+    g.sample_size(20);
+    for n in [256usize, 1024] {
+        let ring = Ring::with_random_ids((0..n as u32).map(HostId), 5);
+        let tree = SomoTree::build(&ring, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = GatherSim::new(
+                    &tree,
+                    &ring,
+                    FlowMode::Synchronized,
+                    SimTime::from_secs(5),
+                    |_m, now| FreshnessReport::of_member(now),
+                    |a, b| {
+                        if a == b {
+                            SimTime::ZERO
+                        } else {
+                            SimTime::from_millis(200)
+                        }
+                    },
+                );
+                sim.run_until(SimTime::from_secs(6));
+                black_box(sim.views().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_somo);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Ablations of the critical-node design choices (§5.2).
+//!
+//! Three claims from the paper get swept here:
+//!
+//! 1. **Radius R**: "R between 50~150 yields satisfactory results ... a
+//!    small R will reduce the choice of candidates, whereas a larger R will
+//!    introduce links of long latency in the tree."
+//! 2. **Selection heuristic**: the min `l(h,p) + max_v l(h,v)` rule "yields
+//!    even better results" than picking the closest adequate node.
+//! 3. **Helper degree threshold** (condition 2, the paper uses 4).
+//!
+//! Run with: `cargo run --release -p bench --bin ablate_helpers`
+
+use alm::{amcast, critical, HelperPool, HelperStrategy, Problem};
+use bench::{dump_json, mean, parallel_runs};
+use netsim::{HostId, Network, NetworkConfig};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde_json::json;
+
+const RUNS: usize = 20;
+const GROUP: usize = 40;
+
+fn main() {
+    let seed = 2012;
+    println!("generating the paper's topology...");
+    let net = Network::generate(&NetworkConfig::default(), seed);
+
+    // 1. Radius sweep.
+    let radii = [10.0, 25.0, 50.0, 100.0, 150.0, 250.0, 500.0];
+    println!("\nablation 1 — helper radius R (group {GROUP}, {RUNS} runs, oracle):");
+    println!("{:>8} {:>12} {:>10}", "R (ms)", "improvement", "helpers");
+    let mut radius_rows = Vec::new();
+    for &r in &radii {
+        let (imp, helpers) = sweep(&net, seed, |pool| {
+            pool.radius_ms = r;
+        });
+        println!("{:>8.0} {:>11.1}% {:>10.2}", r, imp * 100.0, helpers);
+        radius_rows.push(json!({"radius_ms": r, "improvement": imp, "helpers": helpers}));
+    }
+
+    // 2. Strategy comparison.
+    println!("\nablation 2 — selection heuristic:");
+    let (imp_close, h_close) = sweep(&net, seed, |pool| {
+        pool.strategy = HelperStrategy::Closest;
+    });
+    let (imp_mm, h_mm) = sweep(&net, seed, |pool| {
+        pool.strategy = HelperStrategy::MinMaxSibling;
+    });
+    println!("  Closest        {:>6.1}%  ({h_close:.2} helpers)", imp_close * 100.0);
+    println!("  MinMaxSibling  {:>6.1}%  ({h_mm:.2} helpers)", imp_mm * 100.0);
+
+    // 3. Minimum helper degree.
+    println!("\nablation 3 — minimum helper degree (condition 2):");
+    let mut degree_rows = Vec::new();
+    for d in [2u32, 3, 4, 6, 8] {
+        let (imp, helpers) = sweep(&net, seed, |pool| {
+            pool.min_degree = d;
+        });
+        println!("  d >= {d}: {:>6.1}%  ({helpers:.2} helpers)", imp * 100.0);
+        degree_rows.push(json!({"min_degree": d, "improvement": imp, "helpers": helpers}));
+    }
+
+    dump_json(
+        "ablate_helpers",
+        &json!({
+            "claim": "§5.2 design choices",
+            "radius": radius_rows,
+            "strategy": {
+                "closest": {"improvement": imp_close, "helpers": h_close},
+                "minmax_sibling": {"improvement": imp_mm, "helpers": h_mm},
+            },
+            "min_degree": degree_rows,
+        }),
+    );
+}
+
+/// Average improvement and helper count over RUNS sessions, with a pool
+/// configured by `tweak`.
+fn sweep(net: &Network, seed: u64, tweak: impl Fn(&mut HelperPool) + Sync) -> (f64, f64) {
+    let results = parallel_runs(RUNS, |run| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 900 + run as u64);
+        let mut all: Vec<u32> = (0..net.num_hosts() as u32).collect();
+        all.shuffle(&mut rng);
+        let members: Vec<HostId> = all[..GROUP].iter().copied().map(HostId).collect();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let p = Problem::new(members[0], members.clone(), &net.latency, dbound);
+        let base = amcast(&p).max_height();
+        let mut pool = HelperPool::new(net.hosts.ids().collect());
+        tweak(&mut pool);
+        let t = critical(&p, &pool);
+        let imp = alm::problem::improvement(base, t.max_height());
+        let helpers = alm::critical::helpers_used(&t, &members).len() as f64;
+        (imp, helpers)
+    });
+    (
+        mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
+        mean(&results.iter().map(|r| r.1).collect::<Vec<_>>()),
+    )
+}

@@ -1,0 +1,129 @@
+//! Figure 10: multiple concurrent ALM sessions under market-driven
+//! competition.
+//!
+//! Paper setup: sessions start and end at random times; priorities 1–3;
+//! concurrent-session count swept from 10 to 60; every session has a
+//! disjoint member set of 20 (at 60 sessions all 1200 hosts are members of
+//! something); each session plans with Leafset+adjust from SOMO data.
+//!
+//! Panel (a): per-priority improvement over AMCast, expected to fall
+//! between the AMCast+adju lower bound and the Leafset+adju single-session
+//! upper bound, with higher classes sustaining better performance as
+//! contention rises. Panel (b): average number of helper nodes held per
+//! priority — lower classes lose helpers first.
+//!
+//! Run with: `cargo run --release -p bench --bin fig10_multi_session`
+
+use alm::{adjust, amcast, Problem};
+use bench::{dump_json, mean};
+use netsim::HostId;
+use pool::{MarketConfig, MarketSim, PlanConfig, PoolConfig, ResourcePool};
+use serde_json::json;
+use simcore::SimTime;
+
+const SESSION_COUNTS: [usize; 6] = [10, 20, 30, 40, 50, 60];
+const MEMBER_SIZE: usize = 20;
+
+fn main() {
+    let seed = 2010;
+    println!("building the 1200-host resource pool (coordinates + bandwidth)...");
+    let base_pool = PoolConfig::default();
+
+    // One pool build; every sweep point starts from a fresh clone (all
+    // reservations empty).
+    let pristine = ResourcePool::build(&base_pool, seed);
+
+    // Bounds at group size 20, averaged over a few sessions (paper: lower
+    // = AMCast+adju ≈ 7%, upper = Leafset+adju ≈ 35%).
+    let (lower, upper) = bounds(&pristine, seed);
+    println!(
+        "single-session bounds at group size {MEMBER_SIZE}: lower (AMCast+adju) {:.1}%, upper (Leafset+adju) {:.1}%",
+        lower * 100.0,
+        upper * 100.0
+    );
+
+    let mut rows = Vec::new();
+    println!(
+        "\nFigure 10(a) — improvement (%) and 10(b) — helpers held, per priority:\n{:>9} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "sessions", "imp p1", "imp p2", "imp p3", "help p1", "help p2", "help p3"
+    );
+    for &s in &SESSION_COUNTS {
+        // Each sweep point gets a fresh pool (reservations reset).
+        let pool = pristine.clone();
+        let cfg = MarketConfig {
+            sessions: s,
+            member_size: MEMBER_SIZE,
+            horizon: SimTime::from_secs(3600),
+            warmup: SimTime::from_secs(600),
+            plan: PlanConfig::default(), // Leafset + adjust + helpers
+            ..MarketConfig::default()
+        };
+        let out = MarketSim::new(pool, cfg, seed + s as u64).run();
+        let imp: Vec<f64> = (1..=3).map(|p| out.class(p).improvement.mean()).collect();
+        let help: Vec<f64> = (1..=3).map(|p| out.class(p).helpers.mean()).collect();
+        let pre: Vec<u64> = (1..=3).map(|p| out.class(p).preemptions).collect();
+        println!(
+            "{:>9} | {:>7.1}% {:>7.1}% {:>7.1}% | {:>8.2} {:>8.2} {:>8.2}   (preemptions {:?})",
+            s,
+            imp[0] * 100.0,
+            imp[1] * 100.0,
+            imp[2] * 100.0,
+            help[0],
+            help[1],
+            help[2],
+            pre
+        );
+        rows.push(json!({
+            "sessions": s,
+            "improvement": {"p1": imp[0], "p2": imp[1], "p3": imp[2]},
+            "helpers": {"p1": help[0], "p2": help[1], "p3": help[2]},
+            "preemptions": {"p1": pre[0], "p2": pre[1], "p3": pre[2]},
+            "plans": out.plans,
+        }));
+    }
+
+    dump_json(
+        "fig10_multi_session",
+        &json!({
+            "figure": "10",
+            "member_size": MEMBER_SIZE,
+            "lower_bound_amcast_adju": lower,
+            "upper_bound_leafset_adju": upper,
+            "rows": rows,
+        }),
+    );
+}
+
+/// Single-session bounds at the Figure 10 group size.
+fn bounds(pool: &ResourcePool, seed: u64) -> (f64, f64) {
+    let mut lowers = Vec::new();
+    let mut uppers = Vec::new();
+    for i in 0..10u64 {
+        let members = pool.sample_members(MEMBER_SIZE, seed + 500 + i);
+        let root = members[0];
+        let dbound = |h: HostId| pool.net.hosts.degree_bound(h);
+        let p_oracle = Problem::new(root, members.clone(), &pool.net.latency, dbound);
+        let base = amcast(&p_oracle).max_height();
+
+        // Lower bound: AMCast + adjust, members only.
+        let mut t = amcast(&p_oracle);
+        adjust(&p_oracle, &mut t);
+        lowers.push(alm::problem::improvement(base, t.max_height()));
+
+        // Upper bound: Leafset + adjust with the whole idle pool.
+        let hp = alm::HelperPool::new(pool.net.hosts.ids().collect());
+        let leaf = alm::staged_plan(
+            root,
+            &members,
+            &pool.net.latency,
+            &pool.coords,
+            dbound,
+            &hp,
+            true,
+        );
+        let mut eval = leaf.clone();
+        eval.recompute_heights(&pool.net.latency);
+        uppers.push(alm::problem::improvement(base, eval.max_height()));
+    }
+    (mean(&lowers), mean(&uppers))
+}

@@ -1,0 +1,92 @@
+//! Figure 4: CDF of relative latency-estimation error — GNP vs the
+//! leafset-based variant, with 16 and 32 landmarks / leafset members.
+//!
+//! Paper setup: 1200 nodes on a GT-ITM transit–stub topology. Finding: the
+//! leafset variant with L=32 (Pastry's default) comes very close to GNP
+//! with 16 landmarks, and GNP is less sensitive to its parameter than the
+//! leafset variant is to L.
+//!
+//! Run with: `cargo run --release -p bench --bin fig4_coords`
+
+use bench::dump_json;
+use coords::eval::{random_pairs, relative_error_cdf};
+use coords::gnp::GnpConfig;
+use coords::leafset::LeafsetConfig;
+use coords::{GnpSolver, LeafsetCoords};
+use dht::Ring;
+use netsim::{HostId, Network, NetworkConfig};
+use serde_json::json;
+
+fn main() {
+    let seed = 2004;
+    println!("generating the paper's topology (600 routers, 1200 end systems)...");
+    let net = Network::generate(&NetworkConfig::default(), seed);
+    let ring = Ring::with_random_ids((0..net.num_hosts() as u32).map(HostId), seed + 1);
+    let pairs = random_pairs(net.num_hosts(), 20_000, seed + 2);
+
+    let mut curves = Vec::new();
+    let mut rows = Vec::new();
+
+    for n in [16usize, 32] {
+        println!("solving GNP with {n} landmarks...");
+        let store = GnpSolver::new(GnpConfig {
+            landmarks: n,
+            ..Default::default()
+        })
+        .solve(&net.latency, seed + 10 + n as u64);
+        let cdf = relative_error_cdf(&net.latency, &store, &pairs);
+        rows.push((format!("GNP-{n}"), cdf.quantile(0.5).unwrap(), cdf.quantile(0.9).unwrap()));
+        curves.push((format!("GNP-{n}"), cdf));
+    }
+
+    for l in [16usize, 32] {
+        println!("running leafset variant with L={l}...");
+        let store = LeafsetCoords::new(LeafsetConfig {
+            leafset_size: l,
+            rounds: 20,
+            ..Default::default()
+        })
+        .run(&net.latency, &ring, seed + 20 + l as u64);
+        let cdf = relative_error_cdf(&net.latency, &store, &pairs);
+        rows.push((
+            format!("Leafset-{l}"),
+            cdf.quantile(0.5).unwrap(),
+            cdf.quantile(0.9).unwrap(),
+        ));
+        curves.push((format!("Leafset-{l}"), cdf));
+    }
+
+    // Print the CDF curves the way the figure plots them.
+    println!("\nFigure 4 — CDF of relative error (fraction of pairs with error <= x):");
+    print!("{:>10}", "rel.err");
+    for (name, _) in &curves {
+        print!(" {name:>12}");
+    }
+    println!();
+    let xs: Vec<f64> = (0..=20).map(|i| i as f64 * 0.05).collect();
+    for &x in &xs {
+        print!("{x:>10.2}");
+        for (_, cdf) in &curves {
+            print!(" {:>12.3}", cdf.fraction_at(x));
+        }
+        println!();
+    }
+
+    println!("\nsummary (median / p90 relative error):");
+    for (name, med, p90) in &rows {
+        println!("  {name:<12} median {med:.3}   p90 {p90:.3}");
+    }
+
+    let json = json!({
+        "figure": "4",
+        "pairs": pairs.len(),
+        "curves": curves.iter().map(|(name, cdf)| json!({
+            "name": name,
+            "x": xs,
+            "y": xs.iter().map(|&x| cdf.fraction_at(x)).collect::<Vec<f64>>(),
+            "median": cdf.quantile(0.5),
+            "p90": cdf.quantile(0.9),
+        })).collect::<Vec<_>>(),
+    });
+    dump_json("fig4_coords", &json);
+}

@@ -1,0 +1,76 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table/figure from the
+//! paper's evaluation: it prints the same rows/series the paper reports and
+//! drops a machine-readable JSON copy under `results/` so EXPERIMENTS.md
+//! can be refreshed by re-running the binaries.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where figure binaries drop their JSON results.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir.canonicalize().unwrap_or(dir)
+}
+
+/// Write a JSON value to `results/<name>.json`.
+pub fn dump_json(name: &str, value: &serde_json::Value) {
+    let path = results_dir().join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).unwrap())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Run `runs` independent jobs across threads, preserving output order.
+/// Each job gets its run index; determinism comes from per-run seeds.
+pub fn parallel_runs<T: Send>(runs: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(runs.max(1));
+    let chunk = runs.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let job = &job;
+            let base = t * chunk;
+            s.spawn(move |_| {
+                for (i, o) in slot.iter_mut().enumerate() {
+                    *o = Some(job(base + i));
+                }
+            });
+        }
+    })
+    .expect("parallel_runs worker panicked");
+    out.into_iter().map(|o| o.expect("job filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_runs_preserves_order() {
+        let xs = parallel_runs(37, |i| i * 2);
+        assert_eq!(xs, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Accuracy evaluation: the relative-error CDF of Figure 4.
+
+use netsim::{HostId, LatencyModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simcore::stats::Cdf;
+
+/// Draw `count` distinct-ordered random host pairs (a ≠ b).
+pub fn random_pairs(n_hosts: usize, count: usize, seed: u64) -> Vec<(HostId, HostId)> {
+    assert!(n_hosts >= 2, "need at least two hosts to form pairs");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let a = rng.random_range(0..n_hosts as u32);
+            let mut b = rng.random_range(0..n_hosts as u32);
+            while b == a {
+                b = rng.random_range(0..n_hosts as u32);
+            }
+            (HostId(a), HostId(b))
+        })
+        .collect()
+}
+
+/// Relative error of the estimate against the oracle for one pair:
+/// `|predicted − actual| / actual`. Pairs with zero actual latency are
+/// skipped by [`relative_error_cdf`].
+pub fn relative_error(
+    oracle: &impl LatencyModel,
+    estimate: &impl LatencyModel,
+    a: HostId,
+    b: HostId,
+) -> Option<f64> {
+    let actual = oracle.latency_ms(a, b);
+    if actual <= 0.0 {
+        return None;
+    }
+    let predicted = estimate.latency_ms(a, b);
+    Some((predicted - actual).abs() / actual)
+}
+
+/// The CDF of relative errors over a set of host pairs — Figure 4's y-axis
+/// is `fraction_at(x)` for relative error `x`.
+pub fn relative_error_cdf(
+    oracle: &impl LatencyModel,
+    estimate: &impl LatencyModel,
+    pairs: &[(HostId, HostId)],
+) -> Cdf {
+    let errs: Vec<f64> = pairs
+        .iter()
+        .filter_map(|&(a, b)| relative_error(oracle, estimate, a, b))
+        .collect();
+    Cdf::from_samples(errs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Coord, CoordStore};
+
+    struct FakeOracle(f64);
+    impl LatencyModel for FakeOracle {
+        fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+            if a == b {
+                0.0
+            } else {
+                self.0
+            }
+        }
+        fn num_hosts(&self) -> usize {
+            10
+        }
+    }
+
+    #[test]
+    fn perfect_estimate_has_zero_error() {
+        let oracle = FakeOracle(100.0);
+        let pairs = random_pairs(10, 50, 1);
+        let cdf = relative_error_cdf(&oracle, &oracle, &pairs);
+        assert_eq!(cdf.quantile(1.0), Some(0.0));
+    }
+
+    #[test]
+    fn known_error_is_measured() {
+        let oracle = FakeOracle(100.0);
+        // All hosts at origin except host 1 at distance 150 from the rest —
+        // predicted 150 vs actual 100 → relative error 0.5 for pairs with 1.
+        let mut store = CoordStore::zeros(10, 2);
+        store.set(HostId(1), Coord::from_slice(&[150.0, 0.0]));
+        let e = relative_error(&oracle, &store, HostId(0), HostId(1)).unwrap();
+        assert!((e - 0.5).abs() < 1e-12);
+        // Pair not involving host 1: predicted 0 vs actual 100 → error 1.0.
+        let e = relative_error(&oracle, &store, HostId(2), HostId(3)).unwrap();
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_pairs_never_self() {
+        for (a, b) in random_pairs(2, 100, 9) {
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn random_pairs_deterministic() {
+        assert_eq!(random_pairs(50, 20, 3), random_pairs(50, 20, 3));
+    }
+}

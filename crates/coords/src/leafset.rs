@@ -1,0 +1,253 @@
+//! The leafset-based decentralized coordinate scheme (§4.1).
+//!
+//! No landmarks: each DHT node already heartbeats with its leafset, so it
+//! measures delays `d_m` to leafset members for free and receives their
+//! current coordinates in return (`d_p`). Periodically the node re-optimizes
+//! *only its own* coordinate with downhill simplex, minimizing
+//! `E(x) = Σ_i |d_p(i) − d_m(i)|`, and publishes the result in later
+//! heartbeats.
+//!
+//! The simulation runs this as Gauss–Seidel rounds over the membership: one
+//! round = every node updates once using its neighbors' *latest* published
+//! coordinates, matching the continuous asynchronous refinement of the real
+//! protocol. Because the leafset is a random sample of the whole population
+//! (IDs are hashes), leafset neighbors are latency-diverse — exactly why the
+//! scheme works.
+
+use dht::Ring;
+use netsim::{HostId, LatencyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gnp::{measure, random_coord};
+use crate::simplex::{minimize, SimplexOptions};
+use crate::space::{Coord, CoordStore, DEFAULT_DIM};
+
+/// Configuration of the leafset coordinate protocol.
+#[derive(Clone, Debug)]
+pub struct LeafsetConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Total leafset size L (L/2 members per side; L=32 is Pastry's
+    /// default and the paper's sweet spot).
+    pub leafset_size: usize,
+    /// Update rounds (each round every node refines once).
+    pub rounds: usize,
+    /// Bounded multiplicative measurement noise on heartbeat RTTs.
+    pub noise: f64,
+    /// Simplex budget per node-update.
+    pub simplex: SimplexOptions,
+}
+
+impl Default for LeafsetConfig {
+    fn default() -> Self {
+        LeafsetConfig {
+            dim: DEFAULT_DIM,
+            leafset_size: 32,
+            rounds: 20,
+            noise: 0.0,
+            simplex: SimplexOptions {
+                initial_step: 30.0,
+                tolerance: 0.1,
+                max_evals: 400,
+            },
+        }
+    }
+}
+
+/// The leafset coordinate protocol, simulated in rounds.
+pub struct LeafsetCoords {
+    cfg: LeafsetConfig,
+}
+
+impl LeafsetCoords {
+    /// A protocol instance with the given configuration.
+    pub fn new(cfg: LeafsetConfig) -> LeafsetCoords {
+        LeafsetCoords { cfg }
+    }
+
+    /// Run the protocol over the members of `ring`, measuring real delays
+    /// through `oracle`. Returns coordinates for **all hosts of the
+    /// oracle** (hosts not in the ring keep the origin; the pool always
+    /// rings every host).
+    pub fn run(&self, oracle: &impl LatencyModel, ring: &Ring, seed: u64) -> CoordStore {
+        let n_hosts = oracle.num_hosts();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r_side = (self.cfg.leafset_size / 2).max(1);
+
+        // Precompute each member's leafset (host ids) and measured delays —
+        // the accumulated d_m vector from heartbeat history.
+        let n = ring.len();
+        let mut neighbors: Vec<Vec<HostId>> = Vec::with_capacity(n);
+        let mut measured: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let me = ring.member(i).host;
+            let hosts: Vec<HostId> = ring
+                .leafset(i, r_side)
+                .into_iter()
+                .map(|j| ring.member(j).host)
+                .collect();
+            let meas = hosts
+                .iter()
+                .map(|&nb| measure(oracle, me, nb, self.cfg.noise, &mut rng))
+                .collect();
+            neighbors.push(hosts);
+            measured.push(meas);
+        }
+
+        // Random small initial coordinates (every node starts ignorant).
+        let mut store = CoordStore::zeros(n_hosts, self.cfg.dim);
+        for i in 0..n {
+            let c = random_coord(self.cfg.dim, 10.0, &mut rng);
+            store.set(ring.member(i).host, c);
+        }
+
+        // Gauss–Seidel refinement rounds.
+        for round in 0..self.cfg.rounds {
+            // Later rounds take smaller simplex steps: coordinates are
+            // nearly settled and large probes just inject noise.
+            let step = if round < 2 {
+                self.cfg.simplex.initial_step
+            } else {
+                (self.cfg.simplex.initial_step / (round as f64)).max(2.0)
+            };
+            let opts = SimplexOptions {
+                initial_step: step,
+                ..self.cfg.simplex
+            };
+            for i in 0..n {
+                let me = ring.member(i).host;
+                let nb_coords: Vec<Coord> =
+                    neighbors[i].iter().map(|&h| *store.get(h)).collect();
+                let meas = &measured[i];
+                let objective = |p: &[f64]| {
+                    let c = Coord::from_slice(p);
+                    nb_coords
+                        .iter()
+                        .zip(meas)
+                        .map(|(nc, &m)| (c.distance(nc) - m).abs())
+                        .sum()
+                };
+                let res = minimize(objective, store.get(me).as_slice(), opts);
+                store.set(me, Coord::from_slice(&res.point));
+            }
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{random_pairs, relative_error_cdf};
+    use netsim::{Network, NetworkConfig};
+
+    fn small_net() -> Network {
+        Network::generate(
+            &NetworkConfig {
+                transit_domains: 2,
+                transit_per_domain: 3,
+                stub_domains_per_transit: 2,
+                routers_per_stub: 3,
+                num_hosts: 120,
+                ..NetworkConfig::default()
+            },
+            33,
+        )
+    }
+
+    #[test]
+    fn leafset_coords_embed_reasonably() {
+        let net = small_net();
+        let ring = Ring::with_random_ids((0..net.num_hosts() as u32).map(HostId), 8);
+        let store = LeafsetCoords::new(LeafsetConfig {
+            leafset_size: 32,
+            rounds: 12,
+            ..Default::default()
+        })
+        .run(&net.latency, &ring, 4);
+        let pairs = random_pairs(net.num_hosts(), 800, 10);
+        let cdf = relative_error_cdf(&net.latency, &store, &pairs);
+        let median = cdf.quantile(0.5).unwrap();
+        assert!(median < 0.4, "median relative error {median}");
+    }
+
+    #[test]
+    fn larger_leafset_helps() {
+        // The paper's Figure 4 finding: the leafset variant is sensitive to
+        // L; L=32 clearly beats a tiny leafset.
+        let net = small_net();
+        let ring = Ring::with_random_ids((0..net.num_hosts() as u32).map(HostId), 8);
+        let pairs = random_pairs(net.num_hosts(), 800, 11);
+        let med = |l: usize| {
+            let store = LeafsetCoords::new(LeafsetConfig {
+                leafset_size: l,
+                rounds: 12,
+                ..Default::default()
+            })
+            .run(&net.latency, &ring, 5);
+            relative_error_cdf(&net.latency, &store, &pairs)
+                .quantile(0.5)
+                .unwrap()
+        };
+        let m4 = med(4);
+        let m32 = med(32);
+        assert!(
+            m32 < m4,
+            "L=32 (err {m32}) should beat L=4 (err {m4})"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = small_net();
+        let ring = Ring::with_random_ids((0..60u32).map(HostId), 2);
+        let cfg = LeafsetConfig {
+            rounds: 3,
+            ..Default::default()
+        };
+        let a = LeafsetCoords::new(cfg.clone()).run(&net.latency, &ring, 6);
+        let b = LeafsetCoords::new(cfg).run(&net.latency, &ring, 6);
+        for h in (0..60u32).map(HostId) {
+            assert_eq!(a.get(h), b.get(h));
+        }
+    }
+
+    #[test]
+    fn measurement_noise_degrades_gracefully() {
+        // Heartbeat RTTs jitter in practice; a bounded 10% measurement
+        // noise must not wreck the embedding (the protocol averages it out
+        // across 32 neighbors and repeated refinement).
+        let net = small_net();
+        let ring = Ring::with_random_ids((0..net.num_hosts() as u32).map(HostId), 8);
+        let pairs = random_pairs(net.num_hosts(), 600, 12);
+        let med = |noise: f64| {
+            let store = LeafsetCoords::new(LeafsetConfig {
+                leafset_size: 32,
+                rounds: 10,
+                noise,
+                ..Default::default()
+            })
+            .run(&net.latency, &ring, 7);
+            relative_error_cdf(&net.latency, &store, &pairs)
+                .quantile(0.5)
+                .unwrap()
+        };
+        let clean = med(0.0);
+        let noisy = med(0.1);
+        assert!(noisy < clean + 0.15, "10% RTT noise blew up the embedding: {clean} → {noisy}");
+    }
+
+    #[test]
+    fn hosts_outside_ring_stay_at_origin() {
+        let net = small_net();
+        // Only half the hosts join the ring.
+        let ring = Ring::with_random_ids((0..60u32).map(HostId), 2);
+        let store = LeafsetCoords::new(LeafsetConfig {
+            rounds: 2,
+            ..Default::default()
+        })
+        .run(&net.latency, &ring, 6);
+        assert_eq!(store.get(HostId(100)), &Coord::zero(DEFAULT_DIM));
+    }
+}

@@ -1,0 +1,224 @@
+//! Nelder–Mead downhill simplex minimization.
+//!
+//! The paper's §4.1 has every node "executing downhill simplex algorithm"
+//! locally on its own coordinate. This is the standard Nelder–Mead method
+//! (reflection / expansion / contraction / shrink) implemented from scratch
+//! on flat `&[f64]` points; no external optimizer crates are used.
+
+/// Options controlling a minimization run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimplexOptions {
+    /// Initial simplex edge length around the starting point.
+    pub initial_step: f64,
+    /// Stop when the best–worst objective spread falls below this.
+    pub tolerance: f64,
+    /// Hard cap on objective evaluations.
+    pub max_evals: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            initial_step: 10.0,
+            tolerance: 1e-3,
+            max_evals: 2000,
+        }
+    }
+}
+
+/// Result of a minimization.
+#[derive(Clone, Debug)]
+pub struct SimplexResult {
+    /// The best point found.
+    pub point: Vec<f64>,
+    /// Objective value at `point`.
+    pub value: f64,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+}
+
+/// Minimize `f` starting from `x0` with Nelder–Mead. Standard coefficients:
+/// reflection α=1, expansion γ=2, contraction ρ=½, shrink σ=½.
+pub fn minimize(mut f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: SimplexOptions) -> SimplexResult {
+    let n = x0.len();
+    assert!(n >= 1, "cannot minimize over zero dimensions");
+    let mut evals = 0usize;
+    let mut eval = |p: &[f64], evals: &mut usize| {
+        *evals += 1;
+        f(p)
+    };
+
+    // Initial simplex: x0 plus one vertex per axis offset.
+    let mut pts: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    pts.push(x0.to_vec());
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        p[i] += opts.initial_step;
+        pts.push(p);
+    }
+    let mut vals: Vec<f64> = pts.iter().map(|p| eval(p, &mut evals)).collect();
+
+    while evals < opts.max_evals {
+        // Order vertices best → worst.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("NaN objective"));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        if (vals[worst] - vals[best]).abs() < opts.tolerance {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for &i in &order[..n] {
+            for d in 0..n {
+                centroid[d] += pts[i][d];
+            }
+        }
+        for c in centroid.iter_mut() {
+            *c /= n as f64;
+        }
+
+        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(&x, &y)| x + t * (y - x)).collect()
+        };
+
+        // Reflection: centroid + 1·(centroid − worst).
+        let reflected = lerp(&centroid, &pts[worst], -1.0);
+        let fr = eval(&reflected, &mut evals);
+
+        if fr < vals[best] {
+            // Expansion: centroid + 2·(centroid − worst).
+            let expanded = lerp(&centroid, &pts[worst], -2.0);
+            let fe = eval(&expanded, &mut evals);
+            if fe < fr {
+                pts[worst] = expanded;
+                vals[worst] = fe;
+            } else {
+                pts[worst] = reflected;
+                vals[worst] = fr;
+            }
+        } else if fr < vals[second_worst] {
+            pts[worst] = reflected;
+            vals[worst] = fr;
+        } else {
+            // Contraction (outside if the reflection helped at all, inside
+            // otherwise).
+            let t = if fr < vals[worst] { -0.5 } else { 0.5 };
+            let contracted = lerp(&centroid, &pts[worst], t);
+            let fc = eval(&contracted, &mut evals);
+            if fc < vals[worst].min(fr) {
+                pts[worst] = contracted;
+                vals[worst] = fc;
+            } else {
+                // Shrink everything toward the best vertex.
+                let best_pt = pts[best].clone();
+                for &i in order.iter().skip(1) {
+                    pts[i] = lerp(&best_pt, &pts[i], 0.5);
+                    vals[i] = eval(&pts[i], &mut evals);
+                }
+            }
+        }
+    }
+
+    let (bi, _) = vals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    SimplexResult {
+        point: pts[bi].clone(),
+        value: vals[bi],
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let r = minimize(
+            |p| p.iter().map(|x| (x - 3.0) * (x - 3.0)).sum(),
+            &[0.0, 0.0, 0.0],
+            SimplexOptions::default(),
+        );
+        for &x in &r.point {
+            assert!((x - 3.0).abs() < 0.05, "point {:?}", r.point);
+        }
+        assert!(r.value < 1e-2);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        // Banana function: minimum at (1, 1). Nelder–Mead needs a budget.
+        let rosen = |p: &[f64]| {
+            let (x, y) = (p[0], p[1]);
+            (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
+        };
+        let r = minimize(
+            rosen,
+            &[-1.2, 1.0],
+            SimplexOptions {
+                initial_step: 0.5,
+                tolerance: 1e-10,
+                max_evals: 5000,
+            },
+        );
+        assert!((r.point[0] - 1.0).abs() < 0.05, "{:?}", r.point);
+        assert!((r.point[1] - 1.0).abs() < 0.05, "{:?}", r.point);
+    }
+
+    #[test]
+    fn minimizes_absolute_value_objective() {
+        // The paper's E(x) is a sum of absolute differences — non-smooth.
+        let target = [5.0, -2.0];
+        let f = |p: &[f64]| {
+            (p[0] - target[0]).abs() + (p[1] - target[1]).abs()
+        };
+        let r = minimize(f, &[0.0, 0.0], SimplexOptions::default());
+        assert!((r.point[0] - 5.0).abs() < 0.1);
+        assert!((r.point[1] + 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut count = 0;
+        let _ = minimize(
+            |p| {
+                count += 1;
+                p[0] * p[0]
+            },
+            &[100.0],
+            SimplexOptions {
+                max_evals: 50,
+                tolerance: 0.0,
+                ..Default::default()
+            },
+        );
+        // A shrink step may briefly overshoot the cap; allow the n+1 slack.
+        assert!(count <= 55, "used {count} evals");
+    }
+
+    #[test]
+    fn one_dimension_works() {
+        let r = minimize(|p| (p[0] + 7.0).powi(2), &[0.0], SimplexOptions::default());
+        assert!((r.point[0] + 7.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn already_optimal_start_stays() {
+        let r = minimize(
+            |p| p[0] * p[0] + p[1] * p[1],
+            &[0.0, 0.0],
+            SimplexOptions {
+                initial_step: 1.0,
+                ..Default::default()
+            },
+        );
+        assert!(r.value < 1e-2);
+    }
+}

@@ -1,0 +1,160 @@
+//! The coordinate space and the coordinate store.
+
+use netsim::{HostId, LatencyModel};
+use serde::{Deserialize, Serialize};
+
+/// Maximum embedding dimension supported without heap allocation.
+pub const MAX_DIM: usize = 8;
+
+/// Default embedding dimension (GNP found 5–7 dimensions sufficient; 5 is a
+/// good accuracy/cost tradeoff for transit–stub underlays).
+pub const DEFAULT_DIM: usize = 5;
+
+/// A point in the d-dimensional Euclidean embedding (d ≤ [`MAX_DIM`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Coord {
+    v: [f64; MAX_DIM],
+    dim: u8,
+}
+
+impl Coord {
+    /// The origin of a `dim`-dimensional space.
+    pub fn zero(dim: usize) -> Coord {
+        assert!((1..=MAX_DIM).contains(&dim));
+        Coord {
+            v: [0.0; MAX_DIM],
+            dim: dim as u8,
+        }
+    }
+
+    /// Construct from a slice (length = dimension).
+    pub fn from_slice(v: &[f64]) -> Coord {
+        assert!(!v.is_empty() && v.len() <= MAX_DIM);
+        let mut arr = [0.0; MAX_DIM];
+        arr[..v.len()].copy_from_slice(v);
+        Coord {
+            v: arr,
+            dim: v.len() as u8,
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// The coordinate components.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.v[..self.dim as usize]
+    }
+
+    /// Mutable components.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.v[..self.dim as usize]
+    }
+
+    /// Euclidean distance to another coordinate (this *is* the latency
+    /// prediction, in ms).
+    pub fn distance(&self, other: &Coord) -> f64 {
+        debug_assert_eq!(self.dim, other.dim);
+        let mut s = 0.0;
+        for i in 0..self.dim as usize {
+            let d = self.v[i] - other.v[i];
+            s += d * d;
+        }
+        s.sqrt()
+    }
+}
+
+/// Coordinates for every host, usable directly as a [`LatencyModel`] — this
+/// is what turns the paper's *Critical* algorithms into the practical
+/// *Leafset* ones.
+#[derive(Clone, Debug)]
+pub struct CoordStore {
+    coords: Vec<Coord>,
+}
+
+impl CoordStore {
+    /// A store with all hosts at the origin.
+    pub fn zeros(n: usize, dim: usize) -> CoordStore {
+        CoordStore {
+            coords: vec![Coord::zero(dim); n],
+        }
+    }
+
+    /// Build from explicit coordinates.
+    pub fn from_coords(coords: Vec<Coord>) -> CoordStore {
+        CoordStore { coords }
+    }
+
+    /// The coordinate of a host.
+    pub fn get(&self, h: HostId) -> &Coord {
+        &self.coords[h.idx()]
+    }
+
+    /// Set the coordinate of a host.
+    pub fn set(&mut self, h: HostId, c: Coord) {
+        self.coords[h.idx()] = c;
+    }
+
+    /// All coordinates, indexed by host.
+    pub fn coords(&self) -> &[Coord] {
+        &self.coords
+    }
+}
+
+impl LatencyModel for CoordStore {
+    fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.coords[a.idx()].distance(&self.coords[b.idx()])
+        }
+    }
+
+    fn num_hosts(&self) -> usize {
+        self.coords.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Coord::from_slice(&[0.0, 0.0, 0.0]);
+        let b = Coord::from_slice(&[3.0, 4.0, 0.0]);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let a = Coord::from_slice(&[1.0, -2.0, 0.5, 7.0, 3.3]);
+        let b = Coord::from_slice(&[-4.0, 2.0, 9.5, 0.0, 1.0]);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn store_implements_latency_model() {
+        let mut s = CoordStore::zeros(3, 2);
+        s.set(HostId(1), Coord::from_slice(&[3.0, 4.0]));
+        assert_eq!(s.latency_ms(HostId(0), HostId(1)), 5.0);
+        assert_eq!(s.latency_ms(HostId(2), HostId(2)), 0.0);
+        assert_eq!(s.num_hosts(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_bounds_checked() {
+        Coord::zero(MAX_DIM + 1);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let c = Coord::from_slice(&[1.0, 2.0]);
+        assert_eq!(c.dim(), 2);
+        assert_eq!(c.as_slice(), &[1.0, 2.0]);
+    }
+}

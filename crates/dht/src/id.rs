@@ -1,0 +1,168 @@
+//! The logical ID space.
+//!
+//! The paper assumes "a very large logical space (e.g. 160-bits)"; 64 bits is
+//! ample for simulations of up to millions of nodes (collision probability
+//! for 2M random 64-bit IDs is ~10⁻⁷) and keeps arithmetic on native words.
+//! The space is a circle: all arithmetic wraps modulo 2⁶⁴.
+
+use serde::{Deserialize, Serialize};
+use simcore::rng::mix64;
+
+/// A point in the logical ID space (a 64-bit circle).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The zero point of the space.
+    pub const ZERO: NodeId = NodeId(0);
+
+    /// The midpoint of the whole space (0.5 of `[0, 1)`) — the logical
+    /// position of the SOMO root.
+    pub const MID: NodeId = NodeId(1 << 63);
+
+    /// Hash an arbitrary 64-bit value into the space (stands in for "MD5
+    /// over a node's IP address").
+    pub fn hash_of(v: u64) -> NodeId {
+        NodeId(mix64(v ^ 0xA5A5_5A5A_C3C3_3C3C))
+    }
+
+    /// Clockwise distance from `self` to `other` (how far clockwise you must
+    /// travel from `self` to reach `other`).
+    pub fn distance_cw(self, other: NodeId) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// The point `delta` further clockwise.
+    pub fn offset(self, delta: u64) -> NodeId {
+        NodeId(self.0.wrapping_add(delta))
+    }
+
+    /// The point in the space as a fraction of the full circle, in `[0, 1)`.
+    pub fn as_fraction(self) -> f64 {
+        self.0 as f64 / 2f64.powi(64)
+    }
+}
+
+/// Whether `x` lies in the half-open arc `(a, b]` travelling clockwise from
+/// `a`. When `a == b` the arc is the **entire circle** (the single-node ring
+/// owns everything).
+pub fn in_arc(a: NodeId, b: NodeId, x: NodeId) -> bool {
+    if a == b {
+        return true;
+    }
+    // Clockwise from a: x is inside iff dist(a→x) ∈ (0, dist(a→b)].
+    let dx = a.distance_cw(x);
+    let db = a.distance_cw(b);
+    dx != 0 && dx <= db
+}
+
+/// The midpoint of the clockwise arc from `a` to `b` (half the clockwise
+/// distance past `a`). For `a == b` (full circle) it is the antipode of `a`.
+pub fn arc_midpoint(a: NodeId, b: NodeId) -> NodeId {
+    let d = a.distance_cw(b);
+    if d == 0 {
+        a.offset(1 << 63)
+    } else {
+        a.offset(d / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_wraps() {
+        let a = NodeId(u64::MAX - 1);
+        let b = NodeId(3);
+        assert_eq!(a.distance_cw(b), 5);
+        assert_eq!(b.distance_cw(a), u64::MAX - 4);
+    }
+
+    #[test]
+    fn arc_membership_simple() {
+        let a = NodeId(10);
+        let b = NodeId(20);
+        assert!(!in_arc(a, b, NodeId(10))); // open at a
+        assert!(in_arc(a, b, NodeId(11)));
+        assert!(in_arc(a, b, NodeId(20))); // closed at b
+        assert!(!in_arc(a, b, NodeId(21)));
+        assert!(!in_arc(a, b, NodeId(5)));
+    }
+
+    #[test]
+    fn arc_membership_wrapping() {
+        let a = NodeId(u64::MAX - 10);
+        let b = NodeId(10);
+        assert!(in_arc(a, b, NodeId(0)));
+        assert!(in_arc(a, b, NodeId(10)));
+        assert!(in_arc(a, b, NodeId(u64::MAX)));
+        assert!(!in_arc(a, b, NodeId(11)));
+        assert!(!in_arc(a, b, NodeId(u64::MAX - 10)));
+    }
+
+    #[test]
+    fn degenerate_arc_is_full_circle() {
+        let a = NodeId(42);
+        assert!(in_arc(a, a, NodeId(0)));
+        assert!(in_arc(a, a, NodeId(u64::MAX)));
+        assert!(in_arc(a, a, NodeId(42)));
+    }
+
+    #[test]
+    fn midpoint_plain_and_wrapping() {
+        assert_eq!(arc_midpoint(NodeId(10), NodeId(20)), NodeId(15));
+        let m = arc_midpoint(NodeId(u64::MAX - 9), NodeId(10));
+        assert_eq!(m, NodeId(0)); // 20 across the wrap, half is 10 past a.
+        assert_eq!(arc_midpoint(NodeId(7), NodeId(7)), NodeId(7).offset(1 << 63));
+    }
+
+    #[test]
+    fn hash_is_stable_and_spread() {
+        assert_eq!(NodeId::hash_of(1), NodeId::hash_of(1));
+        let mut ids: Vec<u64> = (0..1000).map(|i| NodeId::hash_of(i).0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 1000, "hash collision in small domain");
+    }
+
+    #[test]
+    fn fraction_maps_mid() {
+        assert!((NodeId::MID.as_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(NodeId::ZERO.as_fraction(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_arc_total_partition(a: u64, b: u64, x: u64) {
+            // Every point is in exactly one of (a, b] and (b, a],
+            // except the endpoints a and b themselves when a != b.
+            let (a, b, x) = (NodeId(a), NodeId(b), NodeId(x));
+            prop_assume!(a != b);
+            let in_ab = in_arc(a, b, x);
+            let in_ba = in_arc(b, a, x);
+            prop_assert!(in_ab ^ in_ba, "x must be in exactly one arc");
+        }
+
+        #[test]
+        fn prop_midpoint_is_inside(a: u64, b: u64) {
+            let (a, b) = (NodeId(a), NodeId(b));
+            prop_assume!(a != b);
+            let d = a.distance_cw(b);
+            prop_assume!(d >= 2); // midpoint of a 1-step arc equals a, which is excluded
+            let m = arc_midpoint(a, b);
+            prop_assert!(in_arc(a, b, m));
+        }
+
+        #[test]
+        fn prop_distance_antisymmetric(a: u64, b: u64) {
+            let (a, b) = (NodeId(a), NodeId(b));
+            prop_assume!(a != b);
+            let sum = a.distance_cw(b) as u128 + b.distance_cw(a) as u128;
+            prop_assert_eq!(sum, 1u128 << 64);
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! Message-level ring maintenance protocol on the discrete-event simulator.
+//!
+//! §3.1: "each node records r neighbors to each side in the rudimentary
+//! routing table that is commonly known as leaf-set. Neighbors exchange
+//! heartbeats to keep their routing tables current, updating their routing
+//! tables when node join/leave events occur."
+//!
+//! [`DhtSim`] simulates exactly that: every node runs a periodic heartbeat
+//! timer, heartbeats carry the sender's current view (gossip), receivers
+//! merge views and expire members they have not heard from (directly or via
+//! gossip) within a timeout. The simulation exposes each node's *believed*
+//! leafset so tests can measure convergence and self-healing — the property
+//! SOMO inherits from the hosting DHT.
+//!
+//! Message latency comes from any function of the two endpoint hosts, so the
+//! protocol can run over the `netsim` oracle or a constant-delay fabric.
+
+use std::collections::BTreeMap;
+
+use netsim::HostId;
+use simcore::{EventQueue, SimTime};
+
+use crate::id::NodeId;
+use crate::ring::{Member, Ring};
+
+/// Protocol timing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtoConfig {
+    /// Heartbeat period.
+    pub heartbeat: SimTime,
+    /// A member not heard from for this long is declared dead.
+    pub timeout: SimTime,
+    /// Leafset radius (r neighbors per side).
+    pub leafset_r: usize,
+}
+
+impl Default for ProtoConfig {
+    fn default() -> Self {
+        ProtoConfig {
+            heartbeat: SimTime::from_secs(5),
+            timeout: SimTime::from_secs(16),
+            leafset_r: 4,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    /// Periodic heartbeat timer for a node.
+    Timer { node: usize },
+    /// A heartbeat or its acknowledgment arriving at `to`.
+    Deliver {
+        to: usize,
+        from_id: NodeId,
+        view: Vec<NodeId>,
+        /// Acks do not trigger further replies (no ping-pong).
+        ack: bool,
+    },
+}
+
+struct ProtoNode {
+    member: Member,
+    alive: bool,
+    /// Known peers → last time we heard evidence they were alive.
+    view: BTreeMap<NodeId, SimTime>,
+    /// Death certificates: peers we expired, with the time the tombstone
+    /// lapses. Gossip cannot resurrect a tombstoned peer — only direct
+    /// evidence (a message from the peer itself) clears it. Without this,
+    /// neighbors re-inserting each other's stale gossip keeps a dead node
+    /// flapping in and out of leafsets indefinitely.
+    tombstones: BTreeMap<NodeId, SimTime>,
+}
+
+impl ProtoNode {
+    /// The node's current *believed* leafset: the r nearest live view
+    /// entries on each side of its own ID.
+    fn leafset(&self, r: usize) -> Vec<NodeId> {
+        let ids: Vec<NodeId> = self.view.keys().copied().collect();
+        if ids.is_empty() {
+            return vec![];
+        }
+        // ids are sorted (BTreeMap); find our position.
+        let pos = ids.partition_point(|&x| x < self.member.id);
+        let n = ids.len();
+        let take = r.min(n);
+        let mut out = Vec::with_capacity(2 * take);
+        // Successor side: pos, pos+1, ... (skipping self, which is not in view)
+        for k in 0..take {
+            out.push(ids[(pos + k) % n]);
+        }
+        // Predecessor side.
+        for k in 1..=take {
+            let idx = (pos + n - k) % n;
+            let id = ids[idx];
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        out
+    }
+}
+
+/// The simulated ring-maintenance protocol.
+pub struct DhtSim<D: Fn(HostId, HostId) -> SimTime> {
+    nodes: Vec<ProtoNode>,
+    queue: EventQueue<Event>,
+    cfg: ProtoConfig,
+    delay: D,
+    messages: u64,
+}
+
+impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
+    /// Create a simulation where every node starts knowing its true leafset
+    /// (as it would after a correct join protocol). Heartbeat timers are
+    /// staggered across the first period so the network does not fire in
+    /// lockstep.
+    pub fn new(ring: &Ring, cfg: ProtoConfig, delay: D) -> Self {
+        let mut nodes = Vec::with_capacity(ring.len());
+        for i in 0..ring.len() {
+            let mut view = BTreeMap::new();
+            for j in ring.leafset(i, cfg.leafset_r) {
+                view.insert(ring.member(j).id, SimTime::ZERO);
+            }
+            nodes.push(ProtoNode {
+                member: ring.member(i),
+                alive: true,
+                view,
+                tombstones: BTreeMap::new(),
+            });
+        }
+        let mut queue = EventQueue::new();
+        let period = cfg.heartbeat.as_micros().max(1);
+        for (i, _) in nodes.iter().enumerate() {
+            let jitter = SimTime::from_micros(
+                simcore::rng::derive_seed(0xBEA7, i as u64) % period,
+            );
+            queue.schedule(jitter, Event::Timer { node: i });
+        }
+        DhtSim {
+            nodes,
+            queue,
+            cfg,
+            delay,
+            messages: 0,
+        }
+    }
+
+    /// Kill a node (it stops heartbeating and acking immediately).
+    pub fn kill(&mut self, node: usize) {
+        self.nodes[node].alive = false;
+    }
+
+    /// Add a fresh node that initially knows only `contact`. Returns its
+    /// index.
+    ///
+    /// Gossip alone integrates the joiner over a few heartbeat rounds; see
+    /// [`DhtSim::join_via_lookup`] for the full join protocol.
+    pub fn join(&mut self, member: Member, contact: usize) -> usize {
+        let mut view = BTreeMap::new();
+        view.insert(self.nodes[contact].member.id, self.queue.now());
+        self.nodes.push(ProtoNode {
+            member,
+            alive: true,
+            view,
+            tombstones: BTreeMap::new(),
+        });
+        let idx = self.nodes.len() - 1;
+        self.queue.schedule_after(SimTime::ZERO, Event::Timer { node: idx });
+        idx
+    }
+
+    /// The standard join protocol: route a lookup for the joiner's own ID
+    /// from `contact`; the owner found is the joiner's future successor,
+    /// and its view (which brackets the joiner's zone) seeds the joiner's
+    /// leafset. Converges in one heartbeat round instead of several
+    /// gossip rounds. Returns the new node's index, or `None` while the
+    /// overlay is too broken to route.
+    pub fn join_via_lookup(&mut self, member: Member, contact: usize) -> Option<usize> {
+        let (owner_id, _) = self.lookup(contact, member.id)?;
+        let owner = self.index_of(owner_id)?;
+        let now = self.queue.now();
+        let mut view = BTreeMap::new();
+        view.insert(owner_id, now);
+        // Adopt the successor's view as half-stale candidates: they must
+        // confirm themselves, exactly like gossip-learned entries.
+        let half = SimTime::from_micros(self.cfg.timeout.as_micros() / 2);
+        let stale = now.saturating_sub(half);
+        for id in self.nodes[owner].view.keys().copied() {
+            if id != member.id {
+                view.entry(id).or_insert(stale);
+            }
+        }
+        self.nodes.push(ProtoNode {
+            member,
+            alive: true,
+            view,
+            tombstones: BTreeMap::new(),
+        });
+        let idx = self.nodes.len() - 1;
+        self.queue.schedule_after(SimTime::ZERO, Event::Timer { node: idx });
+        Some(idx)
+    }
+
+    /// Run the simulation until simulated time `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.handle(now, ev);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Timer { node } => {
+                if !self.nodes[node].alive {
+                    return; // dead nodes stop ticking
+                }
+                self.expire(node, now);
+                // Heartbeat every current leafset member, carrying our view.
+                let targets = self.nodes[node].leafset(self.cfg.leafset_r);
+                let my_id = self.nodes[node].member.id;
+                let my_host = self.nodes[node].member.host;
+                let mut gossip: Vec<NodeId> = targets.clone();
+                gossip.push(my_id);
+                for target_id in targets {
+                    if let Some(to) = self.index_of(target_id) {
+                        let d = (self.delay)(my_host, self.nodes[to].member.host);
+                        self.messages += 1;
+                        self.queue.schedule_after(
+                            d,
+                            Event::Deliver {
+                                to,
+                                from_id: my_id,
+                                view: gossip.clone(),
+                                ack: false,
+                            },
+                        );
+                    }
+                }
+                self.queue
+                    .schedule_after(self.cfg.heartbeat, Event::Timer { node });
+            }
+            Event::Deliver {
+                to,
+                from_id,
+                view,
+                ack,
+            } => {
+                if !self.nodes[to].alive {
+                    return;
+                }
+                let my_id = self.nodes[to].member.id;
+                // Direct evidence: the sender is alive now (and any death
+                // certificate for it is void).
+                self.nodes[to].tombstones.remove(&from_id);
+                self.nodes[to].view.insert(from_id, now);
+                // Gossip: adopt unknown IDs with "half-stale" evidence so
+                // they must confirm themselves within timeout/2 — this stops
+                // dead nodes from being resurrected by stale gossip forever.
+                let half = SimTime::from_micros(self.cfg.timeout.as_micros() / 2);
+                let stale = now.saturating_sub(half);
+                for id in view {
+                    if id != my_id && !self.nodes[to].tombstones.contains_key(&id) {
+                        self.nodes[to].view.entry(id).or_insert(stale);
+                    }
+                }
+                // Acknowledge heartbeats (§4.1's heartbeat/ack exchange):
+                // the reply keeps the *sender's* entry for us fresh even
+                // when the sender is not in our own leafset — without this a
+                // joiner heartbeating a distant contact would never hear
+                // back and maroon itself.
+                if !ack {
+                    if let Some(sender) = self.index_of(from_id) {
+                        let mut reply: Vec<NodeId> =
+                            self.nodes[to].leafset(self.cfg.leafset_r);
+                        reply.push(my_id);
+                        let d = (self.delay)(
+                            self.nodes[to].member.host,
+                            self.nodes[sender].member.host,
+                        );
+                        self.messages += 1;
+                        self.queue.schedule_after(
+                            d,
+                            Event::Deliver {
+                                to: sender,
+                                from_id: my_id,
+                                view: reply,
+                                ack: true,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn expire(&mut self, node: usize, now: SimTime) {
+        let timeout = self.cfg.timeout;
+        let n = &mut self.nodes[node];
+        let mut dead: Vec<NodeId> = Vec::new();
+        n.view.retain(|&id, &mut last| {
+            let alive = now.saturating_sub(last) < timeout;
+            if !alive {
+                dead.push(id);
+            }
+            alive
+        });
+        for id in dead {
+            n.tombstones.insert(id, now + timeout);
+        }
+        n.tombstones.retain(|_, &mut until| until > now);
+    }
+
+    fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.member.id == id)
+    }
+
+    /// The believed leafset of a node (IDs, both sides).
+    /// Resolve the owner of `key` by greedy clockwise routing over the
+    /// nodes' **believed** views — the protocol-level lookup, as opposed to
+    /// [`crate::routing`]'s structural one. Returns `(owner_id, hops)`, or
+    /// `None` if routing gets stuck (possible while views are healing).
+    pub fn lookup(&self, from: usize, key: NodeId) -> Option<(NodeId, usize)> {
+        let mut cur = from;
+        let mut hops = 0usize;
+        loop {
+            let node = &self.nodes[cur];
+            if !node.alive {
+                return None;
+            }
+            let my = node.member.id;
+            // Believed predecessor: the view member closest counter-
+            // clockwise of me. I believe I own (pred, me].
+            let pred = node
+                .view
+                .keys()
+                .copied()
+                .min_by_key(|v| v.distance_cw(my))?;
+            if crate::id::in_arc(pred, my, key) {
+                return Some((my, hops));
+            }
+            // Believed successor owns (me, succ].
+            let succ = node
+                .view
+                .keys()
+                .copied()
+                .min_by_key(|v| my.distance_cw(*v))?;
+            if crate::id::in_arc(my, succ, key) {
+                return Some((succ, hops + 1));
+            }
+            // Otherwise forward to the view member making the most
+            // clockwise progress without passing the key.
+            let target = my.distance_cw(key);
+            let next_id = node
+                .view
+                .keys()
+                .copied()
+                .filter(|v| {
+                    let d = my.distance_cw(*v);
+                    d > 0 && d <= target
+                })
+                .max_by_key(|v| my.distance_cw(*v))?;
+            let next = self.index_of(next_id)?;
+            if next == cur {
+                return None; // stuck
+            }
+            cur = next;
+            hops += 1;
+            if hops > self.nodes.len() {
+                return None; // routing loop while views are inconsistent
+            }
+        }
+    }
+
+    /// The believed leafset of a node (IDs, both sides) as derived from
+    /// its current view.
+    pub fn believed_leafset(&self, node: usize) -> Vec<NodeId> {
+        self.nodes[node].leafset(self.cfg.leafset_r)
+    }
+
+    /// The true leafset of a node given who is actually alive.
+    pub fn true_leafset(&self, node: usize) -> Vec<NodeId> {
+        let mut ring = Ring::new();
+        for n in &self.nodes {
+            if n.alive {
+                ring.insert(n.member);
+            }
+        }
+        let idx = ring.index_of(self.nodes[node].member.id).expect("alive");
+        let mut ids: Vec<NodeId> = ring
+            .leafset(idx, self.cfg.leafset_r)
+            .into_iter()
+            .map(|j| ring.member(j).id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Whether every live node's believed leafset matches the truth.
+    pub fn converged(&self) -> bool {
+        (0..self.nodes.len()).all(|i| {
+            if !self.nodes[i].alive {
+                return true;
+            }
+            let mut believed = self.believed_leafset(i);
+            believed.sort_unstable();
+            believed == self.true_leafset(i)
+        })
+    }
+
+    /// Total messages sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(n: u32) -> DhtSim<impl Fn(HostId, HostId) -> SimTime> {
+        let ring = Ring::with_random_ids((0..n).map(HostId), 17);
+        DhtSim::new(
+            &ring,
+            ProtoConfig::default(),
+            |_a, _b| SimTime::from_millis(50),
+        )
+    }
+
+    #[test]
+    fn stable_ring_stays_converged() {
+        let mut s = sim(32);
+        assert!(s.converged(), "bootstrap views should be exact");
+        s.run_until(SimTime::from_secs(60));
+        assert!(s.converged(), "stable ring drifted");
+        assert!(s.messages_sent() > 0);
+    }
+
+    #[test]
+    fn failure_is_detected_and_leafsets_repair() {
+        let mut s = sim(32);
+        s.run_until(SimTime::from_secs(10));
+        s.kill(5);
+        assert!(!s.converged(), "victim still in neighbors' views");
+        // After timeout + a couple of heartbeats, views must have healed:
+        // the dead node expired everywhere and replacements discovered via
+        // gossip.
+        s.run_until(SimTime::from_secs(80));
+        assert!(s.converged(), "leafsets did not repair after failure");
+    }
+
+    #[test]
+    fn multiple_failures_repair() {
+        let mut s = sim(48);
+        s.run_until(SimTime::from_secs(10));
+        s.kill(1);
+        s.kill(2);
+        s.kill(30);
+        s.run_until(SimTime::from_secs(120));
+        assert!(s.converged(), "leafsets did not repair after 3 failures");
+    }
+
+    #[test]
+    fn join_via_lookup_integrates_faster_than_gossip() {
+        let ring = Ring::with_random_ids((0..24u32).map(HostId), 19);
+        let mk = || {
+            DhtSim::new(
+                &ring,
+                ProtoConfig::default(),
+                |_a, _b| SimTime::from_millis(50),
+            )
+        };
+        let member = Member {
+            id: NodeId::hash_of(0xABCD),
+            host: HostId(777),
+        };
+        // Lookup-based join: converged within ~2 heartbeat periods.
+        let mut fast = mk();
+        fast.run_until(SimTime::from_secs(10));
+        fast.join_via_lookup(member, 0).expect("routable overlay");
+        fast.run_until(SimTime::from_secs(25));
+        assert!(fast.converged(), "lookup join did not integrate quickly");
+        // Naive contact-only join needs gossip rounds; measure that it is
+        // not *already* converged at the same instant it joined (sanity
+        // that the comparison is meaningful) — then eventually converges.
+        let mut slow = mk();
+        slow.run_until(SimTime::from_secs(10));
+        slow.join(member, 0);
+        assert!(!slow.converged());
+        // Gossip alone crawls the ring a few leafset-widths per round; give
+        // it an order of magnitude more time than the lookup join needed.
+        slow.run_until(SimTime::from_secs(400));
+        assert!(slow.converged());
+    }
+
+    #[test]
+    fn join_integrates_via_gossip() {
+        let mut s = sim(16);
+        s.run_until(SimTime::from_secs(10));
+        let id = NodeId::hash_of(0xFEED);
+        s.join(
+            Member {
+                id,
+                host: HostId(999),
+            },
+            0,
+        );
+        s.run_until(SimTime::from_secs(120));
+        assert!(s.converged(), "joiner did not integrate");
+    }
+
+    #[test]
+    fn lookups_resolve_to_true_owner_on_converged_ring() {
+        use rand::{Rng, SeedableRng};
+        let ring = Ring::with_random_ids((0..48u32).map(HostId), 17);
+        let mut s = DhtSim::new(
+            &ring,
+            ProtoConfig::default(),
+            |_a, _b| SimTime::from_millis(50),
+        );
+        s.run_until(SimTime::from_secs(30));
+        assert!(s.converged());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let key = NodeId(rng.random());
+            let from = rng.random_range(0..48);
+            let (owner, hops) = s.lookup(from, key).expect("lookup stuck");
+            let true_owner = ring.member(ring.owner(key)).id;
+            assert_eq!(owner, true_owner, "lookup resolved the wrong owner");
+            assert!(hops <= 48);
+        }
+    }
+
+    #[test]
+    fn lookups_recover_after_failure_heals() {
+        use rand::{Rng, SeedableRng};
+        let ring = Ring::with_random_ids((0..32u32).map(HostId), 18);
+        let mut s = DhtSim::new(
+            &ring,
+            ProtoConfig::default(),
+            |_a, _b| SimTime::from_millis(50),
+        );
+        s.run_until(SimTime::from_secs(10));
+        s.kill(7);
+        s.run_until(SimTime::from_secs(90));
+        assert!(s.converged());
+        // The truth now excludes the victim.
+        let mut truth = Ring::new();
+        for i in (0..32).filter(|&i| i != 7) {
+            truth.insert(ring.member(i));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let key = NodeId(rng.random());
+            let mut from = rng.random_range(0..32);
+            if from == 7 {
+                from = 8; // never start at the dead node
+            }
+            let (owner, _) = s.lookup(from, key).expect("lookup stuck after heal");
+            let true_owner = truth.member(truth.owner(key)).id;
+            assert_eq!(owner, true_owner);
+        }
+    }
+
+    #[test]
+    fn dead_nodes_send_nothing() {
+        let mut s = sim(8);
+        s.run_until(SimTime::from_secs(5));
+        let before = s.messages_sent();
+        for i in 0..8 {
+            s.kill(i);
+        }
+        s.run_until(SimTime::from_secs(60));
+        // Messages already in flight may land, but no new ones are sent
+        // after every node's next timer fires; the count must plateau well
+        // below a live network's volume (8 nodes * ~11 rounds * 8 targets).
+        let after = s.messages_sent();
+        assert!(after - before < 200, "dead network kept chattering");
+    }
+}

@@ -1,0 +1,270 @@
+//! Finger tables and greedy clockwise routing.
+//!
+//! §3.1: "the lookup performance is O(N) in this simple ring structure...
+//! elaborate algorithms built upon the above concept achieve O(log N)
+//! performance". We implement both, so the bench suite can show the
+//! difference:
+//!
+//! * **ring walk** — follow successors until the key's owner is reached
+//!   (O(N) hops);
+//! * **finger routing** — each node keeps a finger at the owner of
+//!   `own_id + 2^k` for every k; greedy routing forwards to the farthest
+//!   known node that does not overshoot the key (O(log N) hops).
+
+use crate::id::NodeId;
+use crate::ring::Ring;
+
+/// Finger tables for every ring member, built from a membership snapshot.
+pub struct FingerTables {
+    /// `fingers[i][k]` = sorted ring index of the owner of `id(i) + 2^k`.
+    fingers: Vec<Vec<usize>>,
+}
+
+impl FingerTables {
+    /// Build full 64-entry finger tables for all members of `ring`.
+    pub fn build(ring: &Ring) -> FingerTables {
+        let n = ring.len();
+        let mut fingers = Vec::with_capacity(n);
+        for i in 0..n {
+            let own = ring.member(i).id;
+            let mut f = Vec::with_capacity(64);
+            for k in 0..64 {
+                f.push(ring.owner(own.offset(1u64 << k)));
+            }
+            fingers.push(f);
+        }
+        FingerTables { fingers }
+    }
+
+    /// The finger entries of member `i`.
+    pub fn of(&self, i: usize) -> &[usize] {
+        &self.fingers[i]
+    }
+}
+
+/// Outcome of a routed lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteResult {
+    /// Sorted ring index of the node that owns the key.
+    pub owner: usize,
+    /// Number of overlay hops taken.
+    pub hops: usize,
+}
+
+/// Route by walking successors: O(N) hops.
+pub fn route_ring_walk(ring: &Ring, from: usize, key: NodeId) -> RouteResult {
+    let mut cur = from;
+    let mut hops = 0;
+    while !ring.zone_contains(cur, key) {
+        cur = ring.successor(cur);
+        hops += 1;
+        debug_assert!(hops <= ring.len(), "ring walk failed to terminate");
+    }
+    RouteResult { owner: cur, hops }
+}
+
+/// Outcome of a routed lookup with underlay timing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimedRoute {
+    /// Sorted ring index of the node that owns the key.
+    pub owner: usize,
+    /// Number of overlay hops taken.
+    pub hops: usize,
+    /// Total underlay latency of the path, ms — the `t_hop · hops` quantity
+    /// SOMO's §3.2 staleness bound is built on.
+    pub latency_ms: f64,
+}
+
+/// Finger routing with per-hop underlay latency accounting: the overlay
+/// path visits real hosts, and each hop costs the underlay latency between
+/// the two hosts' machines.
+pub fn route_fingers_timed(
+    ring: &Ring,
+    fingers: &FingerTables,
+    from: usize,
+    key: NodeId,
+    underlay: &impl netsim::LatencyModel,
+) -> TimedRoute {
+    let mut cur = from;
+    let mut hops = 0;
+    let mut latency = 0.0;
+    loop {
+        if ring.zone_contains(cur, key) {
+            return TimedRoute {
+                owner: cur,
+                hops,
+                latency_ms: latency,
+            };
+        }
+        let next = best_finger_step(ring, fingers, cur, key);
+        latency += underlay.latency_ms(ring.member(cur).host, ring.member(next).host);
+        cur = next;
+        hops += 1;
+        debug_assert!(hops <= ring.len(), "finger routing failed to terminate");
+    }
+}
+
+/// Route greedily using finger tables: forward to the finger that makes the
+/// most clockwise progress without passing the key. O(log N) hops.
+pub fn route_fingers(ring: &Ring, fingers: &FingerTables, from: usize, key: NodeId) -> RouteResult {
+    let mut cur = from;
+    let mut hops = 0;
+    loop {
+        if ring.zone_contains(cur, key) {
+            return RouteResult { owner: cur, hops };
+        }
+        cur = best_finger_step(ring, fingers, cur, key);
+        hops += 1;
+        debug_assert!(hops <= ring.len(), "finger routing failed to terminate");
+    }
+}
+
+/// The greedy forwarding decision: the finger (or successor) making the
+/// most clockwise progress without passing the key.
+fn best_finger_step(ring: &Ring, fingers: &FingerTables, cur: usize, key: NodeId) -> usize {
+    let cur_id = ring.member(cur).id;
+    let target_dist = cur_id.distance_cw(key);
+    // Best finger: the one whose clockwise distance from cur is largest
+    // while strictly less than the distance to the key (never overshoot
+    // past the key; landing exactly on the key's owner is handled by the
+    // zone check in the caller).
+    let mut best = ring.successor(cur);
+    let mut best_dist = cur_id.distance_cw(ring.member(best).id);
+    for &f in fingers.of(cur) {
+        if f == cur {
+            continue;
+        }
+        let d = cur_id.distance_cw(ring.member(f).id);
+        if d <= target_dist && d > best_dist {
+            best = f;
+            best_dist = d;
+        }
+    }
+    debug_assert_ne!(best, cur);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::Ring;
+    use netsim::HostId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ring(n: u32, seed: u64) -> Ring {
+        Ring::with_random_ids((0..n).map(HostId), seed)
+    }
+
+    #[test]
+    fn both_routes_agree_with_owner() {
+        let r = ring(128, 3);
+        let f = FingerTables::build(&r);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let key = NodeId(rng.random());
+            let from = rng.random_range(0..r.len());
+            let expect = r.owner(key);
+            assert_eq!(route_ring_walk(&r, from, key).owner, expect);
+            assert_eq!(route_fingers(&r, &f, from, key).owner, expect);
+        }
+    }
+
+    #[test]
+    fn finger_routing_is_logarithmic() {
+        let r = ring(1024, 9);
+        let f = FingerTables::build(&r);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut total = 0usize;
+        let trials = 500;
+        for _ in 0..trials {
+            let key = NodeId(rng.random());
+            let from = rng.random_range(0..r.len());
+            let hops = route_fingers(&r, &f, from, key).hops;
+            assert!(hops <= 2 * 11, "hop count {hops} too large for N=1024");
+            total += hops;
+        }
+        let avg = total as f64 / trials as f64;
+        // Expected ~ (log2 N)/2 = 5; allow generous slack.
+        assert!(avg < 8.0, "average hops {avg}");
+        assert!(avg > 2.0, "suspiciously few hops {avg}");
+    }
+
+    #[test]
+    fn ring_walk_is_linear_on_average() {
+        let r = ring(64, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut total = 0usize;
+        let trials = 200;
+        for _ in 0..trials {
+            let key = NodeId(rng.random());
+            let from = rng.random_range(0..r.len());
+            total += route_ring_walk(&r, from, key).hops;
+        }
+        let avg = total as f64 / trials as f64;
+        assert!(avg > 16.0, "ring walk should average ~N/2 hops, got {avg}");
+    }
+
+    #[test]
+    fn routing_from_owner_takes_zero_hops() {
+        let r = ring(32, 7);
+        let f = FingerTables::build(&r);
+        let key = NodeId(12345);
+        let owner = r.owner(key);
+        assert_eq!(
+            route_fingers(&r, &f, owner, key),
+            RouteResult { owner, hops: 0 }
+        );
+    }
+
+    #[test]
+    fn timed_route_matches_untimed_and_accumulates_latency() {
+        use netsim::{Network, NetworkConfig};
+        let net = Network::generate(
+            &NetworkConfig {
+                transit_domains: 2,
+                transit_per_domain: 3,
+                stub_domains_per_transit: 2,
+                routers_per_stub: 3,
+                num_hosts: 200,
+                ..NetworkConfig::default()
+            },
+            4,
+        );
+        let r = Ring::with_random_ids(net.hosts.ids(), 8);
+        let f = FingerTables::build(&r);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut total_ms = 0.0;
+        let mut total_hops = 0usize;
+        for _ in 0..100 {
+            let key = NodeId(rng.random());
+            let from = rng.random_range(0..r.len());
+            let timed = route_fingers_timed(&r, &f, from, key, &net.latency);
+            let plain = route_fingers(&r, &f, from, key);
+            assert_eq!(timed.owner, plain.owner);
+            assert_eq!(timed.hops, plain.hops);
+            assert!(timed.latency_ms >= 0.0);
+            if timed.hops > 0 {
+                assert!(timed.latency_ms > 0.0, "hops without latency");
+            }
+            total_ms += timed.latency_ms;
+            total_hops += timed.hops;
+        }
+        // Average per-hop latency must sit in the underlay's plausible
+        // range (paper assumes ~200 ms per DHT hop on the wide area).
+        let per_hop = total_ms / total_hops as f64;
+        assert!((20.0..800.0).contains(&per_hop), "per-hop {per_hop} ms");
+    }
+
+    #[test]
+    fn two_node_ring_routes() {
+        let r = ring(2, 1);
+        let f = FingerTables::build(&r);
+        let key = NodeId(u64::MAX / 3);
+        let expect = r.owner(key);
+        for from in 0..2 {
+            assert_eq!(route_fingers(&r, &f, from, key).owner, expect);
+            assert_eq!(route_ring_walk(&r, from, key).owner, expect);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! End hosts: attachment to stub routers, last-hop latencies, degree bounds
+//! and access bandwidths.
+//!
+//! The paper appends 1200 end systems to stub routers uniformly at random,
+//! with a last-hop latency drawn from 3–8 ms. Each host also carries:
+//!
+//! * a **degree bound** — the number of simultaneous overlay connections the
+//!   host can serve, distributed P(degree = i+1) = 2⁻ⁱ for i = 1..7 and
+//!   P(degree = 9) = 2⁻⁷ (§5.2: half the hosts can only hold 2 connections,
+//!   higher capacities decay exponentially);
+//! * an **access bandwidth** (up/down), sampled from the synthetic
+//!   Gnutella-like mixture in [`crate::bandwidth`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::bandwidth::AccessBandwidth;
+use crate::topology::{RouterId, RouterNet};
+
+/// Identifier of an end host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl From<u32> for HostId {
+    fn from(v: u32) -> Self {
+        HostId(v)
+    }
+}
+
+impl HostId {
+    /// The id as a usize index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The paper's degree-bound distribution: P(degree = i+1) = 2⁻ⁱ for
+/// i = 1..=7, and the leftover mass 2⁻⁷ on degree 9. Degrees span 2..=9 and
+/// half of all hosts get degree 2.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DegreeDistribution;
+
+impl DegreeDistribution {
+    /// Sample one degree bound.
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let u: f64 = rng.random();
+        // CDF over i=1..=7 with mass 2^-i at degree i+1; remainder -> 9.
+        let mut acc = 0.0;
+        for i in 1..=7u32 {
+            acc += 0.5f64.powi(i as i32);
+            if u < acc {
+                return i + 1;
+            }
+        }
+        9
+    }
+}
+
+/// One end host's static attributes.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Host {
+    /// The stub router this host hangs off.
+    pub router: RouterId,
+    /// Last-hop latency host <-> router, ms.
+    pub last_hop_ms: f64,
+    /// Degree bound: maximum simultaneous overlay connections.
+    pub degree_bound: u32,
+    /// Access-link bandwidth.
+    pub bandwidth: AccessBandwidth,
+}
+
+/// All end hosts of a generated network.
+#[derive(Clone)]
+pub struct HostSet {
+    hosts: Vec<Host>,
+}
+
+impl HostSet {
+    /// Attach `n` hosts to random stub routers of `net`.
+    pub fn attach(net: &RouterNet, n: usize, last_hop_ms: (f64, f64), seed: u64) -> HostSet {
+        assert!(last_hop_ms.0 <= last_hop_ms.1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stubs: Vec<RouterId> = net.stub_routers().collect();
+        assert!(!stubs.is_empty(), "no stub routers to attach hosts to");
+        let dd = DegreeDistribution;
+        let hosts = (0..n)
+            .map(|_| {
+                let router = stubs[rng.random_range(0..stubs.len())];
+                let last_hop = if last_hop_ms.0 == last_hop_ms.1 {
+                    last_hop_ms.0
+                } else {
+                    rng.random_range(last_hop_ms.0..last_hop_ms.1)
+                };
+                Host {
+                    router,
+                    last_hop_ms: last_hop,
+                    degree_bound: dd.sample(&mut rng),
+                    bandwidth: AccessBandwidth::sample(&mut rng),
+                }
+            })
+            .collect();
+        HostSet { hosts }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether there are no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// A host by id.
+    pub fn get(&self, id: HostId) -> &Host {
+        &self.hosts[id.idx()]
+    }
+
+    /// All hosts, indexed by `HostId`.
+    pub fn iter(&self) -> impl Iterator<Item = (HostId, &Host)> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (HostId(i as u32), h))
+    }
+
+    /// All host ids.
+    pub fn ids(&self) -> impl Iterator<Item = HostId> {
+        (0..self.hosts.len() as u32).map(HostId)
+    }
+
+    /// Degree bound of a host.
+    pub fn degree_bound(&self, id: HostId) -> u32 {
+        self.hosts[id.idx()].degree_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TransitStubConfig;
+
+    fn net() -> RouterNet {
+        RouterNet::generate(&TransitStubConfig::default(), 11)
+    }
+
+    #[test]
+    fn hosts_attach_to_stub_routers_only() {
+        let net = net();
+        let hs = HostSet::attach(&net, 300, (3.0, 8.0), 5);
+        for (_, h) in hs.iter() {
+            assert!(
+                (h.router.0 as usize) >= net.num_transit,
+                "host attached to transit router"
+            );
+        }
+    }
+
+    #[test]
+    fn last_hop_in_range() {
+        let net = net();
+        let hs = HostSet::attach(&net, 500, (3.0, 8.0), 5);
+        for (_, h) in hs.iter() {
+            assert!((3.0..8.0).contains(&h.last_hop_ms));
+        }
+    }
+
+    #[test]
+    fn degree_distribution_shape() {
+        // Half the hosts must have degree 2, and the mean of the paper
+        // distribution is sum_{i=1..7} 2^-i (i+1) + 2^-7 * 9 = 3.0234...
+        let mut rng = StdRng::seed_from_u64(4);
+        let dd = DegreeDistribution;
+        let n = 200_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            let d = dd.sample(&mut rng);
+            assert!((2..=9).contains(&d));
+            counts[d as usize] += 1;
+        }
+        let frac2 = counts[2] as f64 / n as f64;
+        assert!((frac2 - 0.5).abs() < 0.01, "P(degree=2) = {frac2}");
+        let frac3 = counts[3] as f64 / n as f64;
+        assert!((frac3 - 0.25).abs() < 0.01, "P(degree=3) = {frac3}");
+        // Degree 8 and 9 both carry 2^-7 mass.
+        let frac9 = counts[9] as f64 / n as f64;
+        assert!((frac9 - 1.0 / 128.0).abs() < 0.005, "P(degree=9) = {frac9}");
+    }
+
+    #[test]
+    fn fixed_last_hop_range_allowed() {
+        let net = net();
+        let hs = HostSet::attach(&net, 10, (5.0, 5.0), 1);
+        for (_, h) in hs.iter() {
+            assert_eq!(h.last_hop_ms, 5.0);
+        }
+    }
+
+    #[test]
+    fn attach_is_deterministic() {
+        let net = net();
+        let a = HostSet::attach(&net, 100, (3.0, 8.0), 77);
+        let b = HostSet::attach(&net, 100, (3.0, 8.0), 77);
+        for (ha, hb) in a.hosts.iter().zip(&b.hosts) {
+            assert_eq!(ha.router, hb.router);
+            assert_eq!(ha.degree_bound, hb.degree_bound);
+            assert_eq!(ha.last_hop_ms, hb.last_hop_ms);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! All-pairs host latency oracle and the [`LatencyModel`] abstraction.
+//!
+//! Every ALM planning algorithm in the workspace is written against
+//! [`LatencyModel`], so the same code runs in the paper's two modes:
+//!
+//! * *Critical* — pair-wise latency known a priori via an oracle
+//!   ([`LatencyMatrix`], exact shortest-path distances), and
+//! * *Leafset* — latency predicted from network coordinates (the `coords`
+//!   crate implements `LatencyModel` for its coordinate store).
+
+use crate::hosts::{HostId, HostSet};
+use crate::topology::RouterNet;
+
+/// Anything that can estimate the latency between two end hosts.
+///
+/// Implementations must be symmetric (`latency(a, b) == latency(b, a)`) and
+/// return `0` for `a == b`; the provided algorithms rely on both.
+pub trait LatencyModel {
+    /// Latency estimate between hosts `a` and `b`, in milliseconds.
+    fn latency_ms(&self, a: HostId, b: HostId) -> f64;
+
+    /// Number of hosts this model covers (hosts have ids `0..num_hosts`).
+    fn num_hosts(&self) -> usize;
+}
+
+impl<T: LatencyModel + ?Sized> LatencyModel for &T {
+    fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+        (**self).latency_ms(a, b)
+    }
+    fn num_hosts(&self) -> usize {
+        (**self).num_hosts()
+    }
+}
+
+/// Exact all-pairs host latencies: last-hop + shortest router path +
+/// last-hop. Stored as a dense `n × n` matrix of `f32` ms (1200 hosts → 5.8
+/// MB), built from one Dijkstra per router.
+#[derive(Clone)]
+pub struct LatencyMatrix {
+    n: usize,
+    /// Row-major `n*n` distances in ms.
+    dist: Vec<f32>,
+}
+
+impl LatencyMatrix {
+    /// Build the oracle for all hosts of a network.
+    pub fn build(net: &RouterNet, hosts: &HostSet) -> LatencyMatrix {
+        let n = hosts.len();
+        // All-pairs router distances — only rows for routers that actually
+        // host endpoints would suffice, but the full matrix is cheap (600²)
+        // and reusable.
+        let rd = net.graph.all_pairs();
+        let mut dist = vec![0f32; n * n];
+        for (a, ha) in hosts.iter() {
+            for (b, hb) in hosts.iter() {
+                if a == b {
+                    continue;
+                }
+                let router_d = rd[ha.router.0 as usize][hb.router.0 as usize];
+                debug_assert!(router_d.is_finite(), "disconnected routers");
+                dist[a.idx() * n + b.idx()] =
+                    (ha.last_hop_ms + router_d as f64 + hb.last_hop_ms) as f32;
+            }
+        }
+        LatencyMatrix { n, dist }
+    }
+
+    /// The largest pairwise latency in the matrix (diameter), ms.
+    pub fn diameter_ms(&self) -> f64 {
+        self.dist.iter().copied().fold(0f32, f32::max) as f64
+    }
+}
+
+impl LatencyModel for LatencyMatrix {
+    fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+        self.dist[a.idx() * self.n + b.idx()] as f64
+    }
+
+    fn num_hosts(&self) -> usize {
+        self.n
+    }
+}
+
+/// A planner's-eye latency model: pairs inside a *measured set* (e.g. a
+/// session's members, who ping each other directly — O(m²) probes for a
+/// 20-member session is nothing) use real measurements, while any pair
+/// involving an outside host (the huge helper candidate list from SOMO)
+/// falls back to an estimate such as network coordinates.
+///
+/// This is exactly the paper's *Leafset* algorithm family: "the one used
+/// the leafset estimation for **vicinity judgment**" — coordinates judge
+/// helper vicinity; they do not replace the members' own measurements.
+pub struct MeasuredSetLatency<'a, M: LatencyModel, E: LatencyModel> {
+    measured: std::collections::HashSet<HostId>,
+    oracle: &'a M,
+    estimate: &'a E,
+}
+
+impl<'a, M: LatencyModel, E: LatencyModel> MeasuredSetLatency<'a, M, E> {
+    /// A model where pairs within `measured` use `oracle` and all other
+    /// pairs use `estimate`.
+    pub fn new(
+        measured: impl IntoIterator<Item = HostId>,
+        oracle: &'a M,
+        estimate: &'a E,
+    ) -> Self {
+        MeasuredSetLatency {
+            measured: measured.into_iter().collect(),
+            oracle,
+            estimate,
+        }
+    }
+}
+
+impl<M: LatencyModel, E: LatencyModel> LatencyModel for MeasuredSetLatency<'_, M, E> {
+    fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+        if self.measured.contains(&a) && self.measured.contains(&b) {
+            self.oracle.latency_ms(a, b)
+        } else {
+            self.estimate.latency_ms(a, b)
+        }
+    }
+
+    fn num_hosts(&self) -> usize {
+        self.oracle.num_hosts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosts::HostSet;
+    use crate::topology::{RouterNet, TransitStubConfig};
+
+    fn small() -> (RouterNet, HostSet) {
+        let cfg = TransitStubConfig {
+            transit_domains: 2,
+            transit_per_domain: 3,
+            stub_domains_per_transit: 2,
+            routers_per_stub: 3,
+            ..Default::default()
+        };
+        let net = RouterNet::generate(&cfg, 9);
+        let hosts = HostSet::attach(&net, 50, (3.0, 8.0), 10);
+        (net, hosts)
+    }
+
+    #[test]
+    fn symmetric_and_zero_diagonal() {
+        let (net, hosts) = small();
+        let m = LatencyMatrix::build(&net, &hosts);
+        for a in hosts.ids() {
+            assert_eq!(m.latency_ms(a, a), 0.0);
+            for b in hosts.ids() {
+                assert_eq!(m.latency_ms(a, b), m.latency_ms(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds_for_shortest_paths() {
+        // Underlay shortest-path distances satisfy the triangle inequality
+        // up to the double-counted last hop of the intermediate host: d(a,c)
+        // <= d(a,b) + d(b,c) always holds because the router path through
+        // b's router is a candidate path and host b adds 2*last_hop >= 0.
+        let (net, hosts) = small();
+        let m = LatencyMatrix::build(&net, &hosts);
+        for a in hosts.ids().take(10) {
+            for b in hosts.ids().take(10) {
+                for c in hosts.ids().take(10) {
+                    let lhs = m.latency_ms(a, c);
+                    let rhs = m.latency_ms(a, b) + m.latency_ms(b, c);
+                    assert!(lhs <= rhs + 1e-3, "triangle violated: {lhs} > {rhs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_stub_is_much_closer_than_cross_transit() {
+        let (net, hosts) = small();
+        let m = LatencyMatrix::build(&net, &hosts);
+        // Find two hosts in the same stub domain and two in different
+        // transit domains; same-stub pairs must be far cheaper.
+        let mut same_stub = None;
+        let mut cross = None;
+        for (a, ha) in hosts.iter() {
+            for (b, hb) in hosts.iter() {
+                if a >= b {
+                    continue;
+                }
+                if ha.router == hb.router && same_stub.is_none() {
+                    same_stub = Some(m.latency_ms(a, b));
+                }
+                let ka = &net.kinds[ha.router.0 as usize];
+                let kb = &net.kinds[hb.router.0 as usize];
+                if let (
+                    crate::topology::RouterKind::Stub { gateway: ga, .. },
+                    crate::topology::RouterKind::Stub { gateway: gb, .. },
+                ) = (ka, kb)
+                {
+                    if ga != gb && cross.is_none() {
+                        cross = Some(m.latency_ms(a, b));
+                    }
+                }
+            }
+        }
+        if let (Some(s), Some(c)) = (same_stub, cross) {
+            assert!(s < c, "same-stub {s} should beat cross-gateway {c}");
+        }
+    }
+
+    #[test]
+    fn measured_set_routes_by_membership() {
+        struct Fixed(f64);
+        impl LatencyModel for Fixed {
+            fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+                if a == b {
+                    0.0
+                } else {
+                    self.0
+                }
+            }
+            fn num_hosts(&self) -> usize {
+                10
+            }
+        }
+        let oracle = Fixed(100.0);
+        let estimate = Fixed(7.0);
+        let m = MeasuredSetLatency::new([HostId(0), HostId(1)], &oracle, &estimate);
+        assert_eq!(m.latency_ms(HostId(0), HostId(1)), 100.0);
+        assert_eq!(m.latency_ms(HostId(0), HostId(5)), 7.0);
+        assert_eq!(m.latency_ms(HostId(5), HostId(6)), 7.0);
+        assert_eq!(m.num_hosts(), 10);
+    }
+
+    #[test]
+    fn diameter_is_positive_and_bounded() {
+        let (net, hosts) = small();
+        let m = LatencyMatrix::build(&net, &hosts);
+        let d = m.diameter_ms();
+        assert!(d > 0.0);
+        // Upper bound: every path is at most (#routers * max link) + 2 last hops.
+        assert!(d < net.len() as f64 * 100.0 + 16.0);
+    }
+}

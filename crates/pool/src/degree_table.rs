@@ -1,0 +1,334 @@
+//! Degree tables (Figure 9): the unit of market competition.
+//!
+//! Every host publishes, through SOMO, how its degree budget is split
+//! across the sessions currently using it, broken down by priority:
+//!
+//! ```text
+//! d_bound(x)   4
+//! x.dt[1]      2 (s4)     ← two degrees held at priority 1 by session 4
+//! x.dt[2]      0
+//! x.dt[3]      1 (s12)    ← one degree held at priority 3 by session 12
+//! ```
+//!
+//! A session of priority L sees, on each host, the free degrees **plus**
+//! every degree held at priority worse than L — those are preemptible
+//! (§5.3: "any resources that are occupied by tasks with lower priorities
+//! than L are considered available for its use").
+//!
+//! Claims are ranked: a **member claim** (a session using a node from its
+//! own member set M(s)) always ranks 0 — "if a node needs to run a job
+//! which includes itself as a member, it is fair to have that job be of
+//! highest priority in that node" — while **helper claims** rank at the
+//! session's priority (1–3). Preemption strictly follows rank order, which
+//! guarantees every session can at least realize its members-only plan.
+
+use serde::{Deserialize, Serialize};
+
+/// A multicast session's identity.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct SessionId(pub u32);
+
+/// The rank of a degree claim: 0 for member claims, the session priority
+/// (1 = highest, 3 = lowest) for helper claims. Lower rank wins; a claim
+/// may preempt allocations of strictly greater rank.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Rank(pub u8);
+
+impl Rank {
+    /// The rank of a member claim.
+    pub const MEMBER: Rank = Rank(0);
+
+    /// The rank of a helper claim for a session of the given priority
+    /// (1..=3).
+    pub fn helper(priority: u8) -> Rank {
+        assert!((1..=3).contains(&priority), "priority must be 1..=3");
+        Rank(priority)
+    }
+}
+
+/// One allocation inside a degree table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Who holds the degrees.
+    pub session: SessionId,
+    /// At what rank.
+    pub rank: Rank,
+    /// How many degrees.
+    pub count: u32,
+}
+
+/// The degree table of one host.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DegreeTable {
+    dbound: u32,
+    alloc: Vec<Allocation>,
+}
+
+impl DegreeTable {
+    /// A table for a host with the given physical degree bound.
+    pub fn new(dbound: u32) -> DegreeTable {
+        DegreeTable {
+            dbound,
+            alloc: Vec::new(),
+        }
+    }
+
+    /// The host's physical degree bound.
+    pub fn dbound(&self) -> u32 {
+        self.dbound
+    }
+
+    /// Degrees currently allocated (any rank).
+    pub fn used(&self) -> u32 {
+        self.alloc.iter().map(|a| a.count).sum()
+    }
+
+    /// Unallocated degrees.
+    pub fn free(&self) -> u32 {
+        self.dbound - self.used()
+    }
+
+    /// Degrees a claim of `rank` could obtain: free plus everything held at
+    /// strictly worse rank.
+    pub fn available_at(&self, rank: Rank) -> u32 {
+        self.free()
+            + self
+                .alloc
+                .iter()
+                .filter(|a| a.rank > rank)
+                .map(|a| a.count)
+                .sum::<u32>()
+    }
+
+    /// Degrees held by a session on this host (any rank).
+    pub fn held_by(&self, session: SessionId) -> u32 {
+        self.alloc
+            .iter()
+            .filter(|a| a.session == session)
+            .map(|a| a.count)
+            .sum()
+    }
+
+    /// The allocations, for inspection/reporting.
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.alloc
+    }
+
+    /// Reserve `count` degrees for `session` at `rank`, preempting
+    /// worse-rank holders if needed (worst rank evicted first). Returns the
+    /// preempted sessions `(session, degrees_lost)`.
+    ///
+    /// # Errors
+    /// If even full preemption cannot satisfy the claim; the table is left
+    /// unchanged.
+    pub fn reserve(
+        &mut self,
+        session: SessionId,
+        rank: Rank,
+        count: u32,
+    ) -> Result<Vec<(SessionId, u32)>, InsufficientDegree> {
+        if count == 0 {
+            return Ok(vec![]);
+        }
+        if self.available_at(rank) < count {
+            return Err(InsufficientDegree {
+                requested: count,
+                available: self.available_at(rank),
+            });
+        }
+        let mut preempted = Vec::new();
+        let mut need = count.saturating_sub(self.free());
+        // Evict from the worst-ranked allocations first.
+        while need > 0 {
+            let victim_idx = self
+                .alloc
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.rank > rank)
+                .max_by_key(|(_, a)| a.rank)
+                .map(|(i, _)| i)
+                .expect("availability check guaranteed a victim");
+            let take = need.min(self.alloc[victim_idx].count);
+            self.alloc[victim_idx].count -= take;
+            preempted.push((self.alloc[victim_idx].session, take));
+            if self.alloc[victim_idx].count == 0 {
+                self.alloc.swap_remove(victim_idx);
+            }
+            need -= take;
+        }
+        // Record (merging with an existing same-rank allocation).
+        if let Some(a) = self
+            .alloc
+            .iter_mut()
+            .find(|a| a.session == session && a.rank == rank)
+        {
+            a.count += count;
+        } else {
+            self.alloc.push(Allocation {
+                session,
+                rank,
+                count,
+            });
+        }
+        debug_assert!(self.used() <= self.dbound, "degree table oversubscribed");
+        Ok(preempted)
+    }
+
+    /// Release everything `session` holds on this host. Returns the number
+    /// of degrees freed.
+    pub fn release(&mut self, session: SessionId) -> u32 {
+        let freed = self.held_by(session);
+        self.alloc.retain(|a| a.session != session);
+        freed
+    }
+}
+
+/// A reservation could not be satisfied even with preemption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsufficientDegree {
+    /// Degrees requested.
+    pub requested: u32,
+    /// Degrees that were available at the claim's rank.
+    pub available: u32,
+}
+
+impl std::fmt::Display for InsufficientDegree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requested {} degrees, only {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for InsufficientDegree {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure_9_example() {
+        // x: dbound 4, 2 degrees to s4 at priority 1, 1 degree to s12 at
+        // priority 3.
+        let mut x = DegreeTable::new(4);
+        x.reserve(SessionId(4), Rank::helper(1), 2).unwrap();
+        x.reserve(SessionId(12), Rank::helper(3), 1).unwrap();
+        assert_eq!(x.free(), 1);
+        assert_eq!(x.available_at(Rank::helper(1)), 2); // free + s12's degree
+        assert_eq!(x.available_at(Rank::helper(3)), 1); // free only
+        assert_eq!(x.held_by(SessionId(4)), 2);
+    }
+
+    #[test]
+    fn preemption_takes_worst_rank_first() {
+        let mut t = DegreeTable::new(4);
+        t.reserve(SessionId(1), Rank::helper(2), 2).unwrap();
+        t.reserve(SessionId(2), Rank::helper(3), 2).unwrap();
+        // Priority-1 claim of 3: takes 0 free, must evict s2 (rank 3)
+        // fully and s1 (rank 2) for one degree.
+        let pre = t.reserve(SessionId(3), Rank::helper(1), 3).unwrap();
+        assert_eq!(pre, vec![(SessionId(2), 2), (SessionId(1), 1)]);
+        assert_eq!(t.held_by(SessionId(3)), 3);
+        assert_eq!(t.held_by(SessionId(1)), 1);
+        assert_eq!(t.held_by(SessionId(2)), 0);
+    }
+
+    #[test]
+    fn equal_rank_cannot_preempt() {
+        let mut t = DegreeTable::new(2);
+        t.reserve(SessionId(1), Rank::helper(2), 2).unwrap();
+        let err = t.reserve(SessionId(2), Rank::helper(2), 1).unwrap_err();
+        assert_eq!(err.available, 0);
+        // Table unchanged.
+        assert_eq!(t.held_by(SessionId(1)), 2);
+    }
+
+    #[test]
+    fn member_claim_preempts_priority_one_helpers() {
+        let mut t = DegreeTable::new(2);
+        t.reserve(SessionId(1), Rank::helper(1), 2).unwrap();
+        let pre = t.reserve(SessionId(2), Rank::MEMBER, 2).unwrap();
+        assert_eq!(pre, vec![(SessionId(1), 2)]);
+        assert_eq!(t.held_by(SessionId(2)), 2);
+    }
+
+    #[test]
+    fn release_frees_everything() {
+        let mut t = DegreeTable::new(5);
+        t.reserve(SessionId(7), Rank::helper(2), 2).unwrap();
+        t.reserve(SessionId(7), Rank::MEMBER, 1).unwrap();
+        assert_eq!(t.release(SessionId(7)), 3);
+        assert_eq!(t.free(), 5);
+        assert_eq!(t.release(SessionId(7)), 0);
+    }
+
+    #[test]
+    fn zero_count_reservation_is_noop() {
+        let mut t = DegreeTable::new(1);
+        assert_eq!(t.reserve(SessionId(1), Rank::helper(3), 0).unwrap(), vec![]);
+        assert_eq!(t.free(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority must be")]
+    fn helper_rank_rejects_priority_zero() {
+        Rank::helper(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_never_oversubscribed_and_release_restores(
+            dbound in 1u32..10,
+            ops in proptest::collection::vec(
+                (0u32..6, 0u8..4, 1u32..5, proptest::bool::ANY),
+                1..40
+            ),
+        ) {
+            let mut t = DegreeTable::new(dbound);
+            for (sess, rank, count, is_release) in ops {
+                let sid = SessionId(sess);
+                if is_release {
+                    t.release(sid);
+                } else {
+                    let rank = Rank(rank.min(3));
+                    let _ = t.reserve(sid, rank, count);
+                }
+                prop_assert!(t.used() <= t.dbound());
+                prop_assert_eq!(t.free() + t.used(), t.dbound());
+            }
+            // Releasing every session restores an empty table.
+            for s in 0..6 {
+                t.release(SessionId(s));
+            }
+            prop_assert_eq!(t.free(), dbound);
+            prop_assert!(t.allocations().is_empty());
+        }
+
+        #[test]
+        fn prop_preemption_conserves_degrees(
+            dbound in 2u32..10,
+            claims in proptest::collection::vec((0u32..5, 1u8..4, 1u32..4), 1..12),
+        ) {
+            let mut t = DegreeTable::new(dbound);
+            for (sess, prio, count) in claims {
+                let before_used = t.used();
+                match t.reserve(SessionId(sess), Rank::helper(prio), count) {
+                    Ok(preempted) => {
+                        let stolen: u32 = preempted.iter().map(|p| p.1).sum();
+                        // used grows by exactly count - stolen... no:
+                        // used_after = used_before - stolen + count.
+                        prop_assert_eq!(t.used(), before_used - stolen + count);
+                    }
+                    Err(_) => prop_assert_eq!(t.used(), before_used),
+                }
+            }
+        }
+    }
+}

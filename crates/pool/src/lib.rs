@@ -1,0 +1,270 @@
+#![warn(missing_docs)]
+
+//! # pool — the P2P resource pool and its market-driven scheduler (§3, §5.3)
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! substrates:
+//!
+//! * a **DHT ring** pools every edge host with zero administration
+//!   ([`dht`]),
+//! * **SOMO** aggregates each host's [`report::ResourceReport`] — its degree
+//!   table, coordinates and bandwidth — into a continuously refreshed global
+//!   view ([`somo`]),
+//! * **metrics generation** rides on leafset heartbeats: coordinates
+//!   ([`coords`]) and bottleneck bandwidth ([`bwest`]),
+//! * **per-session task managers** plan ALM trees with the pool's spare
+//!   capacity ([`alm`], [`task_manager`]),
+//! * and **degree tables** ([`degree_table`]) arbitrate contention purely by
+//!   priority — the market; no global scheduler exists ([`market`]).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use pool::{PlanConfig, PoolConfig, ResourcePool, SessionSpec};
+//! use pool::degree_table::SessionId;
+//!
+//! let mut pool = ResourcePool::build(&PoolConfig::default(), 42);
+//! let members = pool.sample_members(20, 7);
+//! let spec = SessionSpec {
+//!     id: SessionId(1),
+//!     priority: 1,
+//!     root: members[0],
+//!     members,
+//! };
+//! let outcome = pool::task_manager::plan_and_reserve(&mut pool, &spec, &PlanConfig::default());
+//! println!(
+//!     "tree height {:.1} ms ({:.0}% better than AMCast, {} helpers)",
+//!     outcome.oracle_height,
+//!     outcome.improvement * 100.0,
+//!     outcome.helpers.len()
+//! );
+//! ```
+
+pub mod degree_table;
+pub mod market;
+pub mod report;
+pub mod task_manager;
+
+pub use degree_table::{DegreeTable, Rank, SessionId};
+pub use market::{MarketConfig, MarketOutcome, MarketSim};
+pub use report::{CandidateEntry, ResourceReport};
+pub use task_manager::{plan_and_reserve, PlanConfig, PlanModel, PlanOutcome, SessionSpec};
+
+use std::collections::HashMap;
+
+use bwest::{BwEstConfig, BwEstimates};
+use somo::Report as _;
+use coords::{CoordStore, LeafsetCoords};
+use dht::Ring;
+use netsim::{HostId, Network, NetworkConfig};
+
+/// Configuration for assembling a resource pool.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// The underlay network.
+    pub net: NetworkConfig,
+    /// Leafset size L used by the metric-generation protocols.
+    pub leafset_size: usize,
+    /// Refinement rounds of the leafset coordinate protocol.
+    pub coord_rounds: usize,
+    /// SOMO tree fanout.
+    pub somo_fanout: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            net: NetworkConfig::default(),
+            leafset_size: 32,
+            coord_rounds: 12,
+            somo_fanout: 8,
+        }
+    }
+}
+
+/// The assembled resource pool: every host of the underlay joined into one
+/// DHT ring, with generated metrics and per-host degree tables.
+#[derive(Clone)]
+pub struct ResourcePool {
+    /// The physical underlay (latency oracle, degree bounds, bandwidths).
+    pub net: Network,
+    /// The DHT ring over all hosts.
+    pub ring: Ring,
+    /// Leafset-generated network coordinates (the practical latency model).
+    pub coords: CoordStore,
+    /// Leafset-generated bottleneck-bandwidth estimates.
+    pub bw: BwEstimates,
+    /// SOMO fanout used for gather experiments.
+    pub somo_fanout: usize,
+    tables: Vec<DegreeTable>,
+    holdings: HashMap<SessionId, Vec<HostId>>,
+}
+
+impl ResourcePool {
+    /// Build a pool: generate the underlay, ring every host, run the
+    /// coordinate and bandwidth protocols, and initialize degree tables
+    /// from the hosts' physical bounds.
+    pub fn build(cfg: &PoolConfig, seed: u64) -> ResourcePool {
+        let net = Network::generate(&cfg.net, simcore::rng::derive_seed(seed, 1));
+        let ring = Ring::with_random_ids(net.hosts.ids(), simcore::rng::derive_seed(seed, 2));
+        let coords = LeafsetCoords::new(coords::leafset::LeafsetConfig {
+            leafset_size: cfg.leafset_size,
+            rounds: cfg.coord_rounds,
+            ..Default::default()
+        })
+        .run(&net.latency, &ring, simcore::rng::derive_seed(seed, 3));
+        let bw = bwest::estimator::estimate(
+            &net.hosts,
+            &ring,
+            &BwEstConfig {
+                leafset_size: cfg.leafset_size,
+                ..Default::default()
+            },
+            simcore::rng::derive_seed(seed, 4),
+        );
+        let tables = net
+            .hosts
+            .iter()
+            .map(|(_, h)| DegreeTable::new(h.degree_bound))
+            .collect();
+        ResourcePool {
+            net,
+            ring,
+            coords,
+            bw,
+            somo_fanout: cfg.somo_fanout,
+            tables,
+            holdings: HashMap::new(),
+        }
+    }
+
+    /// Number of hosts in the pool.
+    pub fn num_hosts(&self) -> usize {
+        self.net.num_hosts()
+    }
+
+    /// The degree table of a host.
+    pub fn table(&self, h: HostId) -> &DegreeTable {
+        &self.tables[h.idx()]
+    }
+
+    /// Degrees available to a claim of `rank` on host `h`.
+    pub fn available(&self, h: HostId, rank: Rank) -> u32 {
+        self.tables[h.idx()].available_at(rank)
+    }
+
+    /// Helper candidates for a claim of `rank`: hosts outside `exclude`
+    /// with at least `min_degree` available. This is the query a task
+    /// manager issues against the SOMO root view; [`Self::snapshot_report`]
+    /// produces that view explicitly.
+    pub fn candidates(&self, rank: Rank, exclude: &[HostId], min_degree: u32) -> Vec<HostId> {
+        let excl: std::collections::HashSet<HostId> = exclude.iter().copied().collect();
+        self.net
+            .hosts
+            .ids()
+            .filter(|h| !excl.contains(h) && self.available(*h, rank) >= min_degree)
+            .collect()
+    }
+
+    /// The pool-wide resource report — what the SOMO root holds after one
+    /// full gather (see `tests/` for the flow-simulated equivalent).
+    pub fn snapshot_report(&self, cap: usize) -> ResourceReport {
+        let mut r = ResourceReport {
+            entries: Vec::new(),
+            cap,
+        };
+        for h in self.net.hosts.ids() {
+            let t = &self.tables[h.idx()];
+            let entry = CandidateEntry {
+                host: h,
+                avail: [
+                    t.available_at(Rank::MEMBER),
+                    t.available_at(Rank::helper(1)),
+                    t.available_at(Rank::helper(2)),
+                    t.available_at(Rank::helper(3)),
+                ],
+            };
+            r.merge(&ResourceReport::of_member(entry));
+        }
+        r
+    }
+
+    /// Reserve `count` degrees on `h` for a session. Returns sessions that
+    /// lost degrees to preemption.
+    pub fn reserve(
+        &mut self,
+        h: HostId,
+        session: SessionId,
+        rank: Rank,
+        count: u32,
+    ) -> Result<Vec<(SessionId, u32)>, degree_table::InsufficientDegree> {
+        let preempted = self.tables[h.idx()].reserve(session, rank, count)?;
+        self.holdings.entry(session).or_default().push(h);
+        Ok(preempted)
+    }
+
+    /// Release everything a session holds across the pool. Returns the
+    /// number of degrees freed.
+    pub fn release_session(&mut self, session: SessionId) -> u32 {
+        let mut freed = 0;
+        if let Some(hosts) = self.holdings.remove(&session) {
+            for h in hosts {
+                freed += self.tables[h.idx()].release(session);
+            }
+        }
+        freed
+    }
+
+    /// Total degrees currently allocated pool-wide.
+    pub fn total_used(&self) -> u32 {
+        self.tables.iter().map(|t| t.used()).sum()
+    }
+
+    /// Total degree capacity of the pool (sum of all physical bounds).
+    pub fn total_capacity(&self) -> u32 {
+        self.tables.iter().map(|t| t.dbound()).sum()
+    }
+
+    /// Fraction of the pool's degrees currently reserved — the §5.3 goal
+    /// "that the utilization of the resource pool as a whole is maximized".
+    pub fn utilization(&self) -> f64 {
+        self.total_used() as f64 / self.total_capacity().max(1) as f64
+    }
+
+    /// Deterministically sample `n` distinct member hosts (used by examples
+    /// and tests to form sessions).
+    pub fn sample_members(&self, n: usize, seed: u64) -> Vec<HostId> {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut all: Vec<u32> = (0..self.num_hosts() as u32).collect();
+        all.shuffle(&mut rng);
+        all[..n].iter().copied().map(HostId).collect()
+    }
+
+    /// Partition the pool's hosts into `k` disjoint member sets of size
+    /// `size` (the Figure 10 workload: 60 non-overlapping sets of 20).
+    ///
+    /// # Panics
+    /// If `k * size` exceeds the number of hosts.
+    pub fn partition_members(&self, k: usize, size: usize, seed: u64) -> Vec<Vec<HostId>> {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        assert!(
+            k * size <= self.num_hosts(),
+            "not enough hosts for {k} sets of {size}"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut all: Vec<u32> = (0..self.num_hosts() as u32).collect();
+        all.shuffle(&mut rng);
+        (0..k)
+            .map(|i| {
+                all[i * size..(i + 1) * size]
+                    .iter()
+                    .copied()
+                    .map(HostId)
+                    .collect()
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,409 @@
+//! The market: multiple concurrent sessions competing purely by priority
+//! (§5.3, Figure 10).
+//!
+//! "As long as global, on-time and trusted knowledge is available, it may
+//! be best to leave each task to compete for resources with their own
+//! credentials (i.e., the priorities). This purely market-driven model
+//! allows us to accomplish our goal without the need of a global scheduler
+//! of any sort."
+//!
+//! [`MarketSim`] runs the paper's Figure 10 workload on the discrete-event
+//! clock: up to 60 session *slots* with disjoint member sets of 20, random
+//! start/end times, priorities 1–3. Each active session:
+//!
+//! * plans and reserves on start (its task manager runs *Leafset+adjust*
+//!   with helpers),
+//! * **replans when preempted** — a higher-priority session stole one of
+//!   its helpers,
+//! * **replans periodically** to pick up recently freed resources.
+//!
+//! The simulation records, per priority class, the improvement over the
+//! members-only AMCast baseline and the number of helpers held — exactly
+//! the two panels of Figure 10.
+
+use rand::Rng;
+use simcore::rng::derive_rng2;
+use simcore::stats::OnlineStats;
+use simcore::{EventQueue, SimTime};
+
+use crate::degree_table::SessionId;
+use crate::task_manager::{plan_and_reserve, PlanConfig, SessionSpec};
+use crate::ResourcePool;
+
+/// Market workload configuration.
+#[derive(Clone, Debug)]
+pub struct MarketConfig {
+    /// Number of session slots (the paper sweeps 10–60).
+    pub sessions: usize,
+    /// Members per session (20 in the paper).
+    pub member_size: usize,
+    /// Mean active duration of a session (exponential-ish uniform draw
+    /// around this mean).
+    pub mean_active: SimTime,
+    /// Mean idle gap between a slot's sessions.
+    pub mean_gap: SimTime,
+    /// Period of the voluntary rescheduling pass.
+    pub replan_period: SimTime,
+    /// Simulated horizon.
+    pub horizon: SimTime,
+    /// Statistics are only recorded after this warm-up.
+    pub warmup: SimTime,
+    /// Planner configuration shared by all task managers.
+    pub plan: PlanConfig,
+    /// When set, task managers plan from a pool-wide SOMO snapshot that is
+    /// only refreshed at this period — the realistic regime where helper
+    /// availability can be stale and reservations may be refused. `None`
+    /// plans from live degree tables (an always-fresh newscast).
+    pub view_refresh: Option<SimTime>,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            sessions: 20,
+            member_size: 20,
+            mean_active: SimTime::from_secs(600),
+            mean_gap: SimTime::from_secs(60),
+            replan_period: SimTime::from_secs(120),
+            horizon: SimTime::from_secs(3600),
+            warmup: SimTime::from_secs(600),
+            plan: PlanConfig::default(),
+            view_refresh: None,
+        }
+    }
+}
+
+/// Aggregate results for one priority class.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PriorityStats {
+    /// Improvement over the members-only AMCast baseline.
+    pub improvement: OnlineStats,
+    /// Helpers held per plan.
+    pub helpers: OnlineStats,
+    /// Times sessions of this class were preempted.
+    pub preemptions: u64,
+    /// Helper reservations refused because the planning view was stale.
+    pub helper_failures: u64,
+}
+
+/// Outcome of a market run.
+#[derive(Clone, Debug, Default)]
+pub struct MarketOutcome {
+    /// Stats per priority class (index 0 = priority 1).
+    pub per_priority: [PriorityStats; 3],
+    /// Total plans executed.
+    pub plans: u64,
+    /// Pool degree utilization sampled after every plan (the §5.3 goal of
+    /// maximizing whole-pool utilization).
+    pub utilization: OnlineStats,
+}
+
+impl MarketOutcome {
+    /// Stats for a priority class (1..=3).
+    pub fn class(&self, priority: u8) -> &PriorityStats {
+        &self.per_priority[(priority - 1) as usize]
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Start(usize),
+    End(usize),
+    Replan(usize),
+    PreemptReplan(usize),
+    RefreshView,
+}
+
+struct Slot {
+    spec: SessionSpec,
+    active: bool,
+    replan_pending: bool,
+    cycle: u64,
+}
+
+/// The market simulator.
+pub struct MarketSim {
+    pool: ResourcePool,
+    cfg: MarketConfig,
+    slots: Vec<Slot>,
+    queue: EventQueue<Ev>,
+    outcome: MarketOutcome,
+    seed: u64,
+    /// The shared SOMO snapshot task managers plan from (when
+    /// `cfg.view_refresh` is set).
+    view: Option<crate::ResourceReport>,
+}
+
+impl MarketSim {
+    /// Set up a market over `pool`: disjoint member sets, priorities
+    /// assigned round-robin (1, 2, 3, 1, ...), staggered first starts.
+    pub fn new(pool: ResourcePool, cfg: MarketConfig, seed: u64) -> MarketSim {
+        let sets = pool.partition_members(cfg.sessions, cfg.member_size, seed);
+        let mut queue = EventQueue::new();
+        let slots: Vec<Slot> = sets
+            .into_iter()
+            .enumerate()
+            .map(|(i, members)| {
+                let spec = SessionSpec {
+                    id: SessionId(i as u32),
+                    priority: (i % 3) as u8 + 1,
+                    root: members[0],
+                    members,
+                };
+                Slot {
+                    spec,
+                    active: false,
+                    replan_pending: false,
+                    cycle: 0,
+                }
+            })
+            .collect();
+        // Stagger starts across the first gap period.
+        for i in 0..slots.len() {
+            let mut rng = derive_rng2(seed, 0xA11, i as u64);
+            let at = SimTime::from_micros(
+                rng.random_range(0..cfg.mean_gap.as_micros().max(1)),
+            );
+            queue.schedule(at, Ev::Start(i));
+        }
+        if cfg.view_refresh.is_some() {
+            queue.schedule(SimTime::ZERO, Ev::RefreshView);
+        }
+        MarketSim {
+            pool,
+            cfg,
+            slots,
+            queue,
+            outcome: MarketOutcome::default(),
+            seed,
+            view: None,
+        }
+    }
+
+    /// Run to the configured horizon and return the aggregated outcome.
+    pub fn run(mut self) -> MarketOutcome {
+        while let Some(t) = self.queue.peek_time() {
+            if t > self.cfg.horizon {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.handle(now, ev);
+        }
+        self.outcome
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Start(i) => {
+                self.slots[i].active = true;
+                self.slots[i].cycle += 1;
+                self.plan(i, now);
+                let cycle = self.slots[i].cycle;
+                let mut rng = derive_rng2(self.seed, 0x0D00 + i as u64, cycle);
+                let dur = jittered(self.cfg.mean_active, &mut rng);
+                self.queue.schedule(now + dur, Ev::End(i));
+                self.queue
+                    .schedule(now + self.cfg.replan_period, Ev::Replan(i));
+            }
+            Ev::End(i) => {
+                self.slots[i].active = false;
+                self.pool.release_session(self.slots[i].spec.id);
+                let cycle = self.slots[i].cycle;
+                let mut rng = derive_rng2(self.seed, 0x0E00 + i as u64, cycle);
+                let gap = jittered(self.cfg.mean_gap, &mut rng);
+                self.queue.schedule(now + gap, Ev::Start(i));
+            }
+            Ev::Replan(i) => {
+                if self.slots[i].active {
+                    self.plan(i, now);
+                    self.queue
+                        .schedule(now + self.cfg.replan_period, Ev::Replan(i));
+                }
+            }
+            Ev::PreemptReplan(i) => {
+                self.slots[i].replan_pending = false;
+                if self.slots[i].active {
+                    self.plan(i, now);
+                }
+            }
+            Ev::RefreshView => {
+                self.view = Some(self.pool.snapshot_report(crate::ResourceReport::DEFAULT_CAP));
+                if let Some(period) = self.cfg.view_refresh {
+                    self.queue.schedule(now + period, Ev::RefreshView);
+                }
+            }
+        }
+    }
+
+    fn plan(&mut self, i: usize, now: SimTime) {
+        let spec = self.slots[i].spec.clone();
+        let out = match &self.view {
+            Some(view) => crate::task_manager::plan_and_reserve_from_view(
+                &mut self.pool,
+                &spec,
+                &self.cfg.plan,
+                view,
+            ),
+            None => plan_and_reserve(&mut self.pool, &spec, &self.cfg.plan),
+        };
+        self.outcome.plans += 1;
+        if now >= self.cfg.warmup {
+            let stats = &mut self.outcome.per_priority[(spec.priority - 1) as usize];
+            stats.improvement.push(out.improvement);
+            stats.helpers.push(out.helpers.len() as f64);
+            stats.helper_failures += out.helper_failures as u64;
+            self.outcome.utilization.push(self.pool.utilization());
+        }
+        // Victims replan shortly (they detect the loss via their reservation
+        // being revoked; modeled as a 1 s notification delay).
+        for victim in out.preempted {
+            let vi = victim.0 as usize;
+            if self.slots[vi].active && !self.slots[vi].replan_pending {
+                self.slots[vi].replan_pending = true;
+                if now >= self.cfg.warmup {
+                    self.outcome.per_priority[(self.slots[vi].spec.priority - 1) as usize]
+                        .preemptions += 1;
+                }
+                self.queue
+                    .schedule(now + SimTime::from_secs(1), Ev::PreemptReplan(vi));
+            }
+        }
+    }
+}
+
+/// Draw a duration uniformly in [0.5, 1.5] × mean.
+fn jittered(mean: SimTime, rng: &mut impl Rng) -> SimTime {
+    let us = mean.as_micros().max(2);
+    SimTime::from_micros(rng.random_range(us / 2..us + us / 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlanModel, PoolConfig};
+    use netsim::NetworkConfig;
+
+    fn small_market(sessions: usize, seed: u64) -> MarketSim {
+        let pool = ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: 300,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 5,
+                ..PoolConfig::default()
+            },
+            seed,
+        );
+        let cfg = MarketConfig {
+            sessions,
+            member_size: 12,
+            horizon: SimTime::from_secs(1800),
+            warmup: SimTime::from_secs(300),
+            plan: PlanConfig {
+                model: PlanModel::Oracle,
+                ..PlanConfig::default()
+            },
+            ..MarketConfig::default()
+        };
+        MarketSim::new(pool, cfg, seed)
+    }
+
+    #[test]
+    fn market_runs_and_collects_stats_for_all_classes() {
+        let out = small_market(9, 1).run();
+        assert!(out.plans > 9);
+        for p in 1..=3u8 {
+            assert!(
+                out.class(p).improvement.count() > 0,
+                "no samples for priority {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn improvements_stay_within_theoretical_range() {
+        let out = small_market(9, 2).run();
+        for p in 1..=3u8 {
+            let c = out.class(p);
+            assert!(c.improvement.mean() >= -0.05, "class {p} mean below lower bound");
+            assert!(c.improvement.mean() < 0.6, "class {p} mean above any upper bound");
+        }
+    }
+
+    #[test]
+    fn high_priority_holds_at_least_as_many_helpers_under_contention() {
+        // With heavy contention (many sessions on a small pool), priority 1
+        // must not end up with fewer helpers than priority 3.
+        let out = small_market(15, 3).run();
+        let h1 = out.class(1).helpers.mean();
+        let h3 = out.class(3).helpers.mean();
+        assert!(
+            h1 + 0.5 >= h3,
+            "priority 1 holds {h1} helpers vs priority 3's {h3}"
+        );
+    }
+
+    #[test]
+    fn preemptions_hit_lower_classes_harder() {
+        let out = small_market(15, 4).run();
+        let p1 = out.class(1).preemptions;
+        let p3 = out.class(3).preemptions;
+        assert!(
+            p3 >= p1,
+            "priority 3 preempted {p3} times vs priority 1's {p1}"
+        );
+    }
+
+    #[test]
+    fn somo_view_mode_runs_and_absorbs_staleness() {
+        let pool = ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: 300,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 5,
+                ..PoolConfig::default()
+            },
+            11,
+        );
+        let cfg = MarketConfig {
+            sessions: 12,
+            member_size: 12,
+            horizon: SimTime::from_secs(1800),
+            warmup: SimTime::from_secs(300),
+            // Task managers see a snapshot refreshed only every 5 minutes
+            // — plenty of room for it to go stale between plans.
+            view_refresh: Some(SimTime::from_secs(300)),
+            plan: PlanConfig {
+                model: PlanModel::Oracle,
+                ..PlanConfig::default()
+            },
+            ..MarketConfig::default()
+        };
+        let out = MarketSim::new(pool, cfg, 13).run();
+        assert!(out.plans > 12);
+        for p in 1..=3u8 {
+            let c = out.class(p);
+            assert!(c.improvement.count() > 0);
+            // Stale views cost improvement but never break a session.
+            assert!(c.improvement.mean() > -0.15, "class {p} collapsed");
+        }
+        let total_failures: u64 = (1..=3).map(|p| out.class(p).helper_failures).sum();
+        // With a 5-minute-old view under churn, at least some helper
+        // reservations must have been refused.
+        assert!(total_failures > 0, "suspiciously zero stale failures");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_market(6, 5).run();
+        let b = small_market(6, 5).run();
+        assert_eq!(a.plans, b.plans);
+        for p in 1..=3u8 {
+            assert_eq!(a.class(p).improvement.count(), b.class(p).improvement.count());
+            assert_eq!(a.class(p).improvement.mean(), b.class(p).improvement.mean());
+        }
+    }
+}

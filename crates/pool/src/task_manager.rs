@@ -1,0 +1,561 @@
+//! The per-session task manager (§5.2–5.3).
+//!
+//! "The root of an ALM session is the task manager, which performs the
+//! planning and scheduling of the tree topology." A task manager:
+//!
+//! 1. releases whatever its session currently holds (replanning is
+//!    all-or-nothing),
+//! 2. reads availability from the pool's degree tables (in deployment:
+//!    the SOMO root view),
+//! 3. plans with the configured algorithm family — AMCast / +helpers
+//!    (critical) / +adjust — against the configured latency model
+//!    (coordinates in practice, the oracle for the *Critical* baselines),
+//! 4. reserves degrees along the planned tree: member nodes at member rank,
+//!    helpers at the session's priority rank — preempting lower-priority
+//!    holders, who must then replan.
+//!
+//! The returned [`PlanOutcome`] carries the *oracle* height of the tree
+//! (what users would actually experience) and the improvement over the
+//! members-only AMCast baseline, the paper's headline metric.
+
+use alm::critical::helpers_used;
+use alm::{adjust, amcast, critical, HelperPool, HelperStrategy, MulticastTree, Problem};
+use netsim::{HostId, LatencyModel};
+use serde::{Deserialize, Serialize};
+
+use crate::degree_table::{Rank, SessionId};
+use crate::ResourcePool;
+
+/// Which latency model the planner consults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanModel {
+    /// Exact pairwise latencies everywhere (the paper's *Critical*
+    /// family — an oracle).
+    Oracle,
+    /// The practical *Leafset* family: members measure each other directly
+    /// (a session pings its own small member set), while the vast helper
+    /// candidate list is judged through leafset network coordinates.
+    Coords,
+}
+
+/// Planner configuration.
+#[derive(Clone, Debug)]
+pub struct PlanConfig {
+    /// Latency model used for planning decisions.
+    pub model: PlanModel,
+    /// Recruit helpers from the pool (the critical-node algorithm).
+    pub use_helpers: bool,
+    /// Run the adjustment pass after building the tree.
+    pub use_adjust: bool,
+    /// Condition 2: minimum available degree for a helper.
+    pub helper_min_degree: u32,
+    /// Condition 3: helper search radius R, ms.
+    pub radius_ms: f64,
+    /// Helper scoring strategy.
+    pub strategy: HelperStrategy,
+}
+
+impl Default for PlanConfig {
+    /// The paper's practical algorithm: *Leafset + adjust* with helpers,
+    /// degree ≥ 4, R = 100 ms, min-max sibling scoring.
+    fn default() -> Self {
+        PlanConfig {
+            model: PlanModel::Coords,
+            use_helpers: true,
+            use_adjust: true,
+            helper_min_degree: 4,
+            radius_ms: 100.0,
+            strategy: HelperStrategy::MinMaxSibling,
+        }
+    }
+}
+
+/// One ALM session.
+///
+/// Concurrent sessions must have **disjoint member sets** (the paper's
+/// §5.3 assumption): a member claim ranks above every helper claim, so two
+/// sessions claiming the same host as a *member* could otherwise leave one
+/// of them without even a parent-link degree.
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// Session identity.
+    pub id: SessionId,
+    /// Priority class, 1 (highest) to 3 (lowest).
+    pub priority: u8,
+    /// The session root (source; also the task manager).
+    pub root: HostId,
+    /// The member set M(s), including the root.
+    pub members: Vec<HostId>,
+}
+
+/// Result of one planning + reservation round.
+#[derive(Clone, Debug)]
+pub struct PlanOutcome {
+    /// The reserved multicast tree (members + helpers).
+    pub tree: MulticastTree,
+    /// Tree height under the *oracle* latency model, ms.
+    pub oracle_height: f64,
+    /// Members-only AMCast baseline height (oracle), ms.
+    pub baseline_height: f64,
+    /// `(baseline − achieved) / baseline` — the paper's metric.
+    pub improvement: f64,
+    /// Helpers recruited from the pool.
+    pub helpers: Vec<HostId>,
+    /// Sessions that lost degrees to this reservation and must replan.
+    pub preempted: Vec<SessionId>,
+    /// Helpers a stale view promised but that refused the reservation
+    /// (always 0 when planning from live degree tables).
+    pub helper_failures: u32,
+}
+
+/// Plan a session's tree against current pool availability and reserve it.
+///
+/// # Panics
+/// If the session's member set is internally infeasible (a member with
+/// physical degree bound 0) — impossible with the paper's distribution.
+pub fn plan_and_reserve(
+    pool: &mut ResourcePool,
+    spec: &SessionSpec,
+    cfg: &PlanConfig,
+) -> PlanOutcome {
+    assert!((1..=3).contains(&spec.priority), "priority must be 1..=3");
+    // Replanning is all-or-nothing: drop current holdings first.
+    pool.release_session(spec.id);
+
+    let helper_rank = Rank::helper(spec.priority);
+    let candidates = if cfg.use_helpers {
+        pool.candidates(helper_rank, &spec.members, cfg.helper_min_degree)
+    } else {
+        Vec::new()
+    };
+    // Fresh availability straight from the degree tables: reservations
+    // cannot fail, so the retry loop exits on its first pass.
+    let stale_avail: Vec<(HostId, u32)> = candidates
+        .iter()
+        .map(|&h| (h, pool.available(h, helper_rank)))
+        .collect();
+    plan_with_candidates(pool, spec, cfg, candidates, &stale_avail)
+}
+
+/// Plan from an explicit (possibly **stale**) SOMO view instead of the live
+/// degree tables — what a deployed task manager actually does. Helpers the
+/// view promised but that are no longer available fail at reservation time;
+/// the task manager then drops them from the candidate set and replans
+/// (bounded retries), exactly like contacting a peer and being refused.
+pub fn plan_and_reserve_from_view(
+    pool: &mut ResourcePool,
+    spec: &SessionSpec,
+    cfg: &PlanConfig,
+    view: &crate::ResourceReport,
+) -> PlanOutcome {
+    assert!((1..=3).contains(&spec.priority), "priority must be 1..=3");
+    pool.release_session(spec.id);
+
+    let rank_idx = spec.priority as usize; // avail[] index for helper rank
+    let candidates: Vec<HostId> = if cfg.use_helpers {
+        view.candidates_at(rank_idx, cfg.helper_min_degree)
+            .filter(|h| !spec.members.contains(h))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let stale_avail: Vec<(HostId, u32)> = view
+        .entries
+        .iter()
+        .filter(|e| candidates.contains(&e.host))
+        .map(|e| (e.host, e.avail[rank_idx]))
+        .collect();
+    plan_with_candidates(pool, spec, cfg, candidates, &stale_avail)
+}
+
+/// Shared planning + reservation loop. `stale_avail` is the availability
+/// the planner believes (fresh or from a view); the reservation step runs
+/// against the live tables, and helpers that fail are dropped and the plan
+/// retried.
+fn plan_with_candidates(
+    pool: &mut ResourcePool,
+    spec: &SessionSpec,
+    cfg: &PlanConfig,
+    mut candidates: Vec<HostId>,
+    stale_avail: &[(HostId, u32)],
+) -> PlanOutcome {
+    let helper_rank = Rank::helper(spec.priority);
+    let stale: std::collections::HashMap<HostId, u32> = stale_avail.iter().copied().collect();
+    let baseline_height = members_only_baseline(pool, spec);
+    let mut helper_failures = 0u32;
+
+    const MAX_RETRIES: usize = 5;
+    for attempt in 0.. {
+        // Members always report their live state (a node knows itself).
+        let mut avail_map: std::collections::HashMap<HostId, u32> = spec
+            .members
+            .iter()
+            .map(|&m| (m, pool.available(m, Rank::MEMBER)))
+            .collect();
+        for &h in &candidates {
+            avail_map.insert(h, stale.get(&h).copied().unwrap_or(0));
+        }
+        let avail = |h: HostId| -> u32 { avail_map.get(&h).copied().unwrap_or(0) };
+
+        let tree = match cfg.model {
+            PlanModel::Oracle => plan_tree(spec, &pool.net.latency, &avail, &candidates, cfg),
+            PlanModel::Coords => {
+                // The practical loop: shortlist helpers through
+                // coordinates, measure the contacted ones, replan on
+                // measurements.
+                let mut hp = HelperPool::new(candidates.clone());
+                hp.min_degree = cfg.helper_min_degree;
+                hp.radius_ms = cfg.radius_ms;
+                hp.strategy = cfg.strategy;
+                alm::staged_plan(
+                    spec.root,
+                    &spec.members,
+                    &pool.net.latency,
+                    &pool.coords,
+                    avail,
+                    &hp,
+                    cfg.use_adjust,
+                )
+            }
+        };
+
+        // Reserve the tree: members at member rank, helpers at priority
+        // rank. Helper reservations may fail against a stale view.
+        let mut preempted = Vec::new();
+        let mut failed: Vec<HostId> = Vec::new();
+        for &h in tree.hosts() {
+            let degree = tree.degree(h);
+            let rank = if spec.members.contains(&h) {
+                Rank::MEMBER
+            } else {
+                helper_rank
+            };
+            match pool.reserve(h, spec.id, rank, degree) {
+                Ok(victims) => preempted.extend(victims.into_iter().map(|(s, _)| s)),
+                Err(e) => {
+                    assert!(
+                        rank != Rank::MEMBER,
+                        "member reservation failed on {h:?}: {e} — member sets must be disjoint"
+                    );
+                    failed.push(h);
+                }
+            }
+        }
+
+        if !failed.is_empty() && attempt < MAX_RETRIES {
+            // The view lied about these hosts; drop them and replan.
+            helper_failures += failed.len() as u32;
+            pool.release_session(spec.id);
+            candidates.retain(|c| !failed.contains(c));
+            continue;
+        }
+        if !failed.is_empty() {
+            // Out of retries: fall back to a members-only plan.
+            helper_failures += failed.len() as u32;
+            pool.release_session(spec.id);
+            candidates.clear();
+            continue; // next pass plans without helpers and cannot fail
+        }
+
+        preempted.sort_unstable();
+        preempted.dedup();
+        preempted.retain(|&s| s != spec.id);
+
+        let oracle_height = oracle_height(&tree, &pool.net.latency);
+        let helpers = helpers_used(&tree, &spec.members);
+        return PlanOutcome {
+            improvement: alm::problem::improvement(baseline_height, oracle_height),
+            tree,
+            oracle_height,
+            baseline_height,
+            helpers,
+            preempted,
+            helper_failures,
+        };
+    }
+    unreachable!("the members-only fallback always succeeds")
+}
+
+/// The members-only AMCast baseline: physical degree bounds, oracle
+/// latencies — the denominator of every improvement figure in the paper.
+pub fn members_only_baseline(pool: &ResourcePool, spec: &SessionSpec) -> f64 {
+    let dbound = |h: HostId| pool.net.hosts.degree_bound(h);
+    let p = Problem::new(
+        spec.root,
+        spec.members.clone(),
+        &pool.net.latency,
+        dbound,
+    );
+    amcast(&p).max_height()
+}
+
+fn plan_tree<L: LatencyModel>(
+    spec: &SessionSpec,
+    model: &L,
+    avail: &impl Fn(HostId) -> u32,
+    candidates: &[HostId],
+    cfg: &PlanConfig,
+) -> MulticastTree {
+    let p = Problem::new(spec.root, spec.members.clone(), model, avail);
+    let mut tree = if cfg.use_helpers && !candidates.is_empty() {
+        let mut hp = HelperPool::new(candidates.to_vec());
+        hp.min_degree = cfg.helper_min_degree;
+        hp.radius_ms = cfg.radius_ms;
+        hp.strategy = cfg.strategy;
+        critical(&p, &hp)
+    } else {
+        amcast(&p)
+    };
+    if cfg.use_adjust {
+        adjust(&p, &mut tree);
+    }
+    tree
+}
+
+/// Recompute a tree's height under a (possibly different) latency model.
+pub fn oracle_height(tree: &MulticastTree, oracle: &impl LatencyModel) -> f64 {
+    let mut t = tree.clone();
+    t.recompute_heights(oracle);
+    t.max_height()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PoolConfig;
+    use netsim::NetworkConfig;
+
+    fn small_pool(seed: u64) -> ResourcePool {
+        ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: 300,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 6,
+                ..PoolConfig::default()
+            },
+            seed,
+        )
+    }
+
+    fn spec(pool: &ResourcePool, id: u32, priority: u8, seed: u64) -> SessionSpec {
+        let members = pool.sample_members(20, seed);
+        SessionSpec {
+            id: SessionId(id),
+            priority,
+            root: members[0],
+            members,
+        }
+    }
+
+    #[test]
+    fn plan_reserves_exactly_the_tree_degrees() {
+        let mut pool = small_pool(1);
+        let s = spec(&pool, 1, 2, 10);
+        let out = plan_and_reserve(&mut pool, &s, &PlanConfig::default());
+        for &h in out.tree.hosts() {
+            assert_eq!(
+                pool.table(h).held_by(SessionId(1)),
+                out.tree.degree(h),
+                "holding mismatch on {h:?}"
+            );
+        }
+        // Nothing reserved outside the tree.
+        let tree_hosts: std::collections::HashSet<HostId> =
+            out.tree.hosts().iter().copied().collect();
+        for h in pool.net.hosts.ids() {
+            if !tree_hosts.contains(&h) {
+                assert_eq!(pool.table(h).held_by(SessionId(1)), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn release_returns_pool_to_empty() {
+        let mut pool = small_pool(2);
+        let s = spec(&pool, 1, 1, 11);
+        plan_and_reserve(&mut pool, &s, &PlanConfig::default());
+        assert!(pool.total_used() > 0);
+        pool.release_session(SessionId(1));
+        assert_eq!(pool.total_used(), 0);
+    }
+
+    #[test]
+    fn replan_is_idempotent_in_holdings() {
+        let mut pool = small_pool(3);
+        let s = spec(&pool, 1, 2, 12);
+        let a = plan_and_reserve(&mut pool, &s, &PlanConfig::default());
+        let used_a = pool.total_used();
+        let b = plan_and_reserve(&mut pool, &s, &PlanConfig::default());
+        assert_eq!(pool.total_used(), used_a, "replan leaked degrees");
+        assert_eq!(a.oracle_height, b.oracle_height);
+    }
+
+    #[test]
+    fn oracle_planning_beats_baseline_on_average() {
+        let mut pool = small_pool(4);
+        let cfg = PlanConfig {
+            model: PlanModel::Oracle,
+            ..PlanConfig::default()
+        };
+        let mut total = 0.0;
+        let runs = 6;
+        for i in 0..runs {
+            let s = spec(&pool, 100 + i, 1, 20 + i as u64);
+            let out = plan_and_reserve(&mut pool, &s, &cfg);
+            pool.release_session(s.id);
+            total += out.improvement;
+        }
+        let avg = total / runs as f64;
+        assert!(avg > 0.05, "average improvement {avg} too small");
+    }
+
+    #[test]
+    fn coords_planning_is_still_positive_with_adjust() {
+        let mut pool = small_pool(5);
+        let cfg = PlanConfig::default(); // Coords + helpers + adjust
+        let mut total = 0.0;
+        let runs = 6;
+        for i in 0..runs {
+            let s = spec(&pool, 200 + i, 1, 40 + i as u64);
+            let out = plan_and_reserve(&mut pool, &s, &cfg);
+            pool.release_session(s.id);
+            total += out.improvement;
+        }
+        let avg = total / runs as f64;
+        assert!(avg > 0.0, "Leafset+adjust average improvement {avg} not positive");
+    }
+
+    #[test]
+    fn higher_priority_preempts_lower() {
+        let mut pool = small_pool(6);
+        // Two sessions over the same member universe region compete for
+        // helpers: the low-priority one goes first and grabs helpers, the
+        // high-priority one then preempts some of them.
+        let members = pool.sample_members(40, 50);
+        let low = SessionSpec {
+            id: SessionId(1),
+            priority: 3,
+            root: members[0],
+            members: members[..20].to_vec(),
+        };
+        let high = SessionSpec {
+            id: SessionId(2),
+            priority: 1,
+            root: members[20],
+            members: members[20..].to_vec(),
+        };
+        let cfg = PlanConfig {
+            model: PlanModel::Oracle,
+            ..PlanConfig::default()
+        };
+        let out_low = plan_and_reserve(&mut pool, &low, &cfg);
+        let held_before: u32 = out_low
+            .tree
+            .hosts()
+            .iter()
+            .map(|&h| pool.table(h).held_by(SessionId(1)))
+            .sum();
+        assert!(held_before > 0);
+        let out_high = plan_and_reserve(&mut pool, &high, &cfg);
+        // If the high-priority session preempted anyone, it must be s1.
+        for s in &out_high.preempted {
+            assert_eq!(*s, SessionId(1));
+        }
+        // And s1 never preempts s2 on replan at rank 3 (helpers), though
+        // member-rank claims may: check helper claims only is implicit in
+        // preempted list semantics — replan and verify.
+        let out_low2 = plan_and_reserve(&mut pool, &low, &cfg);
+        // s1's helper claims cannot displace s2's helper claims; any
+        // preemption it caused must have been via its *member* nodes.
+        for &h in out_low2.tree.hosts() {
+            if !low.members.contains(&h) {
+                // helper node: s2 must not have lost degrees here to s1
+                // (rank 3 cannot preempt rank 1)
+                // — verified structurally by DegreeTable tests; here we
+                // just confirm the pool stayed consistent.
+                assert!(pool.table(h).used() <= pool.table(h).dbound());
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_view_matches_live_planning() {
+        let mut pool = small_pool(8);
+        let s = spec(&pool, 31, 2, 70);
+        let cfg = PlanConfig {
+            model: PlanModel::Oracle,
+            ..PlanConfig::default()
+        };
+        let view = pool.snapshot_report(usize::MAX);
+        let from_view = plan_and_reserve_from_view(&mut pool, &s, &cfg, &view);
+        assert_eq!(from_view.helper_failures, 0, "fresh view caused failures");
+        pool.release_session(s.id);
+        let live = plan_and_reserve(&mut pool, &s, &cfg);
+        assert_eq!(from_view.oracle_height, live.oracle_height);
+        assert_eq!(from_view.helpers, live.helpers);
+    }
+
+    #[test]
+    fn stale_view_failures_are_absorbed() {
+        let mut pool = small_pool(9);
+        let sets = pool.partition_members(4, 20, 80);
+        let cfg = PlanConfig {
+            model: PlanModel::Oracle,
+            ..PlanConfig::default()
+        };
+        // Snapshot the empty pool, then let three priority-1 sessions
+        // grab helpers, making the snapshot stale.
+        let stale_view = pool.snapshot_report(usize::MAX);
+        for (i, members) in sets[..3].iter().enumerate() {
+            let s = SessionSpec {
+                id: SessionId(50 + i as u32),
+                priority: 1,
+                root: members[0],
+                members: members.clone(),
+            };
+            plan_and_reserve(&mut pool, &s, &cfg);
+        }
+        // A low-priority probe plans from the stale view: helpers it was
+        // promised may refuse (it cannot preempt priority 1), but the plan
+        // must complete, stay consistent, and never fall below baseline.
+        let probe = SessionSpec {
+            id: SessionId(99),
+            priority: 3,
+            root: sets[3][0],
+            members: sets[3].clone(),
+        };
+        let out = plan_and_reserve_from_view(&mut pool, &probe, &cfg, &stale_view);
+        out.tree
+            .validate(&pool.net.latency, |h| pool.net.hosts.degree_bound(h))
+            .unwrap();
+        assert!(
+            out.improvement > -0.1,
+            "stale-view plan far below the members-only baseline: {}",
+            out.improvement
+        );
+        // Every holding matches the final tree exactly (no leakage from
+        // the failed attempts).
+        for &h in out.tree.hosts() {
+            assert_eq!(pool.table(h).held_by(SessionId(99)), out.tree.degree(h));
+        }
+    }
+
+    #[test]
+    fn members_only_fallback_when_no_helpers() {
+        let mut pool = small_pool(7);
+        let s = spec(&pool, 9, 2, 60);
+        let cfg = PlanConfig {
+            use_helpers: false,
+            use_adjust: false,
+            model: PlanModel::Oracle,
+            ..PlanConfig::default()
+        };
+        let out = plan_and_reserve(&mut pool, &s, &cfg);
+        assert!(out.helpers.is_empty());
+        assert_eq!(out.tree.len(), s.members.len());
+        assert!((out.oracle_height - out.baseline_height).abs() < 1e-6);
+        assert_eq!(out.improvement, 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the pool's accounting under arbitrary plan/release
+//! interleavings: degree tables must never oversubscribe, holdings must
+//! match trees exactly, and a full release must drain the pool.
+
+use std::sync::OnceLock;
+
+use netsim::NetworkConfig;
+use pool::task_manager::plan_and_reserve;
+use pool::{PlanConfig, PlanModel, PoolConfig, ResourcePool, SessionId, SessionSpec};
+use proptest::prelude::*;
+
+/// One shared pristine pool (building coordinates is the expensive part);
+/// every case clones it.
+fn pristine() -> &'static ResourcePool {
+    static POOL: OnceLock<ResourcePool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: 150,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 3,
+                ..PoolConfig::default()
+            },
+            1234,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn plans_and_releases_conserve_degrees(
+        ops in proptest::collection::vec((0usize..6, any::<bool>(), 1u8..4), 1..15),
+    ) {
+        let mut pool = pristine().clone();
+        // Six disjoint slots of 12 members each.
+        let sets = pool.partition_members(6, 12, 99);
+        let cfg = PlanConfig {
+            model: PlanModel::Oracle,
+            ..PlanConfig::default()
+        };
+        let mut active = [false; 6];
+        for (slot, do_plan, priority) in ops {
+            let spec = SessionSpec {
+                id: SessionId(slot as u32),
+                priority,
+                root: sets[slot][0],
+                members: sets[slot].clone(),
+            };
+            if do_plan {
+                let out = plan_and_reserve(&mut pool, &spec, &cfg);
+                active[slot] = true;
+                // Holdings equal the tree degrees exactly.
+                for &h in out.tree.hosts() {
+                    prop_assert_eq!(
+                        pool.table(h).held_by(spec.id),
+                        out.tree.degree(h)
+                    );
+                }
+            } else {
+                pool.release_session(spec.id);
+                active[slot] = false;
+            }
+            // Global invariants after every operation.
+            for h in pool.net.hosts.ids() {
+                let t = pool.table(h);
+                prop_assert!(t.used() <= t.dbound());
+                for s in 0..6u32 {
+                    if !active[s as usize] {
+                        prop_assert_eq!(t.held_by(SessionId(s)), 0,
+                            "released session still holds degrees");
+                    }
+                }
+            }
+        }
+        // Draining everything restores an empty pool.
+        for s in 0..6u32 {
+            pool.release_session(SessionId(s));
+        }
+        prop_assert_eq!(pool.total_used(), 0);
+    }
+
+    #[test]
+    fn snapshot_report_is_consistent_with_tables(
+        plans in proptest::collection::vec((0usize..4, 1u8..4), 0..5),
+    ) {
+        let mut pool = pristine().clone();
+        let sets = pool.partition_members(4, 12, 7);
+        let cfg = PlanConfig {
+            model: PlanModel::Oracle,
+            ..PlanConfig::default()
+        };
+        for (slot, priority) in plans {
+            let spec = SessionSpec {
+                id: SessionId(slot as u32),
+                priority,
+                root: sets[slot][0],
+                members: sets[slot].clone(),
+            };
+            plan_and_reserve(&mut pool, &spec, &cfg);
+        }
+        let report = pool.snapshot_report(usize::MAX);
+        prop_assert_eq!(report.entries.len(), pool.num_hosts());
+        for e in &report.entries {
+            let t = pool.table(e.host);
+            // Rank-monotone availability, consistent with the table.
+            prop_assert!(e.avail[0] >= e.avail[1]);
+            prop_assert!(e.avail[1] >= e.avail[2]);
+            prop_assert!(e.avail[2] >= e.avail[3]);
+            prop_assert_eq!(e.avail[3], t.free());
+            // Member rank preempts every helper claim, but not other
+            // member claims (which only the host's own session may hold).
+            let member_held: u32 = t
+                .allocations()
+                .iter()
+                .filter(|a| a.rank == pool::Rank::MEMBER)
+                .map(|a| a.count)
+                .sum();
+            prop_assert_eq!(e.avail[0], t.dbound() - member_held);
+        }
+    }
+}

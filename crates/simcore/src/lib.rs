@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # simcore — deterministic discrete-event simulation engine
+//!
+//! Substrate for the P2P resource-pool reproduction (Zhang et al., ICPP 2004).
+//! All protocol behaviour in the workspace — DHT heartbeats, SOMO report
+//! flows, ALM session churn — is simulated on this engine rather than on real
+//! sockets, so every experiment is reproducible bit-for-bit from a seed.
+//!
+//! The engine is intentionally minimal and generic:
+//!
+//! * [`SimTime`] — a microsecond-resolution simulated clock value.
+//! * [`EventQueue`] — a priority queue of `(SimTime, E)` pairs with a
+//!   deterministic FIFO tie-break for simultaneous events.
+//! * [`rng`] — seed-derivation helpers so each simulated entity gets an
+//!   independent, reproducible random stream.
+//! * [`stats`] — online statistics, percentiles, CDFs and histograms used by
+//!   the figure-regeneration harnesses.
+//!
+//! ## Example
+//!
+//! ```
+//! use simcore::{EventQueue, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32), Done }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_millis(10), Ev::Ping(1));
+//! q.schedule(SimTime::from_millis(5), Ev::Ping(0));
+//! q.schedule(SimTime::from_millis(10), Ev::Done); // same time: FIFO order
+//!
+//! let mut seen = vec![];
+//! while let Some((t, ev)) = q.pop() {
+//!     seen.push((t.as_millis(), ev));
+//! }
+//! assert_eq!(seen[0].1, Ev::Ping(0));
+//! assert_eq!(seen[1].1, Ev::Ping(1));
+//! assert_eq!(seen[2].1, Ev::Done);
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use time::SimTime;

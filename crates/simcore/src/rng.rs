@@ -1,0 +1,77 @@
+//! Deterministic random-stream derivation.
+//!
+//! Every simulated entity (a DHT node, an ALM session, a topology generator)
+//! gets its own RNG derived from the experiment's master seed plus a stable
+//! label. This keeps entities' random streams independent of one another —
+//! adding a node or reordering initialization does not perturb anyone else's
+//! stream — which is what makes experiment output stable across refactors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer; a high-quality 64-bit mixing function used to derive
+/// child seeds from `(master, label)` pairs.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive a 64-bit child seed from a master seed and a stream label.
+pub fn derive_seed(master: u64, label: u64) -> u64 {
+    mix64(master ^ mix64(label))
+}
+
+/// Derive an independent [`StdRng`] for the stream `(master, label)`.
+pub fn derive_rng(master: u64, label: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, label))
+}
+
+/// Derive an [`StdRng`] for a two-level stream, e.g. `(run, node)`.
+pub fn derive_rng2(master: u64, a: u64, b: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(derive_seed(master, a), b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let mut a = derive_rng(42, 7);
+        let mut b = derive_rng(42, 7);
+        for _ in 0..16 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_labels_give_different_streams() {
+        let mut a = derive_rng(42, 7);
+        let mut b = derive_rng(42, 8);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn mix64_is_a_bijection_probe() {
+        // Not a proof, but distinct inputs in a small window must not collide.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn two_level_derivation_independent_of_sibling_order() {
+        let x = derive_seed(derive_seed(1, 2), 3);
+        let y = derive_seed(derive_seed(1, 2), 4);
+        assert_ne!(x, y);
+        // Same path, same seed.
+        assert_eq!(x, derive_seed(derive_seed(1, 2), 3));
+    }
+}

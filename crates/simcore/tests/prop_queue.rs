@@ -1,0 +1,66 @@
+//! Property tests for the discrete-event queue: the determinism guarantees
+//! the whole workspace rests on.
+
+use proptest::prelude::*;
+use simcore::{EventQueue, SimTime};
+
+proptest! {
+    #[test]
+    fn prop_pops_never_go_back_in_time(
+        schedule in proptest::collection::vec((0u64..10_000, any::<u16>()), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for &(at, tag) in &schedule {
+            q.schedule(SimTime::from_micros(at), tag);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last, "time went backwards");
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, schedule.len());
+    }
+
+    #[test]
+    fn prop_equal_times_preserve_schedule_order(
+        times in proptest::collection::vec(0u64..5, 1..100),
+    ) {
+        // Many events on very few distinct timestamps: within a timestamp,
+        // pops must follow scheduling order exactly.
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut per_time: std::collections::HashMap<u64, Vec<usize>> = Default::default();
+        while let Some((t, i)) = q.pop() {
+            per_time.entry(t.as_micros()).or_default().push(i);
+        }
+        for seq in per_time.values() {
+            prop_assert!(seq.windows(2).all(|w| w[0] < w[1]), "FIFO violated");
+        }
+    }
+
+    #[test]
+    fn prop_interleaved_schedule_and_pop(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1000), 1..200),
+    ) {
+        // Arbitrary interleavings of schedule/pop keep the clock monotone
+        // and the past-clamping rule intact.
+        let mut q = EventQueue::new();
+        for &(do_pop, at) in &ops {
+            if do_pop {
+                if let Some((t, _)) = q.pop() {
+                    prop_assert_eq!(t, q.now());
+                }
+            } else {
+                q.schedule(SimTime::from_micros(at), at);
+            }
+            // Nothing pending may be earlier than the clock.
+            if let Some(head) = q.peek_time() {
+                prop_assert!(head >= q.now());
+            }
+        }
+    }
+}

@@ -1,0 +1,680 @@
+//! The gather flow, simulated message-by-message.
+//!
+//! §3.2: "Given a data reporting interval T, information is gathered from
+//! the SOMO leaves and flows to its root with a maximum delay of
+//! `log_k N · T`. This bound is derived when flow between hierarchies of
+//! SOMO is completely unsynchronized. If upper SOMO nodes' call for reports
+//! immediately triggers the similar actions of their children, then the
+//! latency can be reduced to `T + t_hop · log_k N`."
+//!
+//! [`GatherSim`] implements both regimes over a [`SomoTree`] snapshot:
+//!
+//! * **Unsynchronized** — every logical node free-runs a period-T timer;
+//!   on firing it merges its children's latest partials (plus its own
+//!   member data, if it is a reporting leaf) and pushes the result to its
+//!   parent.
+//! * **Synchronized** — the root fires every T and cascades a request down
+//!   the tree; leaves answer immediately and partials aggregate on the way
+//!   back up.
+//!
+//! Staleness is measured exactly, not asymptotically: every member's
+//! contribution is stamped with its sample time, merges keep the minimum,
+//! and the root's *view lag* is `now − oldest_stamp`, the paper's "the SOMO
+//! root will have a global view with a lag of 1.6 s" metric.
+//!
+//! **Double-count avoidance.** A DHT node can host several leaves (its zone
+//! may contain many small regions). Each member therefore reports through
+//! exactly one canonical leaf: the leaf whose region contains the member's
+//! own ID — that region is provably inside the member's own zone.
+
+use std::collections::HashMap;
+
+use simcore::{EventQueue, SimTime};
+
+use crate::report::Report;
+use crate::tree::SomoTree;
+
+/// Gather regime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowMode {
+    /// Free-running per-node timers; staleness bound `log_k N · T`.
+    Unsynchronized,
+    /// Root-triggered cascade; staleness ≈ `T + 2·t_hop·log_k N`.
+    Synchronized,
+}
+
+/// A census stamped with sample freshness: `oldest` is the earliest sample
+/// time among all folded member contributions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FreshnessReport {
+    /// Number of member contributions folded in.
+    pub members: u64,
+    /// The stalest contribution's sample time.
+    pub oldest: SimTime,
+}
+
+impl FreshnessReport {
+    /// One member's contribution sampled at `t`.
+    pub fn of_member(t: SimTime) -> FreshnessReport {
+        FreshnessReport {
+            members: 1,
+            oldest: t,
+        }
+    }
+}
+
+impl Report for FreshnessReport {
+    fn merge(&mut self, other: &Self) {
+        self.members += other.members;
+        self.oldest = self.oldest.min(other.oldest);
+    }
+}
+
+/// One recorded root view.
+#[derive(Clone, Debug)]
+pub struct RootView<R> {
+    /// When the root produced this view.
+    pub at: SimTime,
+    /// The aggregated report.
+    pub view: R,
+}
+
+enum Ev<R> {
+    /// Unsync: a logical node's periodic timer.
+    NodeTimer(u32),
+    /// Sync: the root's round timer.
+    RootTimer,
+    /// Sync: a request arriving at a logical node.
+    Request { node: u32, round: u64 },
+    /// A child partial arriving at its parent logical node. `None` when the
+    /// child subtree had nothing to report (a non-canonical leaf).
+    Partial {
+        node: u32,
+        round: u64,
+        r: Option<R>,
+    },
+    /// Sync: give up waiting for this round's remaining children and send
+    /// what has been accumulated (self-healing under member failure).
+    Timeout { node: u32, round: u64 },
+}
+
+/// The gather-flow simulator. Generic over the report type and the message
+/// delay between hosting ring members.
+pub struct GatherSim<'a, R, L, D>
+where
+    R: Report,
+    L: FnMut(usize, SimTime) -> R,
+    D: Fn(usize, usize) -> SimTime,
+{
+    tree: &'a SomoTree,
+    mode: FlowMode,
+    period: SimTime,
+    leaf_sample: L,
+    delay: D,
+    queue: EventQueue<Ev<R>>,
+    /// Latest partial received from each logical child (unsync mode),
+    /// stamped with its arrival time so stale entries (a crashed child)
+    /// age out after a few periods.
+    latest: Vec<HashMap<u32, (SimTime, R)>>,
+    /// Per-round aggregation buffers (sync mode): (partial, children seen).
+    rounds: Vec<HashMap<u64, (Option<R>, usize)>>,
+    /// Which leaf reports each member's data (leaf logical idx → member).
+    reporting: HashMap<u32, usize>,
+    views: Vec<RootView<R>>,
+    messages: u64,
+    round_ctr: u64,
+    /// Ring members whose hosts have crashed (they neither send nor
+    /// receive; their logical nodes go silent).
+    dead: std::collections::HashSet<usize>,
+    /// Sync mode: how long an internal node waits for its children before
+    /// forwarding a partial aggregate.
+    child_timeout: SimTime,
+}
+
+impl<'a, R, L, D> GatherSim<'a, R, L, D>
+where
+    R: Report,
+    L: FnMut(usize, SimTime) -> R,
+    D: Fn(usize, usize) -> SimTime,
+{
+    /// Create a simulator over a tree snapshot.
+    ///
+    /// `leaf_sample(member, now)` produces a member's current local report;
+    /// `delay(host_a, host_b)` is the one-way message latency between two
+    /// hosting ring members (0 when they are the same member).
+    pub fn new(
+        tree: &'a SomoTree,
+        ring: &dht::Ring,
+        mode: FlowMode,
+        period: SimTime,
+        leaf_sample: L,
+        delay: D,
+    ) -> Self {
+        // Canonical reporting leaf per member: the leaf whose region
+        // contains the member's own ID. The leaf's host is the member
+        // itself or its ring successor; in the latter case the member's
+        // report costs one extra (cheap, ring-neighbor) fetch hop.
+        let mut reporting = HashMap::new();
+        for m in 0..ring.len() {
+            let leaf = tree.canonical_leaf_of(ring.member(m).id);
+            let prev = reporting.insert(leaf, m);
+            debug_assert!(prev.is_none(), "two members share a canonical leaf");
+        }
+
+        let n = tree.len();
+        let mut queue = EventQueue::new();
+        match mode {
+            FlowMode::Unsynchronized => {
+                // Stagger timers deterministically across the first period.
+                let p = period.as_micros().max(1);
+                for i in 0..n as u32 {
+                    let jitter =
+                        SimTime::from_micros(simcore::rng::derive_seed(0x50_50, i as u64) % p);
+                    queue.schedule(jitter, Ev::NodeTimer(i));
+                }
+            }
+            FlowMode::Synchronized => {
+                queue.schedule(SimTime::ZERO, Ev::RootTimer);
+            }
+        }
+
+        GatherSim {
+            tree,
+            mode,
+            period,
+            leaf_sample,
+            delay,
+            queue,
+            latest: vec![HashMap::new(); n],
+            rounds: vec![HashMap::new(); n],
+            reporting,
+            views: Vec::new(),
+            messages: 0,
+            round_ctr: 0,
+            dead: std::collections::HashSet::new(),
+            child_timeout: period,
+        }
+    }
+
+    /// Crash the host behind ring member `m`: every logical node it hosts
+    /// stops sending and receiving, and its member report is lost. Sync
+    /// rounds keep completing thanks to the per-round child timeout; the
+    /// root's view simply shrinks until the ring (and with it the tree) is
+    /// rebuilt — SOMO's "regenerated after a short jitter" behaviour.
+    pub fn kill_member(&mut self, m: usize) {
+        self.dead.insert(m);
+    }
+
+    /// Override the sync-round child timeout (defaults to one period).
+    pub fn set_child_timeout(&mut self, t: SimTime) {
+        self.child_timeout = t;
+    }
+
+    /// Run until simulated time `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.handle(now, ev);
+        }
+    }
+
+    /// Root views recorded so far, in time order.
+    pub fn views(&self) -> &[RootView<R>] {
+        &self.views
+    }
+
+    /// Total inter-host messages sent (same-host hops are free and not
+    /// counted).
+    pub fn messages_sent(&self) -> u64 {
+        self.messages
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev<R>) {
+        // A crashed host neither fires timers nor receives messages.
+        let at_node = match &ev {
+            Ev::NodeTimer(i) => Some(*i),
+            Ev::Request { node, .. } | Ev::Partial { node, .. } | Ev::Timeout { node, .. } => {
+                Some(*node)
+            }
+            Ev::RootTimer => None,
+        };
+        if let Some(i) = at_node {
+            if self.dead.contains(&self.tree.nodes()[i as usize].host) {
+                // Keep unsync timers parked so a later revive would be easy.
+                if let Ev::NodeTimer(i) = ev {
+                    self.queue.schedule_after(self.period, Ev::NodeTimer(i));
+                }
+                return;
+            }
+        }
+        match ev {
+            Ev::NodeTimer(i) => {
+                if let Some(r) = self.aggregate_unsync(i, now) {
+                    self.emit_to_parent_after(i, 0, Some(r), SimTime::ZERO);
+                }
+                self.queue.schedule_after(self.period, Ev::NodeTimer(i));
+            }
+            Ev::RootTimer => {
+                self.round_ctr += 1;
+                let round = self.round_ctr;
+                self.queue.schedule(now, Ev::Request { node: 0, round });
+                self.queue.schedule_after(self.period, Ev::RootTimer);
+            }
+            Ev::Request { node, round } => {
+                let n = &self.tree.nodes()[node as usize];
+                if n.is_leaf() {
+                    // If the reporting member is not the leaf's host, the
+                    // host fetches the report from it first: one
+                    // request/response round-trip between ring neighbors.
+                    let leaf_host = n.host;
+                    let member = self.reporting.get(&node).copied();
+                    let member_dead = member.is_some_and(|m| self.dead.contains(&m));
+                    let fetch = match member {
+                        Some(m) if m != leaf_host && !member_dead => {
+                            self.messages += 2;
+                            (self.delay)(leaf_host, m) + (self.delay)(m, leaf_host)
+                        }
+                        _ => SimTime::ZERO,
+                    };
+                    let r = if member_dead {
+                        None // the member crashed; its report is lost
+                    } else {
+                        self.leaf_report(node, now)
+                    };
+                    self.emit_to_parent_after(node, round, r, fetch);
+                } else {
+                    // Forward to every child; remember how many partials to
+                    // expect this round. Children hosted by the same member
+                    // get the message instantly (delay 0).
+                    self.rounds[node as usize].insert(round, (None, 0));
+                    let children = n.children.clone();
+                    let my_host = n.host;
+                    for c in children {
+                        let ch = self.tree.nodes()[c as usize].host;
+                        let d = if ch == my_host {
+                            SimTime::ZERO
+                        } else {
+                            self.messages += 1;
+                            (self.delay)(my_host, ch)
+                        };
+                        self.queue.schedule_after(d, Ev::Request { node: c, round });
+                    }
+                    self.queue
+                        .schedule_after(self.child_timeout, Ev::Timeout { node, round });
+                }
+            }
+            Ev::Timeout { node, round } => {
+                // Children that never answered are presumed crashed; send
+                // what we have so the round still completes.
+                if let Some((acc, _)) = self.rounds[node as usize].remove(&round) {
+                    self.emit_to_parent_after(node, round, acc, SimTime::ZERO);
+                }
+            }
+            Ev::Partial { node, round, r } => match self.mode {
+                FlowMode::Unsynchronized => {
+                    // `round` carries the child index in unsync mode — the
+                    // sender recorded itself there.
+                    if let Some(r) = r {
+                        self.latest[node as usize].insert(round as u32, (now, r));
+                    }
+                }
+                FlowMode::Synchronized => {
+                    let expected = self.tree.nodes()[node as usize].children.len();
+                    // The round may already be closed by a timeout; late
+                    // partials are then dropped.
+                    let Some(entry) = self.rounds[node as usize].get_mut(&round) else {
+                        return;
+                    };
+                    match (&mut entry.0, r) {
+                        (Some(acc), Some(r)) => acc.merge(&r),
+                        (slot @ None, Some(r)) => *slot = Some(r),
+                        (_, None) => {}
+                    }
+                    entry.1 += 1;
+                    if entry.1 == expected {
+                        let (acc, _) = self.rounds[node as usize].remove(&round).unwrap();
+                        self.emit_to_parent_after(node, round, acc, SimTime::ZERO);
+                    }
+                }
+            },
+        }
+    }
+
+    /// Unsync aggregation at a logical node: own member data (if this is a
+    /// reporting leaf) merged with the latest child partials. `None` when
+    /// nothing has been heard yet.
+    fn aggregate_unsync(&mut self, i: u32, now: SimTime) -> Option<R> {
+        // Age out partials from children we have not heard from for three
+        // periods — a crashed subtree must not be reported forever.
+        let expiry = SimTime::from_micros(self.period.as_micros().saturating_mul(3));
+        self.latest[i as usize].retain(|_, (at, _)| now.saturating_sub(*at) < expiry);
+        let mut acc: Option<R> = self.leaf_report(i, now);
+        for (_, (_, r)) in self.latest[i as usize].iter() {
+            match &mut acc {
+                Some(a) => a.merge(r),
+                slot @ None => *slot = Some(r.clone()),
+            }
+        }
+        acc
+    }
+
+    /// A leaf's contribution: the hosting member's data if this is the
+    /// member's canonical leaf, nothing otherwise (avoids double-counting
+    /// members whose zone holds several leaves).
+    fn leaf_report(&mut self, leaf: u32, now: SimTime) -> Option<R> {
+        let member = *self.reporting.get(&leaf)?;
+        Some((self.leaf_sample)(member, now))
+    }
+
+    fn emit_to_parent_after(&mut self, i: u32, round: u64, r: Option<R>, extra: SimTime) {
+        let n = &self.tree.nodes()[i as usize];
+        match n.parent {
+            None => {
+                // Root: record the fresh global view.
+                if let Some(view) = r {
+                    self.views.push(RootView {
+                        at: self.queue.now() + extra,
+                        view,
+                    });
+                }
+            }
+            Some(p) => {
+                let ph = self.tree.nodes()[p as usize].host;
+                let d = extra
+                    + if ph == n.host {
+                        SimTime::ZERO
+                    } else {
+                        self.messages += 1;
+                        (self.delay)(n.host, ph)
+                    };
+                let tag = match self.mode {
+                    // In unsync mode the "round" slot carries the child id
+                    // so the parent can keep per-child latest partials.
+                    FlowMode::Unsynchronized => i as u64,
+                    FlowMode::Synchronized => round,
+                };
+                self.queue.schedule_after(
+                    d,
+                    Ev::Partial {
+                        node: p,
+                        round: tag,
+                        r,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// The paper's unsynchronized staleness bound: `ceil(log_k N) · T`.
+pub fn unsync_staleness_bound(n: usize, fanout: usize, period: SimTime) -> SimTime {
+    let levels = (n.max(2) as f64).log(fanout as f64).ceil() as u64;
+    SimTime::from_micros(period.as_micros() * levels)
+}
+
+/// The paper's synchronized staleness bound: `T + 2·t_hop·log_k N`
+/// (requests descend and partials ascend `log_k N` levels each).
+pub fn sync_staleness_bound(n: usize, fanout: usize, t_hop: SimTime, period: SimTime) -> SimTime {
+    let levels = (n.max(2) as f64).log(fanout as f64).ceil() as u64;
+    period + SimTime::from_micros(2 * t_hop.as_micros() * levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht::Ring;
+    use netsim::HostId;
+
+    fn setup(n: u32, fanout: usize) -> (Ring, SomoTree) {
+        let ring = Ring::with_random_ids((0..n).map(HostId), 13);
+        let tree = SomoTree::build(&ring, fanout);
+        (ring, tree)
+    }
+
+    const HOP: SimTime = SimTime::from_millis(200);
+    const T: SimTime = SimTime::from_secs(5);
+
+    fn run(mode: FlowMode, n: u32, fanout: usize, until_secs: u64) -> (Vec<RootView<FreshnessReport>>, u64, usize) {
+        let (ring, tree) = setup(n, fanout);
+        let mut sim = GatherSim::new(
+            &tree,
+            &ring,
+            mode,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+        );
+        sim.run_until(SimTime::from_secs(until_secs));
+        (sim.views().to_vec(), sim.messages_sent(), ring.len())
+    }
+
+    #[test]
+    fn sync_gather_counts_every_member_exactly_once() {
+        let (views, _msgs, n) = run(FlowMode::Synchronized, 100, 8, 60);
+        assert!(!views.is_empty(), "no root views recorded");
+        for v in &views {
+            assert_eq!(v.view.members, n as u64, "member census wrong");
+        }
+    }
+
+    #[test]
+    fn unsync_gather_converges_to_full_census() {
+        let (views, _msgs, n) = run(FlowMode::Unsynchronized, 100, 8, 300);
+        let last = views.last().expect("no views");
+        assert_eq!(last.view.members, n as u64, "unsync census incomplete");
+    }
+
+    #[test]
+    fn sync_staleness_within_paper_bound() {
+        let (ring, tree) = setup(256, 8);
+        let mut sim = GatherSim::new(
+            &tree,
+            &ring,
+            FlowMode::Synchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+        );
+        sim.run_until(SimTime::from_secs(120));
+        // A shallow leaf may be sampled almost immediately while the root
+        // still waits for the deepest subtree's descent + fetch + ascent,
+        // so the oldest-sample lag is bounded by (2·depth + 2) hops.
+        let bound = SimTime::from_micros(HOP.as_micros() * (2 * tree.depth() as u64 + 2));
+        for v in sim.views() {
+            let lag = v.at.saturating_sub(v.view.oldest);
+            assert!(
+                lag <= bound,
+                "sync lag {lag} exceeds bound {bound}"
+            );
+        }
+        // In sync mode the lag must be far below the period-dominated
+        // unsync bound: it is pure propagation (samples are taken on
+        // request).
+        let worst = sim
+            .views()
+            .iter()
+            .map(|v| v.at.saturating_sub(v.view.oldest))
+            .max()
+            .unwrap();
+        assert!(worst < T, "sync lag {worst} should be below one period");
+    }
+
+    #[test]
+    fn unsync_staleness_within_paper_bound() {
+        let (ring, tree) = setup(256, 8);
+        let mut sim = GatherSim::new(
+            &tree,
+            &ring,
+            FlowMode::Unsynchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+        );
+        sim.run_until(SimTime::from_secs(600));
+        // The paper's bound is levels·T; our tree's actual depth replaces
+        // the idealized log_k N (random zone sizes make it ~2·log_k N).
+        let levels = tree.depth() as u64 + 1;
+        let bound = SimTime::from_micros(T.as_micros() * levels);
+        // Skip the warm-up (views before every member has been counted).
+        let full: Vec<_> = sim
+            .views()
+            .iter()
+            .filter(|v| v.view.members == ring.len() as u64)
+            .collect();
+        assert!(!full.is_empty());
+        // Allow per-hop propagation slack on top of the timer-phase bound.
+        let slack = SimTime::from_micros(HOP.as_micros() * (levels + 2));
+        for v in &full[2..] {
+            let lag = v.at.saturating_sub(v.view.oldest);
+            assert!(
+                lag <= bound + slack,
+                "unsync lag {lag} exceeds bound {bound} (+{slack})"
+            );
+        }
+    }
+
+    #[test]
+    fn single_member_ring_reports_itself() {
+        let (views, msgs, _) = run(FlowMode::Synchronized, 1, 8, 30);
+        assert!(!views.is_empty());
+        assert_eq!(views[0].view.members, 1);
+        assert_eq!(msgs, 0, "single node should never go over the network");
+    }
+
+    #[test]
+    fn message_volume_is_linear_in_tree_size() {
+        let (ring, tree) = setup(200, 8);
+        let mut sim = GatherSim::new(
+            &tree,
+            &ring,
+            FlowMode::Synchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+        );
+        sim.run_until(SimTime::from_secs(60));
+        let rounds = sim.views().len() as u64;
+        assert!(rounds >= 5);
+        // Per round: at most one request + one response per tree edge,
+        // plus a two-message fetch per member report.
+        let edges = (tree.len() - 1) as u64;
+        let per_round = 2 * edges + 2 * ring.len() as u64;
+        assert!(
+            sim.messages_sent() <= per_round * (rounds + 2),
+            "too many messages: {} for {} rounds over {} edges",
+            sim.messages_sent(),
+            rounds,
+            edges
+        );
+    }
+
+    #[test]
+    fn analytic_bounds_match_paper_numbers() {
+        // §3.2: "For 2M nodes and with k=8 and a typical latency of 200ms
+        // per DHT hop, the SOMO root will have a global view with a lag of
+        // 1.6 s" — that is t_hop · log_8(2M) ≈ 0.2 · 7 = 1.4–1.6 s; our
+        // sync bound adds the descent, so halve it for the one-way figure.
+        let levels = (2_000_000f64).log(8.0).ceil(); // = 7
+        assert_eq!(levels as u64, 7);
+        let one_way = SimTime::from_micros(HOP.as_micros() * levels as u64);
+        assert_eq!(one_way, SimTime::from_millis(1400));
+        // And the full sync round-trip bound on top of one period:
+        let b = sync_staleness_bound(2_000_000, 8, HOP, T);
+        assert_eq!(b, T + SimTime::from_millis(2800));
+    }
+
+    #[test]
+    fn sync_gather_survives_member_crash() {
+        let (ring, tree) = setup(100, 8);
+        let mut sim = GatherSim::new(
+            &tree,
+            &ring,
+            FlowMode::Synchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+        );
+        sim.run_until(SimTime::from_secs(30));
+        let full = sim.views().last().unwrap().view.members;
+        assert_eq!(full, 100);
+
+        // Crash a member that hosts an internal tree node if possible.
+        let victim = tree.nodes()[0]
+            .children
+            .first()
+            .map(|&c| tree.nodes()[c as usize].host)
+            .unwrap_or(1);
+        sim.kill_member(victim);
+        sim.run_until(SimTime::from_secs(120));
+        // Rounds keep completing (timeouts), with a reduced census: the
+        // crashed member's own report is gone, and so are reports of any
+        // member whose canonical leaf the victim hosted or whose subtree
+        // hangs under a logical node the victim hosted.
+        let after = sim.views().last().unwrap();
+        assert!(after.at > SimTime::from_secs(40), "no views after the crash");
+        assert!(after.view.members < 100, "crashed member still counted");
+        assert!(after.view.members >= 50, "far too many members lost");
+    }
+
+    #[test]
+    fn unsync_census_shrinks_after_crash() {
+        // Unsync mode has no timeouts, but stale child partials age out
+        // after three periods, so a crashed subtree disappears from the
+        // root's census instead of being reported forever.
+        let (ring, tree) = setup(80, 8);
+        let mut sim = GatherSim::new(
+            &tree,
+            &ring,
+            FlowMode::Unsynchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+        );
+        sim.run_until(SimTime::from_secs(200));
+        assert_eq!(sim.views().last().unwrap().view.members, 80);
+        sim.kill_member(5);
+        sim.run_until(SimTime::from_secs(400));
+        let after = sim.views().last().unwrap().view.members;
+        assert!(after < 80, "crashed member still in the unsync census");
+    }
+
+    #[test]
+    fn rebuilt_tree_restores_full_census_after_crash() {
+        // The self-healing story end-to-end: crash → reduced view; ring
+        // repair (rebuild tree without the victim) → full view of the
+        // survivors.
+        let mut ring = Ring::with_random_ids((0..60u32).map(HostId), 13);
+        let tree = SomoTree::build(&ring, 8);
+        let mut sim = GatherSim::new(
+            &tree,
+            &ring,
+            FlowMode::Synchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+        );
+        sim.kill_member(30);
+        sim.run_until(SimTime::from_secs(60));
+        let degraded = sim.views().last().unwrap().view.members;
+        assert!(degraded < 60);
+
+        // The DHT detects the failure and drops the member; SOMO is a pure
+        // function of the ring, so the rebuilt tree covers all survivors.
+        let dead_id = ring.member(30).id;
+        ring.remove_id(dead_id).unwrap();
+        let tree2 = SomoTree::build(&ring, 8);
+        let mut sim2 = GatherSim::new(
+            &tree2,
+            &ring,
+            FlowMode::Synchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+        );
+        sim2.run_until(SimTime::from_secs(30));
+        assert_eq!(sim2.views().last().unwrap().view.members, 59);
+    }
+}

@@ -1,0 +1,304 @@
+//! Self-healing and self-optimization.
+//!
+//! **Healing.** SOMO has no repair protocol: the tree is a pure function of
+//! the ring membership, so when a node dies its zone — and every logical
+//! node whose point falls in it — passes to the ring successor. This module
+//! measures exactly how much of the tree is remapped by a membership change
+//! (the paper's LiquidEye observation: "each time the global view is
+//! regenerated after a short jitter").
+//!
+//! **Root swap (§3.2).** The root logical point (0.5 of the space) is hosted
+//! by whatever node happens to own it. To put the most capable machine at
+//! the top, SOMO identifies the strongest member by an upward merge-sort
+//! (a [`crate::report::CapabilityReport`] gather) and then the two nodes
+//! simply *exchange IDs* — a purely logical operation that moves the root
+//! onto the capable machine without disturbing any other peer.
+
+use dht::ring::Member;
+use dht::Ring;
+use netsim::HostId;
+
+use crate::report::{CapabilityReport, Report};
+use crate::tree::SomoTree;
+
+/// How a membership change remapped the SOMO tree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RemapStats {
+    /// Logical nodes in the new tree.
+    pub total: usize,
+    /// Logical nodes whose hosting member changed (matched by region).
+    pub remapped: usize,
+    /// Logical nodes that exist only in the new tree (finer subdivision).
+    pub created: usize,
+    /// Logical nodes of the old tree that no longer exist (regions merged
+    /// away — e.g. the subdivision around a departed member's ID).
+    pub dropped: usize,
+}
+
+impl RemapStats {
+    /// Fraction of surviving logical nodes that moved hosts.
+    pub fn remap_fraction(&self) -> f64 {
+        let survived = self.total - self.created;
+        if survived == 0 {
+            0.0
+        } else {
+            self.remapped as f64 / survived as f64
+        }
+    }
+}
+
+/// Compare two tree snapshots (before/after a membership change); hosts are
+/// matched by *member identity* (`HostId`), not ring index, because indices
+/// shift on insert/remove.
+pub fn remap_stats(before: &SomoTree, before_ring: &Ring, after: &SomoTree, after_ring: &Ring) -> RemapStats {
+    use std::collections::HashMap;
+    let mut old: HashMap<(u128, u128), HostId> = HashMap::new();
+    for n in before.nodes() {
+        old.insert(n.region, before_ring.member(n.host).host);
+    }
+    let mut stats = RemapStats {
+        total: after.len(),
+        ..Default::default()
+    };
+    let mut survived = 0usize;
+    for n in after.nodes() {
+        match old.get(&n.region) {
+            None => stats.created += 1,
+            Some(&h) => {
+                survived += 1;
+                if h != after_ring.member(n.host).host {
+                    stats.remapped += 1;
+                }
+            }
+        }
+    }
+    stats.dropped = before.len() - survived;
+    stats
+}
+
+/// Run the upward merge-sort for the most capable member and swap its ID
+/// with the current root owner's. Returns the host now owning the root, or
+/// `None` if the ring is empty.
+///
+/// `capability(host)` scores a member (e.g. CPU × uptime, or the degree
+/// bound in the ALM setting).
+pub fn optimize_root(ring: &mut Ring, capability: impl Fn(HostId) -> f64) -> Option<HostId> {
+    if ring.is_empty() {
+        return None;
+    }
+    // The upward merge-sort: fold every member's capability report — this
+    // is what the CapabilityReport gather computes at the SOMO root (see
+    // `optimize_root_via_gather` for the message-level version).
+    let mut best = CapabilityReport::default();
+    for m in ring.members() {
+        best.merge(&CapabilityReport::of_member(m.host, capability(m.host)));
+    }
+    let (best_host, _) = best.best.expect("non-empty ring");
+
+    let root_point = crate::tree::root_point();
+    let root_idx = ring.owner(root_point);
+    let root_member = ring.member(root_idx);
+    if root_member.host == best_host {
+        return Some(best_host); // already optimal
+    }
+    let best_idx = ring
+        .members()
+        .iter()
+        .position(|m| m.host == best_host)
+        .expect("best host is a member");
+    let best_member = ring.member(best_idx);
+
+    // Exchange IDs: remove both, reinsert with swapped IDs.
+    ring.remove_id(root_member.id);
+    ring.remove_id(best_member.id);
+    ring.insert(Member {
+        id: root_member.id,
+        host: best_member.host,
+    });
+    ring.insert(Member {
+        id: best_member.id,
+        host: root_member.host,
+    });
+    Some(best_host)
+}
+
+/// The message-level root swap: run a synchronized [`CapabilityReport`]
+/// gather over the live SOMO tree (the literal "upward merge-sort through
+/// SOMO"), then exchange IDs with the winner. Returns the host now owning
+/// the root, or `None` if the ring is empty or the gather produced no view
+/// within `horizon`.
+pub fn optimize_root_via_gather(
+    ring: &mut Ring,
+    fanout: usize,
+    capability: impl Fn(HostId) -> f64,
+    delay: impl Fn(usize, usize) -> simcore::SimTime,
+    period: simcore::SimTime,
+    horizon: simcore::SimTime,
+) -> Option<HostId> {
+    use crate::flow::{FlowMode, GatherSim};
+
+    if ring.is_empty() {
+        return None;
+    }
+    let tree = SomoTree::build(ring, fanout);
+    let mut sim = GatherSim::new(
+        &tree,
+        &*ring,
+        FlowMode::Synchronized,
+        period,
+        |member, _now| {
+            let h = ring.member(member).host;
+            CapabilityReport::of_member(h, capability(h))
+        },
+        delay,
+    );
+    sim.run_until(horizon);
+    let (best_host, _) = sim.views().last()?.view.best?;
+
+    // Same ID exchange as the direct path.
+    let root_idx = ring.owner(crate::tree::root_point());
+    let root_member = ring.member(root_idx);
+    if root_member.host == best_host {
+        return Some(best_host);
+    }
+    let best_idx = ring
+        .members()
+        .iter()
+        .position(|m| m.host == best_host)
+        .expect("winner is a member");
+    let best_member = ring.member(best_idx);
+    ring.remove_id(root_member.id);
+    ring.remove_id(best_member.id);
+    ring.insert(Member {
+        id: root_member.id,
+        host: best_member.host,
+    });
+    ring.insert(Member {
+        id: best_member.id,
+        host: root_member.host,
+    });
+    Some(best_host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u32, seed: u64) -> Ring {
+        Ring::with_random_ids((0..n).map(HostId), seed)
+    }
+
+    #[test]
+    fn failure_remaps_only_a_small_tree_fraction() {
+        let mut r = ring(200, 21);
+        let before = SomoTree::build(&r, 8);
+        let before_ring = r.clone();
+        // Kill one node.
+        let victim = r.member(37).id;
+        r.remove_id(victim).unwrap();
+        let after = SomoTree::build(&r, 8);
+        let stats = remap_stats(&before, &before_ring, &after, &r);
+        assert!(stats.total > 0);
+        // One zone out of 200 absorbs the victim's logical nodes; the
+        // rest of the tree must be untouched.
+        assert!(
+            stats.remap_fraction() < 0.1,
+            "remap fraction {} too high",
+            stats.remap_fraction()
+        );
+        // Something local must have changed: the victim's zone region
+        // either remapped, merged away, or got re-subdivided.
+        assert!(
+            stats.remapped + stats.dropped + stats.created > 0,
+            "failure left the tree bit-identical"
+        );
+    }
+
+    #[test]
+    fn unrelated_join_touches_little() {
+        let mut r = ring(200, 22);
+        let before = SomoTree::build(&r, 8);
+        let before_ring = r.clone();
+        r.insert(Member {
+            id: dht::NodeId::hash_of(0x1011),
+            host: HostId(9999),
+        });
+        let after = SomoTree::build(&r, 8);
+        let stats = remap_stats(&before, &before_ring, &after, &r);
+        assert!(stats.remap_fraction() < 0.1);
+    }
+
+    #[test]
+    fn root_swap_moves_root_to_most_capable() {
+        let mut r = ring(64, 23);
+        // Host 42 is the beast.
+        let cap = |h: HostId| if h == HostId(42) { 100.0 } else { 1.0 };
+        let new_root = optimize_root(&mut r, cap).unwrap();
+        assert_eq!(new_root, HostId(42));
+        let tree = SomoTree::build(&r, 8);
+        assert_eq!(r.member(tree.root().host).host, HostId(42));
+    }
+
+    #[test]
+    fn root_swap_is_idempotent() {
+        let mut r = ring(64, 24);
+        let cap = |h: HostId| if h == HostId(7) { 9.0 } else { 1.0 };
+        optimize_root(&mut r, cap);
+        let snapshot: Vec<_> = r.members().to_vec();
+        optimize_root(&mut r, cap);
+        assert_eq!(snapshot, r.members().to_vec(), "second swap changed the ring");
+    }
+
+    #[test]
+    fn root_swap_disturbs_no_other_peer() {
+        let mut r = ring(64, 25);
+        let before: Vec<_> = r.members().to_vec();
+        let cap = |h: HostId| h.0 as f64; // host 63 wins
+        optimize_root(&mut r, cap).unwrap();
+        let after: Vec<_> = r.members().to_vec();
+        // Same ID multiset.
+        let ids_b: Vec<_> = before.iter().map(|m| m.id).collect();
+        let ids_a: Vec<_> = after.iter().map(|m| m.id).collect();
+        assert_eq!(ids_b, ids_a);
+        // Exactly two members changed their binding.
+        let moved = before
+            .iter()
+            .zip(&after)
+            .filter(|(b, a)| b.host != a.host)
+            .count();
+        assert_eq!(moved, 2);
+    }
+
+    #[test]
+    fn empty_ring_root_swap_is_none() {
+        let mut r = Ring::new();
+        assert_eq!(optimize_root(&mut r, |_| 1.0), None);
+    }
+
+    #[test]
+    fn gather_based_swap_matches_direct_swap() {
+        use simcore::SimTime;
+        let cap = |h: HostId| if h == HostId(13) { 50.0 } else { h.0 as f64 / 100.0 };
+        let mut direct = ring(48, 26);
+        let mut gathered = direct.clone();
+        let a = optimize_root(&mut direct, cap).unwrap();
+        let b = optimize_root_via_gather(
+            &mut gathered,
+            8,
+            cap,
+            |x, y| {
+                if x == y {
+                    SimTime::ZERO
+                } else {
+                    SimTime::from_millis(50)
+                }
+            },
+            SimTime::from_secs(5),
+            SimTime::from_secs(60),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, HostId(13));
+        assert_eq!(direct.members(), gathered.members());
+    }
+}

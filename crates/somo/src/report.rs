@@ -1,0 +1,141 @@
+//! Reports: the metadata SOMO gathers and disseminates.
+//!
+//! A report is anything that can be **merged** — the aggregation each
+//! internal SOMO node performs over its children's reports. The pool layer
+//! defines its own rich resource report (host candidates with coordinates,
+//! degree tables and bandwidth); this module provides the abstraction plus
+//! stock reports used by the infrastructure itself:
+//!
+//! * [`CensusReport`] — who is in the pool (membership count, zone
+//!   accounting) — the "news broadcast" sanity check;
+//! * [`CapabilityReport`] — the maximum-capability member, which drives the
+//!   §3.2 root-swap self-optimization ("make an upward merge-sort through
+//!   SOMO and first identify the most capable node").
+
+use netsim::HostId;
+use serde::{Deserialize, Serialize};
+
+/// Mergeable metadata. `merge` must be associative and commutative so that
+/// aggregation order (which depends on message timing) cannot change the
+/// root's view.
+pub trait Report: Clone {
+    /// Fold another report into this one.
+    fn merge(&mut self, other: &Self);
+}
+
+/// Membership census: how many members reported, and the extremes of their
+/// last-report timestamps (for staleness accounting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CensusReport {
+    /// Number of member reports folded in.
+    pub members: u64,
+    /// Sum of reported per-node free capacity (arbitrary units).
+    pub free_capacity: f64,
+}
+
+impl CensusReport {
+    /// The census contribution of one member.
+    pub fn of_member(free_capacity: f64) -> CensusReport {
+        CensusReport {
+            members: 1,
+            free_capacity,
+        }
+    }
+}
+
+impl Report for CensusReport {
+    fn merge(&mut self, other: &Self) {
+        self.members += other.members;
+        self.free_capacity += other.free_capacity;
+    }
+}
+
+/// Tracks the single most capable member seen — an upward merge-sort.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CapabilityReport {
+    /// The strongest member so far, if any reported.
+    pub best: Option<(HostId, f64)>,
+}
+
+impl CapabilityReport {
+    /// The contribution of one member with the given capability score.
+    pub fn of_member(host: HostId, capability: f64) -> CapabilityReport {
+        CapabilityReport {
+            best: Some((host, capability)),
+        }
+    }
+}
+
+impl Report for CapabilityReport {
+    fn merge(&mut self, other: &Self) {
+        match (self.best, other.best) {
+            (None, b) => self.best = b,
+            (Some(_), None) => {}
+            (Some((ah, ac)), Some((bh, bc))) => {
+                // Deterministic tie-break on host id.
+                if bc > ac || (bc == ac && bh < ah) {
+                    self.best = Some((bh, bc));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_merge_adds() {
+        let mut a = CensusReport::of_member(2.0);
+        a.merge(&CensusReport::of_member(3.0));
+        assert_eq!(a.members, 2);
+        assert_eq!(a.free_capacity, 5.0);
+    }
+
+    #[test]
+    fn census_merge_is_commutative() {
+        let xs = [1.0, 5.0, 2.5, 0.0];
+        let mut fwd = CensusReport::default();
+        let mut rev = CensusReport::default();
+        for &x in &xs {
+            fwd.merge(&CensusReport::of_member(x));
+        }
+        for &x in xs.iter().rev() {
+            rev.merge(&CensusReport::of_member(x));
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn capability_keeps_maximum() {
+        let mut r = CapabilityReport::default();
+        r.merge(&CapabilityReport::of_member(HostId(1), 10.0));
+        r.merge(&CapabilityReport::of_member(HostId(2), 30.0));
+        r.merge(&CapabilityReport::of_member(HostId(3), 20.0));
+        assert_eq!(r.best, Some((HostId(2), 30.0)));
+    }
+
+    #[test]
+    fn capability_tie_breaks_on_host_id() {
+        let mut a = CapabilityReport::of_member(HostId(9), 5.0);
+        a.merge(&CapabilityReport::of_member(HostId(2), 5.0));
+        assert_eq!(a.best, Some((HostId(2), 5.0)));
+        // And the same outcome in the other merge order.
+        let mut b = CapabilityReport::of_member(HostId(2), 5.0);
+        b.merge(&CapabilityReport::of_member(HostId(9), 5.0));
+        assert_eq!(b.best, Some((HostId(2), 5.0)));
+    }
+
+    #[test]
+    fn capability_merge_with_empty() {
+        let mut e = CapabilityReport::default();
+        e.merge(&CapabilityReport::default());
+        assert_eq!(e.best, None);
+        e.merge(&CapabilityReport::of_member(HostId(4), 1.0));
+        assert_eq!(e.best, Some((HostId(4), 1.0)));
+        let mut f = CapabilityReport::of_member(HostId(4), 1.0);
+        f.merge(&CapabilityReport::default());
+        assert_eq!(f.best, Some((HostId(4), 1.0)));
+    }
+}

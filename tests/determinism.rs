@@ -1,0 +1,92 @@
+//! Whole-stack determinism: every layer must be bit-reproducible from the
+//! master seed — the property that makes the figure binaries regenerable
+//! and failures debuggable.
+
+use p2p_resource_pool::prelude::*;
+
+fn build(seed: u64) -> ResourcePool {
+    ResourcePool::build(
+        &PoolConfig {
+            net: NetworkConfig {
+                num_hosts: 200,
+                ..NetworkConfig::default()
+            },
+            coord_rounds: 4,
+            ..PoolConfig::default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn pool_builds_identically_from_the_same_seed() {
+    let a = build(42);
+    let b = build(42);
+    // Underlay.
+    for h in a.net.hosts.ids() {
+        assert_eq!(
+            a.net.hosts.get(h).degree_bound,
+            b.net.hosts.get(h).degree_bound
+        );
+        assert_eq!(
+            a.net.hosts.get(h).bandwidth.up_kbps,
+            b.net.hosts.get(h).bandwidth.up_kbps
+        );
+    }
+    // Ring.
+    assert_eq!(a.ring.members(), b.ring.members());
+    // Metrics.
+    for h in a.net.hosts.ids() {
+        assert_eq!(a.coords.get(h), b.coords.get(h));
+        assert_eq!(a.bw.up(h), b.bw.up(h));
+    }
+    // Latency oracle.
+    for i in (0..200u32).step_by(17) {
+        for j in (0..200u32).step_by(13) {
+            assert_eq!(
+                a.net.latency_ms(HostId(i), HostId(j)),
+                b.net.latency_ms(HostId(i), HostId(j))
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_pools() {
+    let a = build(1);
+    let b = build(2);
+    assert_ne!(a.ring.members(), b.ring.members());
+}
+
+#[test]
+fn plans_are_identical_across_identical_pools() {
+    let mut a = build(7);
+    let mut b = build(7);
+    let members = a.sample_members(15, 9);
+    let spec = SessionSpec {
+        id: SessionId(1),
+        priority: 2,
+        root: members[0],
+        members,
+    };
+    let cfg = PlanConfig::default(); // the staged Leafset pipeline
+    let out_a = plan_and_reserve(&mut a, &spec, &cfg);
+    let out_b = plan_and_reserve(&mut b, &spec, &cfg);
+    assert_eq!(out_a.tree.hosts(), out_b.tree.hosts());
+    assert_eq!(out_a.oracle_height, out_b.oracle_height);
+    assert_eq!(out_a.helpers, out_b.helpers);
+    assert_eq!(out_a.improvement, out_b.improvement);
+}
+
+#[test]
+fn somo_tree_is_a_pure_function_of_the_ring() {
+    let a = build(11);
+    let t1 = SomoTree::build(&a.ring, 8);
+    let t2 = SomoTree::build(&a.ring, 8);
+    assert_eq!(t1.len(), t2.len());
+    for (x, y) in t1.nodes().iter().zip(t2.nodes()) {
+        assert_eq!(x.region, y.region);
+        assert_eq!(x.host, y.host);
+        assert_eq!(x.parent, y.parent);
+    }
+}
