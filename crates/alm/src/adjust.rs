@@ -194,7 +194,10 @@ mod tests {
                 assert!(moves > 0);
             }
         }
-        assert!(improved >= runs / 2, "adjust improved only {improved}/{runs} trees");
+        assert!(
+            improved >= runs / 2,
+            "adjust improved only {improved}/{runs} trees"
+        );
     }
 
     #[test]

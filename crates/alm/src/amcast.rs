@@ -97,12 +97,7 @@ pub(crate) fn greedy_engine<L: LatencyModel, D: Fn(HostId) -> u32>(
         let mut spliced: Option<HostId> = None;
         if p.free_child_slots(&tree, pu) == 1 {
             let siblings: Vec<HostId> = std::iter::once(u)
-                .chain(
-                    pending
-                        .iter()
-                        .copied()
-                        .filter(|v| best[v].1 == pu),
-                )
+                .chain(pending.iter().copied().filter(|v| best[v].1 == pu))
                 .collect();
             if let Some(h) = finder.find(&tree, pu, u, &siblings, p.latency) {
                 debug_assert!(!tree.contains(h), "helper already in tree");

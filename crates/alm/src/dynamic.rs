@@ -79,33 +79,268 @@ pub fn remove_member<L: LatencyModel, D: Fn(HostId) -> u32>(
         })
         .collect();
 
-    // Rebuild: walk the old tree in BFS order (parent-before-child even
-    // after adjustment surgery); everyone keeps their parent except v
-    // (skipped) and v's children (re-attached greedily).
+    // Two-phase rebuild. Phase 1 copies every survivor *outside* v's
+    // subtree first, so phase 2's orphans choose among ALL of them — the
+    // old single-pass rebuild only offered the BFS prefix, which hid free
+    // capacity later in the tree and produced spurious `NoCapacity`.
+    let in_subtree = subtree_of(tree, v);
     let mut rebuilt = MulticastTree::new(tree.root());
     for u in tree.bfs_order() {
-        if u == tree.root() || u == v {
+        if u == tree.root() || in_subtree.contains(&u) {
             continue;
         }
         let old_parent = tree.parent_of(u).expect("non-root has a parent");
-        if old_parent == v {
-            // Orphan: best node with *residual* capacity (only direct
-            // children of v take this branch — order is parent-first).
-            let (_, w) = rebuilt
-                .hosts()
-                .iter()
-                .copied()
-                .filter(|w| residual.get(w).copied().unwrap_or(0) > 0)
-                .map(|w| (rebuilt.height_of(w) + p.latency.latency_ms(w, u), w))
-                .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
-                .ok_or(NoCapacity)?;
-            *residual.get_mut(&w).expect("candidate accounted") -= 1;
-            rebuilt.attach(u, w, p.latency.latency_ms(w, u));
-        } else {
-            rebuilt.attach(u, old_parent, p.latency.latency_ms(old_parent, u));
-        }
+        rebuilt.attach(u, old_parent, p.latency.latency_ms(old_parent, u));
+    }
+    // Phase 2: attach each orphan subtree. Attaching one at a time against
+    // the growing `rebuilt` is cycle-safe: an orphan can never pick a parent
+    // inside its own (not-yet-placed) subtree.
+    for orphan in tree.children_of(v) {
+        let (_, w) = rebuilt
+            .hosts()
+            .iter()
+            .copied()
+            .filter(|w| residual.get(w).copied().unwrap_or(0) > 0)
+            .map(|w| (rebuilt.height_of(w) + p.latency.latency_ms(w, orphan), w))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+            .ok_or(NoCapacity)?;
+        *residual.get_mut(&w).expect("candidate accounted") -= 1;
+        rebuilt.attach(orphan, w, p.latency.latency_ms(w, orphan));
+        copy_subtree(
+            p,
+            tree,
+            &mut rebuilt,
+            orphan,
+            &std::collections::HashSet::new(),
+        );
     }
     Ok(rebuilt)
+}
+
+/// All hosts in the subtree rooted at `v` (including `v` itself).
+fn subtree_of(tree: &MulticastTree, v: HostId) -> std::collections::HashSet<HostId> {
+    let mut set = std::collections::HashSet::new();
+    let mut stack = vec![v];
+    while let Some(u) = stack.pop() {
+        if set.insert(u) {
+            stack.extend(tree.children_of(u));
+        }
+    }
+    set
+}
+
+/// Copy the descendants of `top` (already present in `rebuilt`) with their
+/// old parent edges, parent-before-child. Hosts in `skip` are not copied
+/// and not descended into (a crashed node's live children re-attach on
+/// their own as orphans).
+fn copy_subtree<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    tree: &MulticastTree,
+    rebuilt: &mut MulticastTree,
+    top: HostId,
+    skip: &std::collections::HashSet<HostId>,
+) {
+    let mut queue = std::collections::VecDeque::from(tree.children_of(top));
+    while let Some(u) = queue.pop_front() {
+        if skip.contains(&u) {
+            continue;
+        }
+        let parent = tree.parent_of(u).expect("subtree node has a parent");
+        rebuilt.attach(u, parent, p.latency.latency_ms(parent, u));
+        queue.extend(tree.children_of(u));
+    }
+}
+
+/// Tuning for [`reattach_orphans`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReattachConfig {
+    /// Delay before the first retry; doubles on each subsequent attempt
+    /// (exponential backoff, step capped at `backoff · 2^6`).
+    pub backoff: simcore::SimTime,
+    /// Attempts per orphan before giving up (first try included).
+    pub max_attempts: u32,
+}
+
+impl Default for ReattachConfig {
+    fn default() -> Self {
+        ReattachConfig {
+            backoff: simcore::SimTime::from_millis(500),
+            max_attempts: 12,
+        }
+    }
+}
+
+/// What [`reattach_orphans`] accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ReattachReport {
+    /// Orphan subtrees successfully re-attached.
+    pub reattached: usize,
+    /// Failed attempts across all orphans (dead or saturated picks).
+    pub retries: u64,
+    /// Orphans abandoned after `max_attempts` failures.
+    pub gave_up: usize,
+    /// Simulated wall time the repair took (dominated by backoff waits;
+    /// orphans retry independently, so this is the *maximum* per-orphan
+    /// duration, not the sum).
+    pub duration: simcore::SimTime,
+}
+
+/// Crash repair for a live session: every host in `dead` vanishes at once
+/// and each orphaned subtree re-attaches by itself, retrying with
+/// exponential backoff.
+///
+/// Unlike [`remove_member`] (a graceful leave, where the leaver hands its
+/// children a consistent view), crash orphans work from a **stale view**:
+/// their candidate list still contains the dead hosts. An attempt that
+/// picks a dead or degree-saturated parent fails and is retried after
+/// `backoff · 2^k`, dropping that candidate. The repaired tree contains
+/// every survivor whose orphan ancestor found a slot; subtrees whose orphan
+/// gave up are left out (counted in [`ReattachReport::gave_up`]).
+///
+/// # Panics
+/// If `dead` contains the root (the session ends instead).
+pub fn reattach_orphans<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    tree: &MulticastTree,
+    dead: &[HostId],
+    cfg: &ReattachConfig,
+) -> (MulticastTree, ReattachReport) {
+    use std::collections::HashSet;
+    let dead_set: HashSet<HostId> = dead.iter().copied().collect();
+    assert!(
+        !dead_set.contains(&tree.root()),
+        "the session root cannot crash here"
+    );
+
+    // Survivors outside every dead subtree keep their edges; the roots of
+    // the remaining fragments (live children of dead nodes whose own parent
+    // chain is otherwise intact) are the orphans.
+    let mut rebuilt = MulticastTree::new(tree.root());
+    let mut orphans: Vec<HostId> = Vec::new();
+    for u in tree.bfs_order() {
+        if u == tree.root() || dead_set.contains(&u) {
+            continue;
+        }
+        let parent = tree.parent_of(u).expect("non-root has a parent");
+        if dead_set.contains(&parent) {
+            orphans.push(u);
+        } else if rebuilt.contains(parent) {
+            rebuilt.attach(u, parent, p.latency.latency_ms(parent, u));
+        } else {
+            // The parent is alive but hangs under a dead ancestor: this
+            // node travels with its orphan ancestor's subtree.
+        }
+    }
+
+    // Residual capacity of every survivor, counting only edges that made it
+    // into the rebuilt fragment rooted at the tree root (orphan subtrees
+    // keep their internal edges, accounted when each subtree lands).
+    let mut residual: std::collections::HashMap<HostId, i64> = tree
+        .hosts()
+        .iter()
+        .filter(|u| !dead_set.contains(u))
+        .map(|&u| {
+            let live_children = tree
+                .children_of(u)
+                .iter()
+                .filter(|c| !dead_set.contains(c))
+                .count() as i64;
+            let has_parent = i64::from(u != tree.root());
+            ((u), (p.dbound)(u) as i64 - live_children - has_parent)
+        })
+        .collect();
+
+    // Per-orphan retry state. Exclusions are *learned refusals*: a dead
+    // pick (no answer) or a saturated pick (explicit refusal) is never
+    // retried. A pick that is merely still orphaned itself (its own subtree
+    // has not landed yet) is NOT excluded — after the backoff it may have
+    // re-attached, exactly as in a live system.
+    struct Pending {
+        orphan: HostId,
+        excluded: HashSet<HostId>,
+        attempts: u32,
+        waited: simcore::SimTime,
+    }
+    let mut pending: Vec<Pending> = orphans
+        .into_iter()
+        .map(|orphan| Pending {
+            excluded: subtree_of(tree, orphan),
+            orphan,
+            attempts: 0,
+            waited: simcore::SimTime::ZERO,
+        })
+        .collect();
+
+    let mut report = ReattachReport::default();
+    // Rounds: every still-orphaned subtree scans its candidates once per
+    // round. Within a round, a pick that is still detached itself is
+    // soft-skipped (one attempt + backoff, then the next-nearest candidate);
+    // the soft set clears between rounds, so once that subtree lands the
+    // orphan may still choose it. Attempts are bounded by `max_attempts`.
+    loop {
+        let mut any_attempt = false;
+        let mut still_pending = Vec::new();
+        for mut st in pending {
+            let mut soft: HashSet<HostId> = HashSet::new();
+            let mut attached = false;
+            while st.attempts < cfg.max_attempts {
+                let pick = tree
+                    .hosts()
+                    .iter()
+                    .copied()
+                    .filter(|w| !st.excluded.contains(w) && !soft.contains(w))
+                    .map(|w| (p.latency.latency_ms(w, st.orphan), w))
+                    .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+                    .map(|(_, w)| w);
+                let Some(w) = pick else {
+                    if soft.is_empty() {
+                        st.attempts = cfg.max_attempts; // stale view exhausted
+                    }
+                    break; // otherwise: wait a round, detached picks may land
+                };
+                any_attempt = true;
+                st.attempts += 1;
+                if !dead_set.contains(&w)
+                    && rebuilt.contains(w)
+                    && residual.get(&w).copied().unwrap_or(0) > 0
+                {
+                    *residual.get_mut(&w).expect("live candidate") -= 1;
+                    rebuilt.attach(st.orphan, w, p.latency.latency_ms(w, st.orphan));
+                    copy_subtree(p, tree, &mut rebuilt, st.orphan, &dead_set);
+                    report.reattached += 1;
+                    report.duration = report.duration.max(st.waited);
+                    attached = true;
+                    break;
+                }
+                // Failed attempt: dead picks (no answer) and saturated picks
+                // (explicit refusal) are dropped for good; a pick that is
+                // merely detached right now is retried in a later round.
+                report.retries += 1;
+                if dead_set.contains(&w) || rebuilt.contains(w) {
+                    st.excluded.insert(w);
+                } else {
+                    soft.insert(w);
+                }
+                st.waited += simcore::SimTime::from_micros(
+                    cfg.backoff
+                        .as_micros()
+                        .saturating_mul(1u64 << (st.attempts - 1).min(6)),
+                );
+            }
+            if !attached {
+                still_pending.push(st);
+            }
+        }
+        pending = still_pending;
+        if !any_attempt {
+            break;
+        }
+    }
+    for st in pending {
+        report.gave_up += 1;
+        report.duration = report.duration.max(st.waited);
+    }
+    (rebuilt, report)
 }
 
 /// Remove helpers (tree nodes outside `members`) that have no children,
@@ -121,9 +356,7 @@ pub fn prune_idle_helpers<L: LatencyModel, D: Fn(HostId) -> u32>(
             .hosts()
             .iter()
             .copied()
-            .filter(|h| {
-                !members.contains(h) && *h != tree.root() && tree.child_count(*h) == 0
-            })
+            .filter(|h| !members.contains(h) && *h != tree.root() && tree.child_count(*h) == 0)
             .collect();
         if idle.is_empty() {
             return pruned;
@@ -283,6 +516,93 @@ mod tests {
         for h in &pruned {
             assert!(!t.contains(*h));
         }
+    }
+
+    #[test]
+    fn crash_repair_reattaches_all_survivors() {
+        let net = net();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let members = session(&net, 40, 7);
+        let p = Problem::new(members[0], members.clone(), &net.latency, dbound);
+        let t = amcast(&p);
+        // Crash three non-root members at once.
+        let dead: Vec<HostId> = members
+            .iter()
+            .copied()
+            .filter(|&m| m != t.root())
+            .take(3)
+            .collect();
+        let (repaired, report) = reattach_orphans(&p, &t, &dead, &ReattachConfig::default());
+        assert_eq!(report.gave_up, 0, "orphans gave up: {report:?}");
+        repaired.validate(&net.latency, dbound).unwrap();
+        for m in &members {
+            if dead.contains(m) {
+                assert!(!repaired.contains(*m), "dead host still in tree");
+            } else {
+                assert!(repaired.contains(*m), "survivor lost in repair");
+            }
+        }
+    }
+
+    struct Table;
+    impl LatencyModel for Table {
+        fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+            let (a, b) = (a.0.min(b.0), a.0.max(b.0));
+            match (a, b) {
+                _ if a == b => 0.0,
+                (1, 2) => 1.0, // the dead host is the orphan's closest pick
+                (2, 3) => 2.0,
+                (0, 2) => 3.0,
+                _ => 10.0,
+            }
+        }
+        fn num_hosts(&self) -> usize {
+            4
+        }
+    }
+
+    fn chain_tree() -> MulticastTree {
+        // 0 → 1 → 2, plus 3 under 0.
+        let mut t = MulticastTree::new(HostId(0));
+        t.attach(HostId(1), HostId(0), Table.latency_ms(HostId(0), HostId(1)));
+        t.attach(HostId(2), HostId(1), Table.latency_ms(HostId(1), HostId(2)));
+        t.attach(HostId(3), HostId(0), Table.latency_ms(HostId(0), HostId(3)));
+        t
+    }
+
+    #[test]
+    fn crash_repair_retries_past_a_dead_first_choice() {
+        // Orphan 2's stale view ranks the dead host 1 first: the first
+        // attempt must fail, back off, and the second succeed.
+        let dbound = |_h: HostId| 4u32;
+        let members: Vec<HostId> = (0..4).map(HostId).collect();
+        let p = Problem::new(HostId(0), members, &Table, dbound);
+        let t = chain_tree();
+        let cfg = ReattachConfig::default();
+        let (repaired, report) = reattach_orphans(&p, &t, &[HostId(1)], &cfg);
+        assert_eq!(report.reattached, 1);
+        assert_eq!(report.retries, 1, "dead first choice must cost a retry");
+        assert_eq!(report.gave_up, 0);
+        assert_eq!(report.duration, cfg.backoff, "one backoff step expected");
+        assert_eq!(repaired.parent_of(HostId(2)), Some(HostId(3)));
+        repaired.validate(&Table, dbound).unwrap();
+    }
+
+    #[test]
+    fn crash_repair_gives_up_when_attempts_run_out() {
+        let dbound = |_h: HostId| 4u32;
+        let members: Vec<HostId> = (0..4).map(HostId).collect();
+        let p = Problem::new(HostId(0), members, &Table, dbound);
+        let t = chain_tree();
+        let cfg = ReattachConfig {
+            max_attempts: 1,
+            ..ReattachConfig::default()
+        };
+        let (repaired, report) = reattach_orphans(&p, &t, &[HostId(1)], &cfg);
+        assert_eq!(report.gave_up, 1, "one attempt hits the dead host only");
+        assert_eq!(report.reattached, 0);
+        assert!(!repaired.contains(HostId(2)));
+        repaired.validate(&Table, dbound).unwrap();
     }
 
     #[test]

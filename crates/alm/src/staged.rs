@@ -67,7 +67,11 @@ where
 
     // Stage 2: contact the shortlisted helpers — their latencies become
     // measured — and replan against the shortlist only.
-    let measured: Vec<HostId> = members.iter().copied().chain(shortlist.iter().copied()).collect();
+    let measured: Vec<HostId> = members
+        .iter()
+        .copied()
+        .chain(shortlist.iter().copied())
+        .collect();
     let hybrid2 = MeasuredSetLatency::new(measured, measure, estimate);
     let p2 = Problem::new(root, members.to_vec(), &hybrid2, &dbound);
     let mut pool2 = pool.clone();
@@ -122,7 +126,15 @@ mod tests {
         let members = session(&net, 25, 1);
         let dbound = |h: HostId| net.hosts.degree_bound(h);
         let pool = HelperPool::new(net.hosts.ids().collect());
-        let t = staged_plan(members[0], &members, &net.latency, &coords, dbound, &pool, true);
+        let t = staged_plan(
+            members[0],
+            &members,
+            &net.latency,
+            &coords,
+            dbound,
+            &pool,
+            true,
+        );
         t.validate(&net.latency, dbound).unwrap();
         for &m in &members {
             assert!(t.contains(m));

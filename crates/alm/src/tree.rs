@@ -238,8 +238,7 @@ impl MulticastTree {
         // Heights match latencies.
         for i in 1..self.nodes.len() {
             let p = self.parent[i].unwrap();
-            let expect =
-                self.height[p] + latency.latency_ms(self.nodes[p], self.nodes[i]);
+            let expect = self.height[p] + latency.latency_ms(self.nodes[p], self.nodes[i]);
             if (self.height[i] - expect).abs() > 1e-6 {
                 return Err(format!(
                     "height of {:?} is {} but links sum to {}",

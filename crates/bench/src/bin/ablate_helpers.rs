@@ -47,8 +47,14 @@ fn main() {
     let (imp_mm, h_mm) = sweep(&net, seed, |pool| {
         pool.strategy = HelperStrategy::MinMaxSibling;
     });
-    println!("  Closest        {:>6.1}%  ({h_close:.2} helpers)", imp_close * 100.0);
-    println!("  MinMaxSibling  {:>6.1}%  ({h_mm:.2} helpers)", imp_mm * 100.0);
+    println!(
+        "  Closest        {:>6.1}%  ({h_close:.2} helpers)",
+        imp_close * 100.0
+    );
+    println!(
+        "  MinMaxSibling  {:>6.1}%  ({h_mm:.2} helpers)",
+        imp_mm * 100.0
+    );
 
     // 3. Minimum helper degree.
     println!("\nablation 3 — minimum helper degree (condition 2):");

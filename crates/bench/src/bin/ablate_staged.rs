@@ -89,10 +89,22 @@ fn main() {
     let oracle = mean(&results.iter().map(|r| r.3).collect::<Vec<_>>());
 
     println!("\nimprovement over AMCast at group size {GROUP} ({RUNS} runs, +adjust everywhere):");
-    println!("  naive  (all pairs estimated)      {:>7.1}%", naive * 100.0);
-    println!("  hybrid (members measured)         {:>7.1}%", hybrid * 100.0);
-    println!("  staged (contact & replan)         {:>7.1}%", staged * 100.0);
-    println!("  oracle (Critical ceiling)         {:>7.1}%", oracle * 100.0);
+    println!(
+        "  naive  (all pairs estimated)      {:>7.1}%",
+        naive * 100.0
+    );
+    println!(
+        "  hybrid (members measured)         {:>7.1}%",
+        hybrid * 100.0
+    );
+    println!(
+        "  staged (contact & replan)         {:>7.1}%",
+        staged * 100.0
+    );
+    println!(
+        "  oracle (Critical ceiling)         {:>7.1}%",
+        oracle * 100.0
+    );
     println!("\n(expected ordering: naive < hybrid < staged ≤ oracle — the staged loop is\n what keeps coordinate error out of the tree's critical path)");
 
     dump_json(

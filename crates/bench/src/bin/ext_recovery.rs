@@ -1,0 +1,206 @@
+//! Extension experiment: end-to-end churn recovery under message loss.
+//!
+//! `ext_churn` measures the exposure window on a perfect network. This
+//! binary runs the full [`pool::recovery`] pipeline — heartbeat detection →
+//! ring expulsion → SOMO rebuild + regather → ALM orphan reattachment —
+//! while the fault layer drops and jitters messages, sweeping loss rate ×
+//! crash count and reporting per-phase times:
+//!
+//! * **time-to-detect** — crash until the first live view expires a victim;
+//! * **time-to-expel** — crash until no live view contains any victim;
+//! * **time-to-full-repair** — crash until the rebuilt SOMO root holds a
+//!   full survivor census *and* every ALM orphan is re-attached;
+//! * **census completeness** during exposure and after repair;
+//! * **ALM delivery disruption** during exposure, and reattach retries.
+//!
+//! Two sanity anchors are asserted:
+//! * at 0% loss the exposure-window completeness reproduces `ext_churn`'s
+//!   numbers bit-for-bit (same seeds, same gather), and
+//! * at 5% loss with 8 crashes the pipeline still reaches a 100%
+//!   post-repair census.
+//!
+//! Run with: `cargo run --release -p bench --bin ext_recovery`
+
+use bench::{dump_json, mean, parallel_runs};
+use dht::Ring;
+use netsim::HostId;
+use pool::recovery::{run_pipeline, RecoveryConfig, RecoveryOutcome};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde_json::json;
+use simcore::{FaultPlan, SimTime};
+use somo::flow::{FlowMode, FreshnessReport, GatherSim};
+use somo::SomoTree;
+
+const N: u32 = 512;
+const TRIALS: usize = 5;
+const HOP: SimTime = SimTime::from_millis(200);
+const T: SimTime = SimTime::from_secs(5);
+const LOSSES: [f64; 3] = [0.0, 0.01, 0.05];
+const CRASHES: [usize; 3] = [1, 4, 8];
+
+/// `ext_churn`'s phase-1 measurement, recomputed verbatim (same seeds, same
+/// victim shuffle, same synchronized gather): the fraction of surviving
+/// members the un-repaired tree's root still reports at t = 60 s.
+fn churn_stale_completeness(f: usize, trial: usize) -> f64 {
+    let seed = 40 + trial as u64;
+    let ring = Ring::with_random_ids((0..N).map(HostId), seed);
+    let tree = SomoTree::build(&ring, 8);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 100);
+    let mut victims: Vec<usize> = (0..ring.len()).collect();
+    victims.shuffle(&mut rng);
+    let victims = &victims[..f];
+    let mut sim = GatherSim::new(
+        &tree,
+        &ring,
+        FlowMode::Synchronized,
+        T,
+        |_m, now| FreshnessReport::of_member(now),
+        |a, b| if a == b { SimTime::ZERO } else { HOP },
+    );
+    for &v in victims {
+        sim.kill_member(v);
+    }
+    sim.run_until(SimTime::from_secs(60));
+    let alive = (N as usize - f) as f64;
+    sim.views()
+        .last()
+        .map(|v| v.view.members as f64)
+        .unwrap_or(0.0)
+        / alive
+}
+
+fn cfg_for(loss: f64, crashes: usize, trial: usize) -> RecoveryConfig {
+    let seed = 40 + trial as u64;
+    let plan = if loss == 0.0 {
+        FaultPlan::none()
+    } else {
+        FaultPlan::with_loss(simcore::rng::derive_seed(seed, 5), loss)
+            .jitter(SimTime::from_millis(20))
+    };
+    RecoveryConfig {
+        n: N,
+        seed,
+        crashes,
+        plan,
+        hop: HOP,
+        gather_period: T,
+        ..RecoveryConfig::default()
+    }
+}
+
+fn secs(t: Option<SimTime>, from: SimTime) -> f64 {
+    t.map(|t| t.saturating_sub(from).as_micros() as f64 / 1e6)
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    println!("End-to-end churn recovery, loss × crashes sweep (N = {N}, {TRIALS} trials):");
+    println!(
+        "{:>6} {:>3} {:>10} {:>10} {:>12} {:>8} {:>8} {:>10} {:>8}",
+        "loss", "f", "detect(s)", "expel(s)", "repair(s)", "stale", "post", "disrupt", "retries"
+    );
+
+    let combos: Vec<(f64, usize)> = LOSSES
+        .iter()
+        .flat_map(|&l| CRASHES.iter().map(move |&c| (l, c)))
+        .collect();
+    let mut rows = Vec::new();
+    for &(loss, f) in &combos {
+        let outs: Vec<RecoveryOutcome> =
+            parallel_runs(TRIALS, |trial| run_pipeline(&cfg_for(loss, f, trial)));
+
+        for (trial, out) in outs.iter().enumerate() {
+            if loss == 0.0 {
+                // Anchor 1: fault-free exposure must reproduce ext_churn.
+                let anchor = churn_stale_completeness(f, trial);
+                assert_eq!(
+                    out.stale_completeness, anchor,
+                    "0-loss exposure diverged from ext_churn (f={f}, trial={trial})"
+                );
+                assert_eq!(out.dht_dropped + out.gather_dropped, 0);
+            }
+            if loss == 0.05 && f == 8 {
+                // Anchor 2: the pipeline repairs fully under heavy faults.
+                let tl = &out.timeline;
+                assert_eq!(
+                    out.post_completeness, 1.0,
+                    "post-repair census incomplete at 5% loss (trial {trial})"
+                );
+                assert!(
+                    tl.detected_at.is_some()
+                        && tl.expelled_at.is_some()
+                        && tl.rebuilt_at.is_some()
+                        && tl.reattached_at.is_some(),
+                    "timeline has holes at 5% loss (trial {trial}): {tl:?}"
+                );
+            }
+        }
+
+        let crash = outs[0].timeline.crash_at;
+        let detect: Vec<f64> = outs
+            .iter()
+            .map(|o| secs(o.timeline.detected_at, crash))
+            .collect();
+        let expel: Vec<f64> = outs
+            .iter()
+            .map(|o| secs(o.timeline.expelled_at, crash))
+            .collect();
+        let repair: Vec<f64> = outs
+            .iter()
+            .map(|o| secs(o.timeline.reattached_at, crash))
+            .collect();
+        let stale: Vec<f64> = outs.iter().map(|o| o.stale_completeness).collect();
+        let post: Vec<f64> = outs.iter().map(|o| o.post_completeness).collect();
+        let disrupt: Vec<f64> = outs.iter().map(|o| o.delivery_disruption).collect();
+        let retries: u64 = outs.iter().map(|o| o.timeline.reattach_retries).sum();
+        let gave_up: usize = outs.iter().map(|o| o.alm.gave_up).sum();
+        let dropped: u64 = outs.iter().map(|o| o.dht_dropped + o.gather_dropped).sum();
+        println!(
+            "{:>5.0}% {:>3} {:>10.1} {:>10.1} {:>12.1} {:>7.1}% {:>7.1}% {:>9.1}% {:>8}",
+            loss * 100.0,
+            f,
+            mean(&detect),
+            mean(&expel),
+            mean(&repair),
+            mean(&stale) * 100.0,
+            mean(&post) * 100.0,
+            mean(&disrupt) * 100.0,
+            retries
+        );
+        rows.push(json!({
+            "loss": loss,
+            "crashes": f,
+            "time_to_detect_s": mean(&detect),
+            "time_to_expel_s": mean(&expel),
+            "time_to_full_repair_s": mean(&repair),
+            "stale_completeness": mean(&stale),
+            "post_completeness": mean(&post),
+            "delivery_disruption": mean(&disrupt),
+            "reattach_retries": retries,
+            "reattach_gave_up": gave_up,
+            "messages_dropped": dropped,
+            "timelines": outs.iter().map(|o| json!({
+                "detected_at_us": o.timeline.detected_at.map(|t| t.as_micros()),
+                "expelled_at_us": o.timeline.expelled_at.map(|t| t.as_micros()),
+                "rebuilt_at_us": o.timeline.rebuilt_at.map(|t| t.as_micros()),
+                "reattached_at_us": o.timeline.reattached_at.map(|t| t.as_micros()),
+                "remap_fraction": o.timeline.remap.remap_fraction(),
+            })).collect::<Vec<_>>(),
+        }));
+    }
+
+    println!(
+        "\n(detection is one failure-detection timeout; expulsion adds the gossip tail;\n full repair adds the regather's convergence and the ALM backoff — all of it\n survives 5% message loss with a 100% post-repair census)"
+    );
+    dump_json(
+        "ext_recovery",
+        &json!({
+            "n": N,
+            "trials": TRIALS,
+            "losses": LOSSES,
+            "crashes": CRASHES,
+            "rows": rows,
+        }),
+    );
+}

@@ -35,7 +35,11 @@ fn main() {
         })
         .solve(&net.latency, seed + 10 + n as u64);
         let cdf = relative_error_cdf(&net.latency, &store, &pairs);
-        rows.push((format!("GNP-{n}"), cdf.quantile(0.5).unwrap(), cdf.quantile(0.9).unwrap()));
+        rows.push((
+            format!("GNP-{n}"),
+            cdf.quantile(0.5).unwrap(),
+            cdf.quantile(0.9).unwrap(),
+        ));
         curves.push((format!("GNP-{n}"), cdf));
     }
 

@@ -70,8 +70,18 @@ fn main() {
             mean(&results.iter().map(|r| r.leafset_plain).collect::<Vec<_>>()),
             mean(&results.iter().map(|r| r.leafset_adj).collect::<Vec<_>>()),
             mean(&results.iter().map(|r| r.bound).collect::<Vec<_>>()),
-            mean(&results.iter().map(|r| r.helpers_critical).collect::<Vec<_>>()),
-            mean(&results.iter().map(|r| r.helpers_leafset).collect::<Vec<_>>()),
+            mean(
+                &results
+                    .iter()
+                    .map(|r| r.helpers_critical)
+                    .collect::<Vec<_>>(),
+            ),
+            mean(
+                &results
+                    .iter()
+                    .map(|r| r.helpers_leafset)
+                    .collect::<Vec<_>>(),
+            ),
         );
         println!(
             "{:>6} {:>11.1}% {:>9.1}% {:>13.1}% {:>9.1}% {:>12.1}% {:>7.1}%",

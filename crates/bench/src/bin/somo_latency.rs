@@ -17,7 +17,9 @@ use dht::Ring;
 use netsim::HostId;
 use serde_json::json;
 use simcore::SimTime;
-use somo::flow::{sync_staleness_bound, unsync_staleness_bound, FlowMode, FreshnessReport, GatherSim};
+use somo::flow::{
+    sync_staleness_bound, unsync_staleness_bound, FlowMode, FreshnessReport, GatherSim,
+};
 use somo::SomoTree;
 
 const HOP: SimTime = SimTime::from_millis(200);
@@ -37,8 +39,18 @@ fn main() {
         for &k in &fanouts {
             let ring = Ring::with_random_ids((0..n as u32).map(HostId), 42);
             let tree = SomoTree::build(&ring, k);
-            let sync = measure(&ring, &tree, FlowMode::Synchronized, SimTime::from_secs(120));
-            let unsync = measure(&ring, &tree, FlowMode::Unsynchronized, SimTime::from_secs(600));
+            let sync = measure(
+                &ring,
+                &tree,
+                FlowMode::Synchronized,
+                SimTime::from_secs(120),
+            );
+            let unsync = measure(
+                &ring,
+                &tree,
+                FlowMode::Unsynchronized,
+                SimTime::from_secs(600),
+            );
             let sb = sync_staleness_bound(n, k, HOP, PERIOD);
             let ub = unsync_staleness_bound(n, k, PERIOD);
             // The paper's bound uses the idealized log_k N depth; the real

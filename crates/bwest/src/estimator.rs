@@ -71,10 +71,22 @@ pub fn estimate(hosts: &HostSet, ring: &Ring, cfg: &BwEstConfig, seed: u64) -> B
             let nb_bw = &hosts.get(nb).bandwidth;
             // me → nb probes: nb measures, reports back; bounded by
             // min(up(me), down(nb)).
-            let m_out = max_probe(&cfg.packet_pair, my_bw, nb_bw, cfg.probes_per_neighbor, &mut rng);
+            let m_out = max_probe(
+                &cfg.packet_pair,
+                my_bw,
+                nb_bw,
+                cfg.probes_per_neighbor,
+                &mut rng,
+            );
             up[me.idx()] = up[me.idx()].max(m_out);
             // nb → me probes: me measures directly.
-            let m_in = max_probe(&cfg.packet_pair, nb_bw, my_bw, cfg.probes_per_neighbor, &mut rng);
+            let m_in = max_probe(
+                &cfg.packet_pair,
+                nb_bw,
+                my_bw,
+                cfg.probes_per_neighbor,
+                &mut rng,
+            );
             down[me.idx()] = down[me.idx()].max(m_in);
         }
     }

@@ -117,8 +117,7 @@ impl LeafsetCoords {
             };
             for i in 0..n {
                 let me = ring.member(i).host;
-                let nb_coords: Vec<Coord> =
-                    neighbors[i].iter().map(|&h| *store.get(h)).collect();
+                let nb_coords: Vec<Coord> = neighbors[i].iter().map(|&h| *store.get(h)).collect();
                 let meas = &measured[i];
                 let objective = |p: &[f64]| {
                     let c = Coord::from_slice(p);
@@ -192,10 +191,7 @@ mod tests {
         };
         let m4 = med(4);
         let m32 = med(32);
-        assert!(
-            m32 < m4,
-            "L=32 (err {m32}) should beat L=4 (err {m4})"
-        );
+        assert!(m32 < m4, "L=32 (err {m32}) should beat L=4 (err {m4})");
     }
 
     #[test]
@@ -235,7 +231,10 @@ mod tests {
         };
         let clean = med(0.0);
         let noisy = med(0.1);
-        assert!(noisy < clean + 0.15, "10% RTT noise blew up the embedding: {clean} → {noisy}");
+        assert!(
+            noisy < clean + 0.15,
+            "10% RTT noise blew up the embedding: {clean} → {noisy}"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub struct SimplexResult {
 
 /// Minimize `f` starting from `x0` with Nelder–Mead. Standard coefficients:
 /// reflection α=1, expansion γ=2, contraction ρ=½, shrink σ=½.
-pub fn minimize(mut f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: SimplexOptions) -> SimplexResult {
+pub fn minimize(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    opts: SimplexOptions,
+) -> SimplexResult {
     let n = x0.len();
     assert!(n >= 1, "cannot minimize over zero dimensions");
     let mut evals = 0usize;
@@ -176,9 +180,7 @@ mod tests {
     fn minimizes_absolute_value_objective() {
         // The paper's E(x) is a sum of absolute differences — non-smooth.
         let target = [5.0, -2.0];
-        let f = |p: &[f64]| {
-            (p[0] - target[0]).abs() + (p[1] - target[1]).abs()
-        };
+        let f = |p: &[f64]| (p[0] - target[0]).abs() + (p[1] - target[1]).abs();
         let r = minimize(f, &[0.0, 0.0], SimplexOptions::default());
         assert!((r.point[0] - 5.0).abs() < 0.1);
         assert!((r.point[1] + 2.0).abs() < 0.1);

@@ -117,7 +117,10 @@ mod tests {
         assert_eq!(arc_midpoint(NodeId(10), NodeId(20)), NodeId(15));
         let m = arc_midpoint(NodeId(u64::MAX - 9), NodeId(10));
         assert_eq!(m, NodeId(0)); // 20 across the wrap, half is 10 past a.
-        assert_eq!(arc_midpoint(NodeId(7), NodeId(7)), NodeId(7).offset(1 << 63));
+        assert_eq!(
+            arc_midpoint(NodeId(7), NodeId(7)),
+            NodeId(7).offset(1 << 63)
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::collections::BTreeMap;
 
 use netsim::HostId;
-use simcore::{EventQueue, SimTime};
+use simcore::{EventQueue, FaultPlan, FaultyLink, SimTime};
 
 use crate::id::NodeId;
 use crate::ring::{Member, Ring};
@@ -46,8 +46,10 @@ impl Default for ProtoConfig {
 
 #[derive(Clone, Debug)]
 enum Event {
-    /// Periodic heartbeat timer for a node.
-    Timer { node: usize },
+    /// Periodic heartbeat timer for a node. The epoch guards against
+    /// duplicate timer chains across kill/revive cycles: a timer scheduled
+    /// before a crash is stale once the node restarts.
+    Timer { node: usize, epoch: u32 },
     /// A heartbeat or its acknowledgment arriving at `to`.
     Deliver {
         to: usize,
@@ -61,8 +63,15 @@ enum Event {
 struct ProtoNode {
     member: Member,
     alive: bool,
+    /// Incremented on every kill and revive; stale timers are dropped.
+    epoch: u32,
     /// Known peers → last time we heard evidence they were alive.
     view: BTreeMap<NodeId, SimTime>,
+    /// Last-resort probe targets for when the view empties out (e.g. a
+    /// partition long enough to expire every peer): the node's configured
+    /// contacts. Without this a fully-isolated node maroons itself forever
+    /// even after the network heals.
+    fallback: Vec<NodeId>,
     /// Death certificates: peers we expired, with the time the tombstone
     /// lapses. Gossip cannot resurrect a tombstoned peer — only direct
     /// evidence (a message from the peer itself) clears it. Without this,
@@ -106,6 +115,7 @@ pub struct DhtSim<D: Fn(HostId, HostId) -> SimTime> {
     queue: EventQueue<Event>,
     cfg: ProtoConfig,
     delay: D,
+    faults: FaultyLink,
     messages: u64,
 }
 
@@ -115,32 +125,41 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
     /// staggered across the first period so the network does not fire in
     /// lockstep.
     pub fn new(ring: &Ring, cfg: ProtoConfig, delay: D) -> Self {
+        Self::with_faults(ring, cfg, delay, FaultPlan::none())
+    }
+
+    /// Like [`DhtSim::new`], but every message is threaded through the
+    /// fault plan (endpoints are labeled by `HostId`). A no-op plan behaves
+    /// exactly like the fault-free constructor.
+    pub fn with_faults(ring: &Ring, cfg: ProtoConfig, delay: D, plan: FaultPlan) -> Self {
         let mut nodes = Vec::with_capacity(ring.len());
         for i in 0..ring.len() {
             let mut view = BTreeMap::new();
             for j in ring.leafset(i, cfg.leafset_r) {
                 view.insert(ring.member(j).id, SimTime::ZERO);
             }
+            let fallback = view.keys().copied().collect();
             nodes.push(ProtoNode {
                 member: ring.member(i),
                 alive: true,
+                epoch: 0,
                 view,
+                fallback,
                 tombstones: BTreeMap::new(),
             });
         }
         let mut queue = EventQueue::new();
         let period = cfg.heartbeat.as_micros().max(1);
         for (i, _) in nodes.iter().enumerate() {
-            let jitter = SimTime::from_micros(
-                simcore::rng::derive_seed(0xBEA7, i as u64) % period,
-            );
-            queue.schedule(jitter, Event::Timer { node: i });
+            let jitter = SimTime::from_micros(simcore::rng::derive_seed(0xBEA7, i as u64) % period);
+            queue.schedule(jitter, Event::Timer { node: i, epoch: 0 });
         }
         DhtSim {
             nodes,
             queue,
             cfg,
             delay,
+            faults: FaultyLink::new(plan),
             messages: 0,
         }
     }
@@ -148,6 +167,31 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
     /// Kill a node (it stops heartbeating and acking immediately).
     pub fn kill(&mut self, node: usize) {
         self.nodes[node].alive = false;
+        self.nodes[node].epoch += 1;
+    }
+
+    /// Restart a crashed node. It comes back amnesiac — its view is wiped
+    /// and reseeded with `contact` only (a restarted process re-bootstraps
+    /// from a configured contact), keeping its old ID and host. Gossip and
+    /// the heartbeat/ack exchange re-integrate it; direct heartbeats clear
+    /// the tombstones its neighbors hold for it.
+    ///
+    /// # Panics
+    /// If the node is still alive.
+    pub fn revive(&mut self, node: usize, contact: usize) {
+        assert!(!self.nodes[node].alive, "revive() on a live node");
+        let now = self.queue.now();
+        let contact_id = self.nodes[contact].member.id;
+        let n = &mut self.nodes[node];
+        n.alive = true;
+        n.epoch += 1;
+        n.view.clear();
+        n.tombstones.clear();
+        n.view.insert(contact_id, now);
+        n.fallback = vec![contact_id];
+        let epoch = n.epoch;
+        self.queue
+            .schedule_after(SimTime::ZERO, Event::Timer { node, epoch });
     }
 
     /// Add a fresh node that initially knows only `contact`. Returns its
@@ -156,16 +200,25 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
     /// Gossip alone integrates the joiner over a few heartbeat rounds; see
     /// [`DhtSim::join_via_lookup`] for the full join protocol.
     pub fn join(&mut self, member: Member, contact: usize) -> usize {
+        let contact_id = self.nodes[contact].member.id;
         let mut view = BTreeMap::new();
-        view.insert(self.nodes[contact].member.id, self.queue.now());
+        view.insert(contact_id, self.queue.now());
         self.nodes.push(ProtoNode {
             member,
             alive: true,
+            epoch: 0,
             view,
+            fallback: vec![contact_id],
             tombstones: BTreeMap::new(),
         });
         let idx = self.nodes.len() - 1;
-        self.queue.schedule_after(SimTime::ZERO, Event::Timer { node: idx });
+        self.queue.schedule_after(
+            SimTime::ZERO,
+            Event::Timer {
+                node: idx,
+                epoch: 0,
+            },
+        );
         idx
     }
 
@@ -190,14 +243,23 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
                 view.entry(id).or_insert(stale);
             }
         }
+        let fallback = view.keys().copied().collect();
         self.nodes.push(ProtoNode {
             member,
             alive: true,
+            epoch: 0,
             view,
+            fallback,
             tombstones: BTreeMap::new(),
         });
         let idx = self.nodes.len() - 1;
-        self.queue.schedule_after(SimTime::ZERO, Event::Timer { node: idx });
+        self.queue.schedule_after(
+            SimTime::ZERO,
+            Event::Timer {
+                node: idx,
+                epoch: 0,
+            },
+        );
         Some(idx)
     }
 
@@ -212,25 +274,52 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
         }
     }
 
+    /// Send a message through the fault layer: counts it as sent, schedules
+    /// delivery unless the plan drops it.
+    fn send(&mut self, from_host: HostId, to_host: HostId, ev: Event) {
+        self.messages += 1;
+        let base = (self.delay)(from_host, to_host);
+        let now = self.queue.now();
+        if let Some(d) = self
+            .faults
+            .transmit(from_host.0 as u64, to_host.0 as u64, now, base)
+        {
+            self.queue.schedule_after(d, ev);
+        }
+    }
+
     fn handle(&mut self, now: SimTime, ev: Event) {
         match ev {
-            Event::Timer { node } => {
-                if !self.nodes[node].alive {
-                    return; // dead nodes stop ticking
+            Event::Timer { node, epoch } => {
+                if !self.nodes[node].alive || self.nodes[node].epoch != epoch {
+                    return; // dead nodes stop ticking; stale chains die out
                 }
                 self.expire(node, now);
                 // Heartbeat every current leafset member, carrying our view.
-                let targets = self.nodes[node].leafset(self.cfg.leafset_r);
+                // If the view has emptied out entirely (e.g. a partition long
+                // enough to expire every peer), fall back to probing the
+                // configured contacts so the node can rejoin once the network
+                // heals instead of marooning itself.
+                let mut targets = self.nodes[node].leafset(self.cfg.leafset_r);
+                if targets.is_empty() {
+                    let my_id = self.nodes[node].member.id;
+                    targets = self.nodes[node]
+                        .fallback
+                        .iter()
+                        .copied()
+                        .filter(|&id| id != my_id)
+                        .collect();
+                }
                 let my_id = self.nodes[node].member.id;
                 let my_host = self.nodes[node].member.host;
                 let mut gossip: Vec<NodeId> = targets.clone();
                 gossip.push(my_id);
                 for target_id in targets {
                     if let Some(to) = self.index_of(target_id) {
-                        let d = (self.delay)(my_host, self.nodes[to].member.host);
-                        self.messages += 1;
-                        self.queue.schedule_after(
-                            d,
+                        let to_host = self.nodes[to].member.host;
+                        self.send(
+                            my_host,
+                            to_host,
                             Event::Deliver {
                                 to,
                                 from_id: my_id,
@@ -241,7 +330,7 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
                     }
                 }
                 self.queue
-                    .schedule_after(self.cfg.heartbeat, Event::Timer { node });
+                    .schedule_after(self.cfg.heartbeat, Event::Timer { node, epoch });
             }
             Event::Deliver {
                 to,
@@ -274,16 +363,13 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
                 // back and maroon itself.
                 if !ack {
                     if let Some(sender) = self.index_of(from_id) {
-                        let mut reply: Vec<NodeId> =
-                            self.nodes[to].leafset(self.cfg.leafset_r);
+                        let mut reply: Vec<NodeId> = self.nodes[to].leafset(self.cfg.leafset_r);
                         reply.push(my_id);
-                        let d = (self.delay)(
-                            self.nodes[to].member.host,
-                            self.nodes[sender].member.host,
-                        );
-                        self.messages += 1;
-                        self.queue.schedule_after(
-                            d,
+                        let from_host = self.nodes[to].member.host;
+                        let to_host = self.nodes[sender].member.host;
+                        self.send(
+                            from_host,
+                            to_host,
                             Event::Deliver {
                                 to: sender,
                                 from_id: my_id,
@@ -411,14 +497,46 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
         })
     }
 
-    /// Total messages sent so far.
+    /// Total messages sent so far (dropped ones included — they left the
+    /// sender).
     pub fn messages_sent(&self) -> u64 {
         self.messages
+    }
+
+    /// Messages the fault plan dropped so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.faults.dropped()
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
+    }
+
+    /// Number of simulated nodes (alive or dead).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the simulation holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether node `i` is currently alive.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.nodes[i].alive
+    }
+
+    /// The ring member simulated at index `i`.
+    pub fn member_of(&self, i: usize) -> Member {
+        self.nodes[i].member
+    }
+
+    /// Whether node `i`'s current view still contains `id` — the signal the
+    /// recovery pipeline polls to time failure detection and expulsion.
+    pub fn view_contains(&self, i: usize, id: NodeId) -> bool {
+        self.nodes[i].view.contains_key(&id)
     }
 }
 
@@ -428,11 +546,9 @@ mod tests {
 
     fn sim(n: u32) -> DhtSim<impl Fn(HostId, HostId) -> SimTime> {
         let ring = Ring::with_random_ids((0..n).map(HostId), 17);
-        DhtSim::new(
-            &ring,
-            ProtoConfig::default(),
-            |_a, _b| SimTime::from_millis(50),
-        )
+        DhtSim::new(&ring, ProtoConfig::default(), |_a, _b| {
+            SimTime::from_millis(50)
+        })
     }
 
     #[test]
@@ -472,11 +588,9 @@ mod tests {
     fn join_via_lookup_integrates_faster_than_gossip() {
         let ring = Ring::with_random_ids((0..24u32).map(HostId), 19);
         let mk = || {
-            DhtSim::new(
-                &ring,
-                ProtoConfig::default(),
-                |_a, _b| SimTime::from_millis(50),
-            )
+            DhtSim::new(&ring, ProtoConfig::default(), |_a, _b| {
+                SimTime::from_millis(50)
+            })
         };
         let member = Member {
             id: NodeId::hash_of(0xABCD),
@@ -521,11 +635,9 @@ mod tests {
     fn lookups_resolve_to_true_owner_on_converged_ring() {
         use rand::{Rng, SeedableRng};
         let ring = Ring::with_random_ids((0..48u32).map(HostId), 17);
-        let mut s = DhtSim::new(
-            &ring,
-            ProtoConfig::default(),
-            |_a, _b| SimTime::from_millis(50),
-        );
+        let mut s = DhtSim::new(&ring, ProtoConfig::default(), |_a, _b| {
+            SimTime::from_millis(50)
+        });
         s.run_until(SimTime::from_secs(30));
         assert!(s.converged());
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
@@ -543,11 +655,9 @@ mod tests {
     fn lookups_recover_after_failure_heals() {
         use rand::{Rng, SeedableRng};
         let ring = Ring::with_random_ids((0..32u32).map(HostId), 18);
-        let mut s = DhtSim::new(
-            &ring,
-            ProtoConfig::default(),
-            |_a, _b| SimTime::from_millis(50),
-        );
+        let mut s = DhtSim::new(&ring, ProtoConfig::default(), |_a, _b| {
+            SimTime::from_millis(50)
+        });
         s.run_until(SimTime::from_secs(10));
         s.kill(7);
         s.run_until(SimTime::from_secs(90));
@@ -568,6 +678,154 @@ mod tests {
             let true_owner = truth.member(truth.owner(key)).id;
             assert_eq!(owner, true_owner);
         }
+    }
+
+    #[test]
+    fn revived_node_reintegrates() {
+        let mut s = sim(24);
+        s.run_until(SimTime::from_secs(10));
+        s.kill(5);
+        s.run_until(SimTime::from_secs(80));
+        assert!(s.converged(), "ring did not heal around the crash");
+        s.revive(5, 0);
+        s.run_until(SimTime::from_secs(400));
+        assert!(s.is_alive(5));
+        assert!(s.converged(), "revived node did not reintegrate");
+    }
+
+    #[test]
+    fn kill_revive_flap_does_not_double_heartbeats() {
+        // A node killed and revived within one heartbeat period must not end
+        // up with two live timer chains (which would double its send rate).
+        let mut stable = sim(16);
+        stable.run_until(SimTime::from_secs(300));
+        let baseline = stable.messages_sent();
+
+        let mut flappy = sim(16);
+        flappy.run_until(SimTime::from_secs(10));
+        for _ in 0..5 {
+            flappy.kill(3);
+            flappy.revive(3, 0);
+        }
+        flappy.run_until(SimTime::from_secs(300));
+        // The flapping node re-bootstraps via gossip, which costs a few extra
+        // messages — but nowhere near a doubled heartbeat chain (which would
+        // add ~6% of total volume per flap).
+        let flap = flappy.messages_sent();
+        assert!(
+            flap < baseline + baseline / 8,
+            "flapping inflated traffic: {flap} vs baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn heals_under_message_loss() {
+        let ring = Ring::with_random_ids((0..32u32).map(HostId), 17);
+        let mut s = DhtSim::with_faults(
+            &ring,
+            ProtoConfig::default(),
+            |_a, _b| SimTime::from_millis(50),
+            FaultPlan::with_loss(3, 0.05).jitter(SimTime::from_millis(20)),
+        );
+        s.run_until(SimTime::from_secs(10));
+        s.kill(5);
+        // Lossy links delay convergence but must not prevent it.
+        s.run_until(SimTime::from_secs(200));
+        assert!(s.converged(), "leafsets did not repair under 5% loss");
+        assert!(s.messages_dropped() > 0, "loss plan never fired");
+    }
+
+    #[test]
+    fn tombstones_hold_under_loss_while_victim_is_down() {
+        // Flap test: kill a node, let the ring expel it, and verify that
+        // while it stays down no live node's view resurrects it from stale
+        // gossip — even with message loss perturbing the gossip schedule.
+        let ring = Ring::with_random_ids((0..24u32).map(HostId), 21);
+        let mut s = DhtSim::with_faults(
+            &ring,
+            ProtoConfig::default(),
+            |_a, _b| SimTime::from_millis(50),
+            FaultPlan::with_loss(11, 0.05),
+        );
+        s.run_until(SimTime::from_secs(10));
+        let victim_id = s.member_of(7).id;
+        s.kill(7);
+        s.run_until(SimTime::from_secs(90));
+        for i in 0..s.len() {
+            if s.is_alive(i) {
+                assert!(
+                    !s.view_contains(i, victim_id),
+                    "node {i} still believes in the dead node"
+                );
+            }
+        }
+        // Keep running: gossip must not flap it back in.
+        let mut t = 90;
+        while t < 240 {
+            t += 10;
+            s.run_until(SimTime::from_secs(t));
+            for i in 0..s.len() {
+                if s.is_alive(i) {
+                    assert!(
+                        !s.view_contains(i, victim_id),
+                        "stale gossip resurrected the dead node at t={t}s"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_fault_plan_is_bit_identical_to_plain_sim() {
+        let ring = Ring::with_random_ids((0..24u32).map(HostId), 9);
+        let mk_plain = || {
+            DhtSim::new(&ring, ProtoConfig::default(), |_a, _b| {
+                SimTime::from_millis(50)
+            })
+        };
+        let mk_faulty = || {
+            DhtSim::with_faults(
+                &ring,
+                ProtoConfig::default(),
+                |_a, _b| SimTime::from_millis(50),
+                FaultPlan::none(),
+            )
+        };
+        let mut a = mk_plain();
+        let mut b = mk_faulty();
+        for &t in &[10u64, 40, 90] {
+            a.run_until(SimTime::from_secs(t));
+            b.run_until(SimTime::from_secs(t));
+            assert_eq!(a.messages_sent(), b.messages_sent());
+            for i in 0..a.len() {
+                assert_eq!(a.believed_leafset(i), b.believed_leafset(i));
+            }
+        }
+        assert_eq!(b.messages_dropped(), 0);
+    }
+
+    #[test]
+    fn partition_heals_after_window() {
+        // Cut one node off from everyone for a while; after the window ends
+        // it must re-integrate without a restart (its own timers kept going).
+        let ring = Ring::with_random_ids((0..16u32).map(HostId), 23);
+        let lone = ring.member(4).host.0 as u64;
+        let plan = FaultPlan::with_loss(5, 0.0).partition(
+            vec![lone],
+            SimTime::from_secs(20),
+            SimTime::from_secs(60),
+        );
+        let mut s = DhtSim::with_faults(
+            &ring,
+            ProtoConfig::default(),
+            |_a, _b| SimTime::from_millis(50),
+            plan,
+        );
+        s.run_until(SimTime::from_secs(50));
+        // Inside the window the isolated node has been expired by peers.
+        assert!(!s.converged(), "partition had no visible effect");
+        s.run_until(SimTime::from_secs(300));
+        assert!(s.converged(), "ring did not heal after partition lifted");
     }
 
     #[test]

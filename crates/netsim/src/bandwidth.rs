@@ -181,8 +181,9 @@ mod tests {
         // The Gnutella-shape property Figure 5 relies on: most hosts'
         // downlink exceeds most (other) hosts' uplink.
         let mut rng = StdRng::seed_from_u64(2);
-        let hosts: Vec<AccessBandwidth> =
-            (0..500).map(|_| AccessBandwidth::sample(&mut rng)).collect();
+        let hosts: Vec<AccessBandwidth> = (0..500)
+            .map(|_| AccessBandwidth::sample(&mut rng))
+            .collect();
         let mut dominate = 0u64;
         let mut total = 0u64;
         for a in &hosts {

@@ -99,11 +99,7 @@ pub struct MeasuredSetLatency<'a, M: LatencyModel, E: LatencyModel> {
 impl<'a, M: LatencyModel, E: LatencyModel> MeasuredSetLatency<'a, M, E> {
     /// A model where pairs within `measured` use `oracle` and all other
     /// pairs use `estimate`.
-    pub fn new(
-        measured: impl IntoIterator<Item = HostId>,
-        oracle: &'a M,
-        estimate: &'a E,
-    ) -> Self {
+    pub fn new(measured: impl IntoIterator<Item = HostId>, oracle: &'a M, estimate: &'a E) -> Self {
         MeasuredSetLatency {
             measured: measured.into_iter().collect(),
             oracle,

@@ -141,7 +141,9 @@ impl RouterNet {
             // would duplicate a ring edge).
             for d in 0..cfg.transit_domains {
                 let e = rng.random_range(0..cfg.transit_domains);
-                if e != d && e != (d + 1) % cfg.transit_domains && d != (e + 1) % cfg.transit_domains
+                if e != d
+                    && e != (d + 1) % cfg.transit_domains
+                    && d != (e + 1) % cfg.transit_domains
                 {
                     connect_domains(&mut graph, cfg, d, e, &mut rng);
                 }

@@ -25,17 +25,13 @@
 use serde::{Deserialize, Serialize};
 
 /// A multicast session's identity.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SessionId(pub u32);
 
 /// The rank of a degree claim: 0 for member claims, the session priority
 /// (1 = highest, 3 = lowest) for helper claims. Lower rank wins; a claim
 /// may preempt allocations of strictly greater rank.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Rank(pub u8);
 
 impl Rank {

@@ -42,21 +42,23 @@
 
 pub mod degree_table;
 pub mod market;
+pub mod recovery;
 pub mod report;
 pub mod task_manager;
 
 pub use degree_table::{DegreeTable, Rank, SessionId};
 pub use market::{MarketConfig, MarketOutcome, MarketSim};
+pub use recovery::{run_pipeline, RecoveryConfig, RecoveryOutcome, RecoveryTimeline};
 pub use report::{CandidateEntry, ResourceReport};
 pub use task_manager::{plan_and_reserve, PlanConfig, PlanModel, PlanOutcome, SessionSpec};
 
 use std::collections::HashMap;
 
 use bwest::{BwEstConfig, BwEstimates};
-use somo::Report as _;
 use coords::{CoordStore, LeafsetCoords};
 use dht::Ring;
 use netsim::{HostId, Network, NetworkConfig};
+use somo::Report as _;
 
 /// Configuration for assembling a resource pool.
 #[derive(Clone, Debug)]

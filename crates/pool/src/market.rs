@@ -161,9 +161,7 @@ impl MarketSim {
         // Stagger starts across the first gap period.
         for i in 0..slots.len() {
             let mut rng = derive_rng2(seed, 0xA11, i as u64);
-            let at = SimTime::from_micros(
-                rng.random_range(0..cfg.mean_gap.as_micros().max(1)),
-            );
+            let at = SimTime::from_micros(rng.random_range(0..cfg.mean_gap.as_micros().max(1)));
             queue.schedule(at, Ev::Start(i));
         }
         if cfg.view_refresh.is_some() {
@@ -227,7 +225,10 @@ impl MarketSim {
                 }
             }
             Ev::RefreshView => {
-                self.view = Some(self.pool.snapshot_report(crate::ResourceReport::DEFAULT_CAP));
+                self.view = Some(
+                    self.pool
+                        .snapshot_report(crate::ResourceReport::DEFAULT_CAP),
+                );
                 if let Some(period) = self.cfg.view_refresh {
                     self.queue.schedule(now + period, Ev::RefreshView);
                 }
@@ -326,8 +327,14 @@ mod tests {
         let out = small_market(9, 2).run();
         for p in 1..=3u8 {
             let c = out.class(p);
-            assert!(c.improvement.mean() >= -0.05, "class {p} mean below lower bound");
-            assert!(c.improvement.mean() < 0.6, "class {p} mean above any upper bound");
+            assert!(
+                c.improvement.mean() >= -0.05,
+                "class {p} mean below lower bound"
+            );
+            assert!(
+                c.improvement.mean() < 0.6,
+                "class {p} mean above any upper bound"
+            );
         }
     }
 
@@ -402,7 +409,10 @@ mod tests {
         let b = small_market(6, 5).run();
         assert_eq!(a.plans, b.plans);
         for p in 1..=3u8 {
-            assert_eq!(a.class(p).improvement.count(), b.class(p).improvement.count());
+            assert_eq!(
+                a.class(p).improvement.count(),
+                b.class(p).improvement.count()
+            );
             assert_eq!(a.class(p).improvement.mean(), b.class(p).improvement.mean());
         }
     }

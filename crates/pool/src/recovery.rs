@@ -1,0 +1,438 @@
+//! End-to-end churn recovery: the pipeline a real pool runs when hosts
+//! crash, with every phase timed.
+//!
+//! The paper's claim is that the pool "self-organizes and self-heals with
+//! zero administration" (§3). This module makes that claim measurable under
+//! an adversarial network ([`simcore::faults`]): schedule crashes, inject
+//! message loss, and record when each repair layer finishes —
+//!
+//! 1. **Detection** — leafset heartbeats stop; a neighbor's timeout expires
+//!    the victim from its view ([`dht::proto::DhtSim`]).
+//! 2. **Expulsion** — gossip (held honest by tombstones) spreads the death
+//!    certificate until *no* live view contains any victim.
+//! 3. **Tree rebuild** — SOMO is a pure function of ring membership, so the
+//!    healed ring induces the healed tree ([`somo::heal::remap_stats`]
+//!    quantifies the blast radius); an unsynchronized gather then re-runs
+//!    until the root's census covers every survivor.
+//! 4. **ALM reattachment** — sessions with orphaned subtrees re-attach them
+//!    with bounded retry and exponential backoff
+//!    ([`alm::dynamic::reattach_orphans`]), surviving stale views that
+//!    still list dead hosts.
+//!
+//! The [`RecoveryTimeline`] is deterministic: same seed + same
+//! [`FaultPlan`] → bit-identical timestamps (the determinism suite pins
+//! this).
+
+use alm::amcast::amcast;
+use alm::dynamic::{reattach_orphans, ReattachConfig, ReattachReport};
+use alm::problem::Problem;
+use alm::tree::MulticastTree;
+use dht::proto::{DhtSim, ProtoConfig};
+use dht::{NodeId, Ring};
+use netsim::{HostId, Network, NetworkConfig};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+use simcore::{FaultPlan, SimTime};
+use somo::flow::{FlowMode, FreshnessReport, GatherSim};
+use somo::heal::{remap_stats, RemapStats};
+use somo::SomoTree;
+
+/// Everything the pipeline needs to run one recovery scenario.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Ring size.
+    pub n: u32,
+    /// Master seed (ring IDs, victim choice, session sampling).
+    pub seed: u64,
+    /// DHT heartbeat protocol parameters.
+    pub proto: ProtoConfig,
+    /// One-way inter-host hop latency (0 for a host to itself).
+    pub hop: SimTime,
+    /// SOMO gather period T.
+    pub gather_period: SimTime,
+    /// SOMO tree fanout.
+    pub fanout: usize,
+    /// When the victims crash.
+    pub crash_at: SimTime,
+    /// How many victims crash (simultaneously, at `crash_at`).
+    pub crashes: usize,
+    /// Link-level faults (loss, jitter, outages) applied to every protocol
+    /// message in the pipeline. Crash schedules inside the plan are ignored
+    /// here — `crashes`/`crash_at` drive the victims.
+    pub plan: FaultPlan,
+    /// How long the synchronized exposure-window gather runs after the
+    /// crash (before the ring has expelled the victims).
+    pub exposure: SimTime,
+    /// ALM repair tuning.
+    pub reattach: ReattachConfig,
+    /// ALM session size (members sampled from the pool's hosts).
+    pub session_size: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            n: 512,
+            seed: 40,
+            proto: ProtoConfig::default(),
+            hop: SimTime::from_millis(200),
+            gather_period: SimTime::from_secs(5),
+            fanout: 8,
+            crash_at: SimTime::from_secs(30),
+            crashes: 4,
+            plan: FaultPlan::none(),
+            exposure: SimTime::from_secs(60),
+            reattach: ReattachConfig::default(),
+            session_size: 40,
+        }
+    }
+}
+
+/// Per-phase timestamps of one recovery, all on the same simulated clock.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct RecoveryTimeline {
+    /// When the victims crashed.
+    pub crash_at: SimTime,
+    /// First instant a live node expired *any* victim from its view
+    /// (time-to-detect starts the repair).
+    pub detected_at: Option<SimTime>,
+    /// First instant no live view contained any victim — the ring-level
+    /// repair is complete.
+    pub expelled_at: Option<SimTime>,
+    /// When the rebuilt SOMO root first held a full survivor census
+    /// (`expelled_at` plus the regather's convergence time).
+    pub rebuilt_at: Option<SimTime>,
+    /// When the last ALM orphan subtree was re-attached
+    /// (`rebuilt_at` plus the reattachment's backoff-dominated duration).
+    pub reattached_at: Option<SimTime>,
+    /// Failed reattach attempts (dead or saturated parent picks).
+    pub reattach_retries: u64,
+    /// How much of the SOMO tree the membership change remapped.
+    pub remap: RemapStats,
+}
+
+/// The pipeline's full result: the timeline plus the health metrics the
+/// `ext_recovery` experiment sweeps.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct RecoveryOutcome {
+    /// Per-phase timestamps.
+    pub timeline: RecoveryTimeline,
+    /// Fraction of surviving members the SOMO root still saw during the
+    /// exposure window (crash landed, ring not yet repaired).
+    pub stale_completeness: f64,
+    /// Fraction of surviving members the rebuilt tree's root census covers
+    /// (1.0 when the regather converged).
+    pub post_completeness: f64,
+    /// Fraction of surviving session members cut off from the ALM tree
+    /// during the exposure window.
+    pub delivery_disruption: f64,
+    /// Fraction of surviving session members reachable after reattachment.
+    pub post_delivery: f64,
+    /// ALM repair details.
+    pub alm: ReattachReport,
+    /// Heartbeat messages the DHT layer sent.
+    pub dht_messages: u64,
+    /// Heartbeat messages the fault layer dropped.
+    pub dht_dropped: u64,
+    /// Gather messages sent (exposure + regather).
+    pub gather_messages: u64,
+    /// Gather messages dropped (exposure + regather).
+    pub gather_dropped: u64,
+}
+
+/// How long past `crash_at` the detection/expulsion poll keeps trying
+/// before giving up, in multiples of the failure-detection timeout.
+const POLL_PATIENCE: u64 = 30;
+/// Poll step for the detection/expulsion conditions.
+const POLL_STEP: SimTime = SimTime::from_millis(500);
+/// Cap on the post-repair regather (unsynchronized mode converges in a few
+/// tree-depth periods even under loss).
+const REGATHER_CAP: SimTime = SimTime::from_secs(600);
+
+/// Run the full crash-recovery pipeline for one scenario.
+///
+/// # Panics
+/// If `crashes >= n` (someone must survive to repair the ring).
+pub fn run_pipeline(cfg: &RecoveryConfig) -> RecoveryOutcome {
+    assert!(
+        cfg.crashes < cfg.n as usize,
+        "at least one node must survive"
+    );
+    let ring = Ring::with_random_ids((0..cfg.n).map(HostId), cfg.seed);
+    let victims = pick_victims(&ring, cfg.seed, cfg.crashes);
+    let victim_ids: Vec<NodeId> = victims.iter().map(|&v| ring.member(v).id).collect();
+    let alive = cfg.n as usize - cfg.crashes;
+
+    // ── Phase 1+2: detection and expulsion on the heartbeat fabric. ──
+    let hop = cfg.hop;
+    let mut dht = DhtSim::with_faults(
+        &ring,
+        cfg.proto,
+        move |a, b| if a == b { SimTime::ZERO } else { hop },
+        cfg.plan.clone(),
+    );
+    dht.run_until(cfg.crash_at);
+    for &v in &victims {
+        dht.kill(v);
+    }
+    // Which live nodes believed in which victim at crash time — detection
+    // is the first of these beliefs to be retracted.
+    let mut watch: Vec<(usize, NodeId)> = Vec::new();
+    for i in 0..dht.len() {
+        if !dht.is_alive(i) {
+            continue;
+        }
+        for &id in &victim_ids {
+            if dht.view_contains(i, id) {
+                watch.push((i, id));
+            }
+        }
+    }
+    let mut detected_at = None;
+    let mut expelled_at = None;
+    let deadline = cfg.crash_at + scale(cfg.proto.timeout, POLL_PATIENCE);
+    let mut t = cfg.crash_at;
+    while t < deadline && expelled_at.is_none() {
+        t += POLL_STEP;
+        dht.run_until(t);
+        if detected_at.is_none()
+            && watch
+                .iter()
+                .any(|&(i, id)| dht.is_alive(i) && !dht.view_contains(i, id))
+        {
+            detected_at = Some(dht.now());
+        }
+        let all_gone = (0..dht.len())
+            .filter(|&i| dht.is_alive(i))
+            .all(|i| victim_ids.iter().all(|&id| !dht.view_contains(i, id)));
+        if all_gone {
+            expelled_at = Some(dht.now());
+        }
+    }
+
+    // ── Exposure window: synchronized gathers over the broken tree. ──
+    let tree = SomoTree::build(&ring, cfg.fanout);
+    let mut exposure = GatherSim::with_faults(
+        &tree,
+        &ring,
+        FlowMode::Synchronized,
+        cfg.gather_period,
+        |_m, now| FreshnessReport::of_member(now),
+        move |a, b| if a == b { SimTime::ZERO } else { hop },
+        cfg.plan.clone(),
+    );
+    for &v in &victims {
+        exposure.kill_member(v);
+    }
+    exposure.run_until(cfg.exposure);
+    let stale_completeness = exposure
+        .views()
+        .last()
+        .map(|v| v.view.members as f64)
+        .unwrap_or(0.0)
+        / alive as f64;
+    let mut gather_messages = exposure.messages_sent();
+    let mut gather_dropped = exposure.messages_dropped();
+
+    // ── Phase 3: the ring expelled the victims; rebuild and regather. ──
+    let mut healed = ring.clone();
+    for id in &victim_ids {
+        healed.remove_id(*id).expect("victim was a member");
+    }
+    let tree2 = SomoTree::build(&healed, cfg.fanout);
+    let remap = remap_stats(&tree, &ring, &tree2, &healed);
+    // Unsynchronized mode: per-hop cached partials survive per-message
+    // loss, so the census converges to 100% where a lockstep cascade would
+    // keep losing some leaf's contribution.
+    let mut regather = GatherSim::with_faults(
+        &tree2,
+        &healed,
+        FlowMode::Unsynchronized,
+        cfg.gather_period,
+        |_m, now| FreshnessReport::of_member(now),
+        move |a, b| if a == b { SimTime::ZERO } else { hop },
+        cfg.plan.clone(),
+    );
+    let mut full_at = None;
+    let mut t = SimTime::ZERO;
+    while t < REGATHER_CAP && full_at.is_none() {
+        t += cfg.gather_period;
+        regather.run_until(t);
+        full_at = regather
+            .views()
+            .iter()
+            .find(|v| v.view.members == alive as u64)
+            .map(|v| v.at);
+    }
+    let post_completeness = regather
+        .views()
+        .last()
+        .map(|v| v.view.members as f64)
+        .unwrap_or(0.0)
+        / alive as f64;
+    gather_messages += regather.messages_sent();
+    gather_dropped += regather.messages_dropped();
+    let rebuilt_at = match (expelled_at, full_at) {
+        (Some(e), Some(f)) => Some(e + f),
+        _ => None,
+    };
+
+    // ── Phase 4: ALM session repair with stale-view retries. ──
+    let net = Network::generate(
+        &NetworkConfig {
+            num_hosts: cfg.n as usize,
+            ..NetworkConfig::default()
+        },
+        simcore::rng::derive_seed(cfg.seed, 7),
+    );
+    let dead_hosts: Vec<HostId> = victims.iter().map(|&v| ring.member(v).host).collect();
+    let members = pick_session(cfg, &dead_hosts);
+    let dbound = |h: HostId| net.hosts.degree_bound(h);
+    let p = Problem::new(members[0], members.clone(), &net.latency, dbound);
+    let session_tree = amcast(&p);
+    let dead_in_tree: Vec<HostId> = dead_hosts
+        .iter()
+        .copied()
+        .filter(|h| session_tree.contains(*h))
+        .collect();
+    let survivors = members.len() - dead_in_tree.len();
+    let delivery_disruption = if survivors == 0 {
+        0.0
+    } else {
+        1.0 - reachable_avoiding(&session_tree, &dead_in_tree) as f64 / survivors as f64
+    };
+    let (repaired, alm_report) = reattach_orphans(&p, &session_tree, &dead_in_tree, &cfg.reattach);
+    let post_delivery = if survivors == 0 {
+        1.0
+    } else {
+        reachable_avoiding(&repaired, &[]) as f64 / survivors as f64
+    };
+    let reattached_at = rebuilt_at.map(|r| r + alm_report.duration);
+
+    RecoveryOutcome {
+        timeline: RecoveryTimeline {
+            crash_at: cfg.crash_at,
+            detected_at,
+            expelled_at,
+            rebuilt_at,
+            reattached_at,
+            reattach_retries: alm_report.retries,
+            remap,
+        },
+        stale_completeness,
+        post_completeness,
+        delivery_disruption,
+        post_delivery,
+        alm: alm_report,
+        dht_messages: dht.messages_sent(),
+        dht_dropped: dht.messages_dropped(),
+        gather_messages,
+        gather_dropped,
+    }
+}
+
+/// The same victim choice `ext_churn` makes: shuffle ring indices with
+/// `seed + 100` and take the prefix.
+fn pick_victims(ring: &Ring, seed: u64, crashes: usize) -> Vec<usize> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 100);
+    let mut all: Vec<usize> = (0..ring.len()).collect();
+    all.shuffle(&mut rng);
+    all.truncate(crashes);
+    all
+}
+
+/// Sample the ALM session: the victims plus deterministically sampled
+/// survivors up to `session_size`, rooted at a surviving member (the
+/// source surviving is a precondition of session repair — a dead source
+/// ends the session instead). Including the victims is deliberate: the
+/// session worth measuring is the one the crash actually hit.
+fn pick_session(cfg: &RecoveryConfig, dead_hosts: &[HostId]) -> Vec<HostId> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(simcore::rng::derive_seed(cfg.seed, 8));
+    let mut all: Vec<u32> = (0..cfg.n).collect();
+    all.shuffle(&mut rng);
+    let size = cfg.session_size.min(cfg.n as usize);
+    let mut members: Vec<HostId> = all
+        .iter()
+        .copied()
+        .map(HostId)
+        .filter(|h| !dead_hosts.contains(h))
+        .take(size.saturating_sub(dead_hosts.len()).max(1))
+        .collect();
+    members.extend(dead_hosts.iter().copied().take(size.saturating_sub(1)));
+    members
+}
+
+/// Hosts reachable from the tree root without passing through a dead host
+/// (the root itself counts — it is a session member).
+fn reachable_avoiding(tree: &MulticastTree, dead: &[HostId]) -> usize {
+    let mut seen = 0usize;
+    let mut stack = vec![tree.root()];
+    while let Some(u) = stack.pop() {
+        if dead.contains(&u) {
+            continue;
+        }
+        seen += 1;
+        stack.extend(tree.children_of(u));
+    }
+    seen
+}
+
+/// Multiply a [`SimTime`] by an integer factor.
+fn scale(t: SimTime, by: u64) -> SimTime {
+    SimTime::from_micros(t.as_micros().saturating_mul(by))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(n: u32, crashes: usize, plan: FaultPlan) -> RecoveryConfig {
+        RecoveryConfig {
+            n,
+            crashes,
+            plan,
+            session_size: 20,
+            ..RecoveryConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_recovers_fully_without_faults() {
+        let out = run_pipeline(&small(64, 2, FaultPlan::none()));
+        let t = &out.timeline;
+        let detected = t.detected_at.expect("crash never detected");
+        let expelled = t.expelled_at.expect("victims never expelled");
+        let rebuilt = t.rebuilt_at.expect("census never refilled");
+        let reattached = t.reattached_at.expect("ALM repair unfinished");
+        assert!(detected >= t.crash_at);
+        assert!(expelled >= detected);
+        assert!(rebuilt >= expelled);
+        assert!(reattached >= rebuilt);
+        assert_eq!(out.post_completeness, 1.0);
+        assert_eq!(out.post_delivery, 1.0);
+        assert_eq!(out.alm.gave_up, 0);
+        assert_eq!(out.dht_dropped, 0);
+        assert_eq!(out.gather_dropped, 0);
+    }
+
+    #[test]
+    fn pipeline_recovers_under_message_loss() {
+        let plan = FaultPlan::with_loss(3, 0.05).jitter(SimTime::from_millis(20));
+        let out = run_pipeline(&small(64, 4, plan));
+        assert!(out.dht_dropped > 0, "loss never fired on heartbeats");
+        assert_eq!(
+            out.post_completeness, 1.0,
+            "unsync regather must converge to a full census under 5% loss"
+        );
+        assert!(out.timeline.reattached_at.is_some());
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let plan = FaultPlan::with_loss(9, 0.03).jitter(SimTime::from_millis(10));
+        let a = run_pipeline(&small(48, 3, plan.clone()));
+        let b = run_pipeline(&small(48, 3, plan));
+        assert_eq!(a, b, "same seed + same plan must be bit-identical");
+    }
+}

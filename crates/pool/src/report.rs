@@ -127,7 +127,9 @@ mod tests {
 
     #[test]
     fn merge_is_order_insensitive_in_content() {
-        let parts: Vec<ResourceReport> = (0..6).map(|h| ResourceReport::of_member(entry(h, h))).collect();
+        let parts: Vec<ResourceReport> = (0..6)
+            .map(|h| ResourceReport::of_member(entry(h, h)))
+            .collect();
         let mut fwd = ResourceReport::empty();
         for p in &parts {
             fwd.merge(p);

@@ -280,12 +280,7 @@ fn plan_with_candidates(
 /// latencies — the denominator of every improvement figure in the paper.
 pub fn members_only_baseline(pool: &ResourcePool, spec: &SessionSpec) -> f64 {
     let dbound = |h: HostId| pool.net.hosts.degree_bound(h);
-    let p = Problem::new(
-        spec.root,
-        spec.members.clone(),
-        &pool.net.latency,
-        dbound,
-    );
+    let p = Problem::new(spec.root, spec.members.clone(), &pool.net.latency, dbound);
     amcast(&p).max_height()
 }
 
@@ -424,7 +419,10 @@ mod tests {
             total += out.improvement;
         }
         let avg = total / runs as f64;
-        assert!(avg > 0.0, "Leafset+adjust average improvement {avg} not positive");
+        assert!(
+            avg > 0.0,
+            "Leafset+adjust average improvement {avg} not positive"
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   independent, reproducible random stream.
 //! * [`stats`] — online statistics, percentiles, CDFs and histograms used by
 //!   the figure-regeneration harnesses.
+//! * [`faults`] — seed-deterministic fault injection: message loss, delay
+//!   jitter, link outages/partitions and crash schedules ([`FaultPlan`]),
+//!   executed per message by a [`FaultyLink`].
 //!
 //! ## Example
 //!
@@ -39,10 +42,12 @@
 //! assert_eq!(seen[2].1, Ev::Done);
 //! ```
 
+pub mod faults;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use faults::{FaultPlan, FaultyLink};
 pub use queue::EventQueue;
 pub use time::SimTime;

@@ -89,8 +89,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -313,7 +312,10 @@ mod tests {
         assert_eq!(cdf.quantile(1.0), Some(10.0));
         let curve = cdf.curve(10);
         assert_eq!(curve.len(), 10);
-        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1), "CDF must be monotone");
+        assert!(
+            curve.windows(2).all(|w| w[0].1 <= w[1].1),
+            "CDF must be monotone"
+        );
     }
 
     #[test]

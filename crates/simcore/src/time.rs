@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// An instant of simulated time, in whole microseconds since the start of the
 /// simulation.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 impl SimTime {

@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 
-use simcore::{EventQueue, SimTime};
+use simcore::{EventQueue, FaultPlan, FaultyLink, SimTime};
 
 use crate::report::Report;
 use crate::tree::SomoTree;
@@ -88,11 +88,7 @@ enum Ev<R> {
     Request { node: u32, round: u64 },
     /// A child partial arriving at its parent logical node. `None` when the
     /// child subtree had nothing to report (a non-canonical leaf).
-    Partial {
-        node: u32,
-        round: u64,
-        r: Option<R>,
-    },
+    Partial { node: u32, round: u64, r: Option<R> },
     /// Sync: give up waiting for this round's remaining children and send
     /// what has been accumulated (self-healing under member failure).
     Timeout { node: u32, round: u64 },
@@ -129,6 +125,9 @@ where
     /// Sync mode: how long an internal node waits for its children before
     /// forwarding a partial aggregate.
     child_timeout: SimTime,
+    /// Fault layer every inter-host message is threaded through. Endpoint
+    /// labels are ring member indices. A no-op plan is zero-cost.
+    faults: FaultyLink,
 }
 
 impl<'a, R, L, D> GatherSim<'a, R, L, D>
@@ -149,6 +148,29 @@ where
         period: SimTime,
         leaf_sample: L,
         delay: D,
+    ) -> Self {
+        Self::with_faults(
+            tree,
+            ring,
+            mode,
+            period,
+            leaf_sample,
+            delay,
+            FaultPlan::none(),
+        )
+    }
+
+    /// Like [`GatherSim::new`], but every inter-host message is threaded
+    /// through the fault plan (endpoints are labeled by ring member index).
+    /// A no-op plan behaves exactly like the fault-free constructor.
+    pub fn with_faults(
+        tree: &'a SomoTree,
+        ring: &dht::Ring,
+        mode: FlowMode,
+        period: SimTime,
+        leaf_sample: L,
+        delay: D,
+        plan: FaultPlan,
     ) -> Self {
         // Canonical reporting leaf per member: the leaf whose region
         // contains the member's own ID. The leaf's host is the member
@@ -193,6 +215,7 @@ where
             round_ctr: 0,
             dead: std::collections::HashSet::new(),
             child_timeout: period,
+            faults: FaultyLink::new(plan),
         }
     }
 
@@ -203,6 +226,19 @@ where
     /// rebuilt — SOMO's "regenerated after a short jitter" behaviour.
     pub fn kill_member(&mut self, m: usize) {
         self.dead.insert(m);
+    }
+
+    /// Restart a crashed member: its logical nodes resume sending and
+    /// receiving, and its member report is counted again. Unsync timers
+    /// were parked while dead, so the node picks up on its next tick with
+    /// no extra scheduling.
+    pub fn revive_member(&mut self, m: usize) {
+        self.dead.remove(&m);
+    }
+
+    /// Whether ring member `m` is currently crashed.
+    pub fn is_dead(&self, m: usize) -> bool {
+        self.dead.contains(&m)
     }
 
     /// Override the sync-round child timeout (defaults to one period).
@@ -230,6 +266,11 @@ where
     /// counted).
     pub fn messages_sent(&self) -> u64 {
         self.messages
+    }
+
+    /// Messages the fault layer dropped so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.faults.dropped()
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev<R>) {
@@ -272,15 +313,46 @@ where
                     let leaf_host = n.host;
                     let member = self.reporting.get(&node).copied();
                     let member_dead = member.is_some_and(|m| self.dead.contains(&m));
+                    // If either leg of the fetch round-trip is dropped, the
+                    // member's report is lost for this round; the leaf still
+                    // answers its parent (with nothing) so the round closes.
+                    let mut fetch_lost = false;
                     let fetch = match member {
                         Some(m) if m != leaf_host && !member_dead => {
-                            self.messages += 2;
-                            (self.delay)(leaf_host, m) + (self.delay)(m, leaf_host)
+                            self.messages += 1;
+                            let leg1 = self.faults.transmit(
+                                leaf_host as u64,
+                                m as u64,
+                                now,
+                                (self.delay)(leaf_host, m),
+                            );
+                            match leg1 {
+                                None => {
+                                    fetch_lost = true;
+                                    SimTime::ZERO
+                                }
+                                Some(d1) => {
+                                    self.messages += 1;
+                                    let leg2 = self.faults.transmit(
+                                        m as u64,
+                                        leaf_host as u64,
+                                        now + d1,
+                                        (self.delay)(m, leaf_host),
+                                    );
+                                    match leg2 {
+                                        None => {
+                                            fetch_lost = true;
+                                            SimTime::ZERO
+                                        }
+                                        Some(d2) => d1 + d2,
+                                    }
+                                }
+                            }
                         }
                         _ => SimTime::ZERO,
                     };
-                    let r = if member_dead {
-                        None // the member crashed; its report is lost
+                    let r = if member_dead || fetch_lost {
+                        None // the member crashed (or the fetch was lost)
                     } else {
                         self.leaf_report(node, now)
                     };
@@ -295,12 +367,21 @@ where
                     for c in children {
                         let ch = self.tree.nodes()[c as usize].host;
                         let d = if ch == my_host {
-                            SimTime::ZERO
+                            Some(SimTime::ZERO)
                         } else {
                             self.messages += 1;
-                            (self.delay)(my_host, ch)
+                            self.faults.transmit(
+                                my_host as u64,
+                                ch as u64,
+                                now,
+                                (self.delay)(my_host, ch),
+                            )
                         };
-                        self.queue.schedule_after(d, Ev::Request { node: c, round });
+                        // A dropped request leaves that child silent this
+                        // round; the per-round timeout closes the round.
+                        if let Some(d) = d {
+                            self.queue.schedule_after(d, Ev::Request { node: c, round });
+                        }
                     }
                     self.queue
                         .schedule_after(self.child_timeout, Ev::Timeout { node, round });
@@ -383,13 +464,22 @@ where
             }
             Some(p) => {
                 let ph = self.tree.nodes()[p as usize].host;
-                let d = extra
-                    + if ph == n.host {
-                        SimTime::ZERO
-                    } else {
-                        self.messages += 1;
-                        (self.delay)(n.host, ph)
-                    };
+                let hop = if ph == n.host {
+                    Some(SimTime::ZERO)
+                } else {
+                    self.messages += 1;
+                    self.faults.transmit(
+                        n.host as u64,
+                        ph as u64,
+                        self.queue.now() + extra,
+                        (self.delay)(n.host, ph),
+                    )
+                };
+                // A dropped partial never reaches the parent: in sync mode
+                // the round's timeout fills in, in unsync mode the parent
+                // simply keeps its previous latest entry.
+                let Some(hop) = hop else { return };
+                let d = extra + hop;
                 let tag = match self.mode {
                     // In unsync mode the "round" slot carries the child id
                     // so the parent can keep per-child latest partials.
@@ -437,7 +527,12 @@ mod tests {
     const HOP: SimTime = SimTime::from_millis(200);
     const T: SimTime = SimTime::from_secs(5);
 
-    fn run(mode: FlowMode, n: u32, fanout: usize, until_secs: u64) -> (Vec<RootView<FreshnessReport>>, u64, usize) {
+    fn run(
+        mode: FlowMode,
+        n: u32,
+        fanout: usize,
+        until_secs: u64,
+    ) -> (Vec<RootView<FreshnessReport>>, u64, usize) {
         let (ring, tree) = setup(n, fanout);
         let mut sim = GatherSim::new(
             &tree,
@@ -485,10 +580,7 @@ mod tests {
         let bound = SimTime::from_micros(HOP.as_micros() * (2 * tree.depth() as u64 + 2));
         for v in sim.views() {
             let lag = v.at.saturating_sub(v.view.oldest);
-            assert!(
-                lag <= bound,
-                "sync lag {lag} exceeds bound {bound}"
-            );
+            assert!(lag <= bound, "sync lag {lag} exceeds bound {bound}");
         }
         // In sync mode the lag must be far below the period-dominated
         // unsync bound: it is pure propagation (samples are taken on
@@ -614,7 +706,10 @@ mod tests {
         // member whose canonical leaf the victim hosted or whose subtree
         // hangs under a logical node the victim hosted.
         let after = sim.views().last().unwrap();
-        assert!(after.at > SimTime::from_secs(40), "no views after the crash");
+        assert!(
+            after.at > SimTime::from_secs(40),
+            "no views after the crash"
+        );
         assert!(after.view.members < 100, "crashed member still counted");
         assert!(after.view.members >= 50, "far too many members lost");
     }
@@ -639,6 +734,105 @@ mod tests {
         sim.run_until(SimTime::from_secs(400));
         let after = sim.views().last().unwrap().view.members;
         assert!(after < 80, "crashed member still in the unsync census");
+    }
+
+    #[test]
+    fn revived_member_rejoins_the_census() {
+        let (ring, tree) = setup(80, 8);
+        let mut sim = GatherSim::new(
+            &tree,
+            &ring,
+            FlowMode::Synchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+        );
+        sim.run_until(SimTime::from_secs(30));
+        assert_eq!(sim.views().last().unwrap().view.members, 80);
+        sim.kill_member(7);
+        assert!(sim.is_dead(7));
+        sim.run_until(SimTime::from_secs(90));
+        assert!(sim.views().last().unwrap().view.members < 80);
+        sim.revive_member(7);
+        sim.run_until(SimTime::from_secs(150));
+        assert_eq!(
+            sim.views().last().unwrap().view.members,
+            80,
+            "revived member not counted again"
+        );
+    }
+
+    #[test]
+    fn unsync_census_converges_to_full_under_loss() {
+        // 5% per-message loss: unsync per-hop cached partials make the
+        // census reach (and mostly hold) 100% anyway — each link only needs
+        // one success every three periods.
+        let (ring, tree) = setup(100, 8);
+        let mut sim = GatherSim::with_faults(
+            &tree,
+            &ring,
+            FlowMode::Unsynchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+            FaultPlan::with_loss(11, 0.05).jitter(SimTime::from_millis(20)),
+        );
+        sim.run_until(SimTime::from_secs(600));
+        assert!(sim.messages_dropped() > 0, "loss never fired");
+        let full = sim
+            .views()
+            .iter()
+            .filter(|v| v.view.members == ring.len() as u64)
+            .count();
+        assert!(
+            full * 2 > sim.views().len(),
+            "census full in only {full}/{} views",
+            sim.views().len()
+        );
+        assert_eq!(
+            sim.views().last().unwrap().view.members,
+            ring.len() as u64,
+            "census did not converge under loss"
+        );
+    }
+
+    #[test]
+    fn no_fault_plan_is_bit_identical_to_plain_sim() {
+        let (ring, tree) = setup(120, 8);
+        fn finish<L, D>(mut sim: GatherSim<FreshnessReport, L, D>) -> Run
+        where
+            L: FnMut(usize, SimTime) -> FreshnessReport,
+            D: Fn(usize, usize) -> SimTime,
+        {
+            sim.run_until(SimTime::from_secs(120));
+            let vs: Vec<(SimTime, u64, SimTime)> = sim
+                .views()
+                .iter()
+                .map(|v| (v.at, v.view.members, v.view.oldest))
+                .collect();
+            (vs, sim.messages_sent(), sim.messages_dropped())
+        }
+        type Run = (Vec<(SimTime, u64, SimTime)>, u64, u64);
+        let plain = finish(GatherSim::new(
+            &tree,
+            &ring,
+            FlowMode::Synchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+        ));
+        let faulty = finish(GatherSim::with_faults(
+            &tree,
+            &ring,
+            FlowMode::Synchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+            FaultPlan::none(),
+        ));
+        assert_eq!(plain.0, faulty.0);
+        assert_eq!(plain.1, faulty.1);
+        assert_eq!(faulty.2, 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::report::{CapabilityReport, Report};
 use crate::tree::SomoTree;
 
 /// How a membership change remapped the SOMO tree.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
 pub struct RemapStats {
     /// Logical nodes in the new tree.
     pub total: usize,
@@ -50,7 +50,12 @@ impl RemapStats {
 /// Compare two tree snapshots (before/after a membership change); hosts are
 /// matched by *member identity* (`HostId`), not ring index, because indices
 /// shift on insert/remove.
-pub fn remap_stats(before: &SomoTree, before_ring: &Ring, after: &SomoTree, after_ring: &Ring) -> RemapStats {
+pub fn remap_stats(
+    before: &SomoTree,
+    before_ring: &Ring,
+    after: &SomoTree,
+    after_ring: &Ring,
+) -> RemapStats {
     use std::collections::HashMap;
     let mut old: HashMap<(u128, u128), HostId> = HashMap::new();
     for n in before.nodes() {
@@ -72,7 +77,11 @@ pub fn remap_stats(before: &SomoTree, before_ring: &Ring, after: &SomoTree, afte
             }
         }
     }
-    stats.dropped = before.len() - survived;
+    // `survived` counts matches in `after`, and region keys need not be
+    // unique: if the new tree re-subdivides a region into duplicates that
+    // all match one old node, `survived` can exceed `before.len()`.
+    // Saturate instead of underflowing.
+    stats.dropped = before.len().saturating_sub(survived);
     stats
 }
 
@@ -229,6 +238,37 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_region_resubdivision_does_not_underflow_dropped() {
+        // Regression: `dropped` was computed as `before.len() - survived`,
+        // but `survived` counts *after*-side matches — if the new tree holds
+        // duplicate region keys that all match one old node, survived can
+        // exceed before.len() and the subtraction underflowed (panic in
+        // debug, absurd counts in release).
+        use crate::tree::LogicalNode;
+        let r = ring(2, 29);
+        let mk = |region: (u128, u128), host: usize, parent: Option<u32>| LogicalNode {
+            level: if parent.is_some() { 1 } else { 0 },
+            region,
+            point: dht::NodeId((((region.0 + region.1) / 2) & u64::MAX as u128) as u64),
+            host,
+            parent,
+            children: vec![],
+        };
+        let full = (0u128, 1u128 << 64);
+        // Before: a single root covering the whole space.
+        let before = SomoTree::from_nodes(2, vec![mk(full, 0, None)]);
+        // After: the root plus two children that (degenerately) repeat the
+        // root's region key — three matches against one old node.
+        let mut root = mk(full, 0, None);
+        root.children = vec![1, 2];
+        let after = SomoTree::from_nodes(2, vec![root, mk(full, 0, Some(0)), mk(full, 1, Some(0))]);
+        let stats = remap_stats(&before, &r, &after, &r);
+        assert_eq!(stats.total, 3);
+        assert_eq!(stats.created, 0, "all after-nodes match the old region");
+        assert_eq!(stats.dropped, 0, "dropped must saturate, not wrap");
+    }
+
+    #[test]
     fn root_swap_moves_root_to_most_capable() {
         let mut r = ring(64, 23);
         // Host 42 is the beast.
@@ -246,7 +286,11 @@ mod tests {
         optimize_root(&mut r, cap);
         let snapshot: Vec<_> = r.members().to_vec();
         optimize_root(&mut r, cap);
-        assert_eq!(snapshot, r.members().to_vec(), "second swap changed the ring");
+        assert_eq!(
+            snapshot,
+            r.members().to_vec(),
+            "second swap changed the ring"
+        );
     }
 
     #[test]
@@ -278,7 +322,13 @@ mod tests {
     #[test]
     fn gather_based_swap_matches_direct_swap() {
         use simcore::SimTime;
-        let cap = |h: HostId| if h == HostId(13) { 50.0 } else { h.0 as f64 / 100.0 };
+        let cap = |h: HostId| {
+            if h == HostId(13) {
+                50.0
+            } else {
+                h.0 as f64 / 100.0
+            }
+        };
         let mut direct = ring(48, 26);
         let mut gathered = direct.clone();
         let a = optimize_root(&mut direct, cap).unwrap();

@@ -192,7 +192,13 @@ where
                     for c in n.children.clone() {
                         let ch = self.tree.nodes()[c as usize].host;
                         let d = self.hop(my, ch);
-                        self.queue.schedule_after(d, Ev::Publish { node: c, r: r.clone() });
+                        self.queue.schedule_after(
+                            d,
+                            Ev::Publish {
+                                node: c,
+                                r: r.clone(),
+                            },
+                        );
                     }
                 }
             }
@@ -206,13 +212,8 @@ where
         match n.parent {
             None => {
                 if let Some(view) = r {
-                    self.queue.schedule_after(
-                        SimTime::ZERO,
-                        Ev::Publish {
-                            node: 0,
-                            r: view,
-                        },
-                    );
+                    self.queue
+                        .schedule_after(SimTime::ZERO, Ev::Publish { node: 0, r: view });
                 }
             }
             Some(p) => {

@@ -101,6 +101,15 @@ impl SomoTree {
         SomoTree { fanout, nodes }
     }
 
+    /// Assemble a tree from explicit nodes — used by in-crate tests to
+    /// exercise accounting code on degenerate shapes (e.g. duplicate region
+    /// keys) that `build` never produces.
+    #[cfg(test)]
+    pub(crate) fn from_nodes(fanout: usize, nodes: Vec<LogicalNode>) -> SomoTree {
+        assert!(!nodes.is_empty(), "a tree needs at least a root");
+        SomoTree { fanout, nodes }
+    }
+
     /// The tree fanout.
     pub fn fanout(&self) -> usize {
         self.fanout

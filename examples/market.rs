@@ -35,7 +35,10 @@ fn main() {
     );
     let out = MarketSim::new(pool, cfg, 5).run();
 
-    println!("{:>9} {:>10} {:>14} {:>12} {:>12}", "priority", "plans", "improvement", "helpers", "preemptions");
+    println!(
+        "{:>9} {:>10} {:>14} {:>12} {:>12}",
+        "priority", "plans", "improvement", "helpers", "preemptions"
+    );
     for p in 1..=3u8 {
         let c = out.class(p);
         println!(

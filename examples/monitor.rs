@@ -29,7 +29,10 @@ fn main() {
 
     // Put the most capable machine at the SOMO root (the §3.2 ID swap).
     let best = optimize_root(&mut ring, |h| net.hosts.degree_bound(h) as f64).unwrap();
-    println!("root swap: most capable machine is host {} — now hosting the SOMO root", best.0);
+    println!(
+        "root swap: most capable machine is host {} — now hosting the SOMO root",
+        best.0
+    );
 
     let tree = SomoTree::build(&ring, 8);
     println!(

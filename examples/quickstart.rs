@@ -57,7 +57,11 @@ fn main() {
 }
 
 fn print_tree(tree: &MulticastTree, spec: &SessionSpec, node: HostId, depth: usize) {
-    let marker = if spec.members.contains(&node) { "○" } else { "□" };
+    let marker = if spec.members.contains(&node) {
+        "○"
+    } else {
+        "□"
+    };
     println!(
         "{}{} host {:4}  (height {:.1} ms)",
         "  ".repeat(depth),

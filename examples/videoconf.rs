@@ -38,7 +38,10 @@ fn main() {
         outcomes.push((names[i], spec.priority, out));
     }
 
-    println!("\n{:<18} {:>8} {:>12} {:>12} {:>9} {:>8}", "session", "priority", "AMCast (ms)", "actual (ms)", "improve", "helpers");
+    println!(
+        "\n{:<18} {:>8} {:>12} {:>12} {:>9} {:>8}",
+        "session", "priority", "AMCast (ms)", "actual (ms)", "improve", "helpers"
+    );
     for (name, prio, out) in &outcomes {
         println!(
             "{:<18} {:>8} {:>12.1} {:>12.1} {:>8.1}% {:>8}",

@@ -78,6 +78,95 @@ fn plans_are_identical_across_identical_pools() {
     assert_eq!(out_a.improvement, out_b.improvement);
 }
 
+/// One faulty DHT trajectory: run heartbeats under loss + jitter + an
+/// outage window, with a mid-run crash, and capture everything observable.
+fn faulty_dht_trajectory(seed: u64) -> (u64, u64, Vec<Vec<NodeId>>) {
+    use p2p_resource_pool::dht::proto::{DhtSim, ProtoConfig};
+    let ring = Ring::with_random_ids((0..96).map(HostId), seed);
+    let plan = simcore::FaultPlan::with_loss(seed ^ 0xFA17, 0.04)
+        .jitter(SimTime::from_millis(25))
+        .outage(
+            ring.member(3).host.0 as u64,
+            ring.member(4).host.0 as u64,
+            SimTime::from_secs(10),
+            SimTime::from_secs(40),
+        );
+    let mut sim = DhtSim::with_faults(
+        &ring,
+        ProtoConfig::default(),
+        |a, b| {
+            if a == b {
+                SimTime::ZERO
+            } else {
+                SimTime::from_millis(40)
+            }
+        },
+        plan,
+    );
+    sim.run_until(SimTime::from_secs(30));
+    sim.kill(7);
+    sim.run_until(SimTime::from_secs(120));
+    let views = (0..sim.len()).map(|i| sim.believed_leafset(i)).collect();
+    (sim.messages_sent(), sim.messages_dropped(), views)
+}
+
+#[test]
+fn faulty_dht_trajectory_is_bit_identical_across_runs() {
+    assert_eq!(faulty_dht_trajectory(21), faulty_dht_trajectory(21));
+}
+
+/// One faulty SOMO gather: unsynchronized census over a lossy network.
+fn faulty_gather_trajectory(seed: u64) -> (u64, u64, Vec<(SimTime, u64)>) {
+    use p2p_resource_pool::somo::flow::{FlowMode, FreshnessReport, GatherSim};
+    let ring = Ring::with_random_ids((0..96).map(HostId), seed);
+    let tree = SomoTree::build(&ring, 8);
+    let plan = simcore::FaultPlan::with_loss(seed ^ 0x50, 0.05).jitter(SimTime::from_millis(15));
+    let mut sim = GatherSim::with_faults(
+        &tree,
+        &ring,
+        FlowMode::Unsynchronized,
+        SimTime::from_secs(5),
+        |_m, now| FreshnessReport::of_member(now),
+        |a, b| {
+            if a == b {
+                SimTime::ZERO
+            } else {
+                SimTime::from_millis(150)
+            }
+        },
+        plan,
+    );
+    sim.run_until(SimTime::from_secs(90));
+    let views = sim.views().iter().map(|v| (v.at, v.view.members)).collect();
+    (sim.messages_sent(), sim.messages_dropped(), views)
+}
+
+#[test]
+fn faulty_gather_trajectory_is_bit_identical_across_runs() {
+    assert_eq!(faulty_gather_trajectory(33), faulty_gather_trajectory(33));
+}
+
+#[test]
+fn recovery_pipeline_is_bit_identical_across_runs() {
+    use p2p_resource_pool::pool::recovery::{run_pipeline, RecoveryConfig};
+    let run = || {
+        let plan = simcore::FaultPlan::with_loss(17, 0.03).jitter(SimTime::from_millis(10));
+        run_pipeline(&RecoveryConfig {
+            n: 48,
+            crashes: 3,
+            plan,
+            session_size: 16,
+            ..RecoveryConfig::default()
+        })
+    };
+    let a = run();
+    let b = run();
+    // The whole outcome — per-phase timeline, census numbers, message and
+    // drop counts, ALM repair report — must match field for field.
+    assert_eq!(a, b);
+    assert!(a.timeline.reattached_at.is_some());
+}
+
 #[test]
 fn somo_tree_is_a_pure_function_of_the_ring() {
     let a = build(11);

@@ -188,7 +188,10 @@ fn end_to_end_session_beats_baseline_with_oracle_planning() {
         pool.release_session(spec.id);
     }
     let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
-    assert!(avg > 0.1, "oracle Critical+adjust average improvement {avg}");
+    assert!(
+        avg > 0.1,
+        "oracle Critical+adjust average improvement {avg}"
+    );
 }
 
 #[test]

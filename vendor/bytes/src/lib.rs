@@ -1,0 +1,146 @@
+//! Offline stand-in for the `bytes` crate: the small encode-only subset the
+//! workspace uses (`BytesMut` + `BufMut` put-methods + `freeze`), backed by
+//! a plain `Vec<u8>`. No zero-copy reference counting — nothing here is on
+//! a hot path that needs it.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// A buffer borrowing a static slice (copied here — the stand-in does
+    /// not track lifetimes the way upstream's ref-counted buffer does).
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes(s.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Convert to an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+/// Append-only writing of fixed-width values (big-endian, like upstream's
+/// default put methods).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian f64.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_and_freeze() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(1);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(42);
+        b.put_f64(1.5);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 1 + 4 + 8 + 8);
+        assert_eq!(frozen[0], 1);
+        assert_eq!(&frozen[1..5], &0xDEAD_BEEFu32.to_be_bytes());
+    }
+
+    #[test]
+    fn from_static_copies() {
+        let b = Bytes::from_static(&[0u8; 40]);
+        assert_eq!(b.len(), 40);
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`: the benchmark-group API surface this
+//! workspace's `harness = false` benches use, timed with `std::time::Instant`
+//! and reported as plain text. No statistics engine, no HTML reports, no
+//! CLI filtering — every registered benchmark runs, quickly, and prints a
+//! median ns/iter. Command-line arguments (cargo passes `--bench`/`--test`)
+//! are accepted and ignored.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, rendered `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name, param),
+        }
+    }
+
+    /// A parameter-only id, rendered as the parameter alone.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Runs closures under timing; handed to bench bodies.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, batching iterations so each sample spans at least ~2 ms,
+    /// and record `samples` samples. Returns `()` like upstream criterion,
+    /// so `b.iter(...)` can be a bench closure's tail expression.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Estimate per-iteration cost to pick a batch size.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let est_ns = t0.elapsed().as_nanos().max(1) as u64;
+        let batch = (2_000_000u64 / est_ns).clamp(1, 10_000);
+        let mut per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.per_iter = per_iter;
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut xs = self.per_iter.clone();
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[xs.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timing samples per benchmark (capped to keep the
+    /// stand-in fast).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, 20);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            per_iter: Vec::new(),
+        };
+        let before = Instant::now();
+        f(&mut b, input);
+        println!(
+            "bench {}/{}: median {:.0} ns/iter, done in {:.1} ms ({} samples)",
+            self.name,
+            id.label,
+            b.median_ns(),
+            before.elapsed().as_secs_f64() * 1e3,
+            self.sample_size
+        );
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            per_iter: Vec::new(),
+        };
+        let before = Instant::now();
+        f(&mut b);
+        let id = id.into();
+        println!(
+            "bench {}/{}: median {:.0} ns/iter, done in {:.1} ms ({} samples)",
+            self.name,
+            id.label,
+            b.median_ns(),
+            before.elapsed().as_secs_f64() * 1e3,
+            self.sample_size
+        );
+        self
+    }
+
+    /// Close the group (marker for parity with upstream; prints a ruler).
+    pub fn finish(self) {
+        println!("group {}: finished", self.name);
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Define a group-runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running each group (ignoring harness CLI arguments).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench/test pass flags like --bench; accept and ignore.
+            let _ = std::env::args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| {
+                total = total.wrapping_add(n);
+                total
+            });
+        });
+        g.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| 1 + 1);
+        });
+        g.finish();
+    }
+}

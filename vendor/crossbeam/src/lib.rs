@@ -1,0 +1,134 @@
+//! Offline stand-in for `crossbeam`: just `crossbeam::thread::scope`, which
+//! the workspace uses for fan-out parallelism. Mirrors crossbeam's design —
+//! a `Scope<'env>` carrying only the environment lifetime, with every
+//! spawned thread joined before `scope` returns (which is what makes the
+//! lifetime-erasing transmute in `spawn` sound).
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+    use std::mem;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    type Panic = Box<dyn Any + Send + 'static>;
+
+    struct SendPtr<T>(*const T);
+    // SAFETY: only used to pass the scope reference into threads that are
+    // joined before the scope is dropped.
+    unsafe impl<T: Sync> Send for SendPtr<T> {}
+
+    /// A handle to spawn scoped threads, mirroring
+    /// `crossbeam::thread::Scope`'s `spawn(|_| ...)` shape (the closure
+    /// receives the scope again; the workspace ignores it).
+    pub struct Scope<'env> {
+        handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+        panics: Mutex<Vec<Panic>>,
+        _env: PhantomData<&'env mut &'env ()>,
+    }
+
+    impl<'env> Scope<'env> {
+        /// Spawn a scoped thread; joined automatically at scope exit.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            let ptr = SendPtr(self as *const Scope<'env>);
+            let closure: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                // Capture the whole SendPtr wrapper, not just the raw-pointer
+                // field (edition-2021 disjoint capture would otherwise grab
+                // the non-Send `*const` directly).
+                let ptr = ptr;
+                // SAFETY: the scope outlives every spawned thread (all are
+                // joined in `scope` before it returns).
+                let scope = unsafe { &*ptr.0 };
+                if let Err(e) = catch_unwind(AssertUnwindSafe(|| {
+                    f(scope);
+                })) {
+                    scope.panics.lock().unwrap().push(e);
+                }
+            });
+            // SAFETY: 'env strictly outlives all threads for the same
+            // join-before-return reason, so erasing it to 'static is sound.
+            let closure: Box<dyn FnOnce() + Send + 'static> = unsafe { mem::transmute(closure) };
+            let handle = std::thread::spawn(closure);
+            self.handles.lock().unwrap().push(handle);
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. `Err` carries a panic payload if `f` or any spawned thread
+    /// panicked — matching crossbeam's signature (callers `.expect()` it).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Panic>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let scope = Scope {
+            handles: Mutex::new(Vec::new()),
+            panics: Mutex::new(Vec::new()),
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Join until quiescent: a spawned thread may itself have spawned.
+        loop {
+            let batch = mem::take(&mut *scope.handles.lock().unwrap());
+            if batch.is_empty() {
+                break;
+            }
+            for h in batch {
+                // The thread catches its own panic; join only fails if the
+                // catch itself was bypassed (e.g. abort), so propagate.
+                let _ = h.join();
+            }
+        }
+        let mut panics = scope.panics.into_inner().unwrap();
+        match result {
+            Err(e) => Err(e),
+            Ok(_) if !panics.is_empty() => Err(panics.remove(0)),
+            Ok(r) => Ok(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_slots() {
+        let mut out = vec![0usize; 24];
+        super::thread::scope(|s| {
+            for (i, chunk) in out.chunks_mut(7).enumerate() {
+                s.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = i * 7 + j;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_joins() {
+        let flag = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|scope| {
+                scope.spawn(|_| {
+                    flag.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(flag.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,484 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` stand-in's collapsed data model (one JSON-like
+//! `Value` tree) — without `syn`/`quote`, by walking the raw
+//! `proc_macro::TokenStream`. Supported shapes are exactly what this
+//! workspace derives on:
+//!
+//! * structs with named fields → JSON objects keyed by field name,
+//! * newtype structs → transparent (the inner value),
+//! * other tuple structs → arrays,
+//! * enums with unit variants → the variant name as a string,
+//! * enums with tuple/struct variants → `{"Variant": <payload>}`.
+//!
+//! Generics and `#[serde(...)]` attributes are not supported (none are used
+//! in this workspace) and produce a compile error rather than wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let code = match parse_shape(input) {
+        Ok(shape) => {
+            if ser {
+                gen_serialize(&shape)
+            } else {
+                gen_deserialize(&shape)
+            }
+        }
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip `#[...]` attribute sequences (doc comments included).
+    fn skip_attrs(&mut self) {
+        loop {
+            match (self.peek(), self.toks.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    self.pos += 2;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Skip tokens until a top-level comma (angle-bracket aware), consuming
+    /// the comma. Used to skip field types and enum discriminants.
+    fn skip_until_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle <= 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident()?;
+    let is_enum = match kw.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    let name = c.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive stand-in: generic type `{name}` not supported"
+            ));
+        }
+    }
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            // Unit struct.
+            return Ok(Shape::TupleStruct { name, arity: 0 });
+        }
+        other => return Err(format!("expected item body, got {other:?}")),
+    };
+    if is_enum {
+        let variants = parse_variants(body.stream())?;
+        Ok(Shape::Enum { name, variants })
+    } else {
+        match body.delimiter() {
+            Delimiter::Brace => Ok(Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(body.stream())?,
+            }),
+            Delimiter::Parenthesis => Ok(Shape::TupleStruct {
+                name,
+                arity: count_tuple_fields(body.stream()),
+            }),
+            d => Err(format!("unexpected struct body delimiter {d:?}")),
+        }
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            return Ok(fields);
+        }
+        c.skip_vis();
+        fields.push(c.expect_ident()?);
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        c.skip_until_comma();
+    }
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle <= 0 && c.peek().is_some() => n += 1,
+                _ => {}
+            }
+        }
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = c.expect_ident()?;
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        c.skip_until_comma();
+        variants.push(Variant { name, shape });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::to_json_value(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                   fn to_json_value(&self) -> serde::Value {{\n\
+                     serde::Value::Object(vec![{entries}])\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => "serde::Value::Null".to_string(),
+                1 => "serde::Serialize::to_json_value(&self.0)".to_string(),
+                n => {
+                    let elems: String = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_json_value(&self.{i}),"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{elems}])")
+                }
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                   fn to_json_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            format!("{name}::{vn} => serde::Value::String(\"{vn}\".to_string()),")
+                        }
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "serde::Serialize::to_json_value(__f0)".to_string()
+                            } else {
+                                let elems: String = binds
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_json_value({b}),"))
+                                    .collect();
+                                format!("serde::Value::Array(vec![{elems}])")
+                            };
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Object(vec![\
+                                   (\"{vn}\".to_string(), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         serde::Serialize::to_json_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![\
+                                   (\"{vn}\".to_string(), \
+                                    serde::Value::Object(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                   fn to_json_value(&self) -> serde::Value {{\n\
+                     match self {{ {arms} }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_json_value(\
+                           __v.get(\"{f}\").ok_or_else(|| \
+                             serde::de::Error::custom(\"missing field `{f}`\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                   fn from_json_value(__v: &serde::Value) -> Result<Self, serde::de::Error> {{\n\
+                     Ok({name} {{ {inits} }})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => format!("Ok({name})"),
+                1 => format!("Ok({name}(serde::Deserialize::from_json_value(__v)?))"),
+                n => {
+                    let elems: String = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_json_value(&__xs[{i}])?,"))
+                        .collect();
+                    format!(
+                        "{{ let __xs = __v.as_array().ok_or_else(|| \
+                             serde::de::Error::custom(\"expected array\"))?;\n\
+                           if __xs.len() != {n} {{ return Err(serde::de::Error::custom(\
+                             \"wrong tuple arity\")); }}\n\
+                           Ok({name}({elems})) }}"
+                    )
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                   fn from_json_value(__v: &serde::Value) -> Result<Self, serde::de::Error> {{\n\
+                     {body}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                               serde::Deserialize::from_json_value(__inner)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let elems: String = (0..*n)
+                                .map(|i| {
+                                    format!("serde::Deserialize::from_json_value(&__xs[{i}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __xs = __inner.as_array()\
+                                   .ok_or_else(|| serde::de::Error::custom(\"expected array\"))?;\n\
+                                   if __xs.len() != {n} {{ return Err(\
+                                     serde::de::Error::custom(\"wrong arity\")); }}\n\
+                                   Ok({name}::{vn}({elems})) }},"
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_json_value(\
+                                           __inner.get(\"{f}\").ok_or_else(|| \
+                                             serde::de::Error::custom(\
+                                               \"missing field `{f}`\"))?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!("\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),"))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                   fn from_json_value(__v: &serde::Value) -> Result<Self, serde::de::Error> {{\n\
+                     match __v {{\n\
+                       serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => Err(serde::de::Error::custom(format!(\
+                           \"unknown variant `{{__other}}` of {name}\"))),\n\
+                       }},\n\
+                       serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                         let (__k, __inner) = &__o[0];\n\
+                         let _ = __inner; // unused for unit-only enums\n\
+                         match __k.as_str() {{\n\
+                           {payload_arms}\n\
+                           __other => Err(serde::de::Error::custom(format!(\
+                             \"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                       }}\n\
+                       __other => Err(serde::de::Error::custom(format!(\
+                         \"invalid {name} encoding: {{__other:?}}\"))),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The vendored `serde` collapses serde's data model to one JSON-like tree
+//! ([`Value`]); this crate is the matching printer ([`to_string`],
+//! [`to_string_pretty`]), parser ([`from_str`]) and [`json!`] constructor.
+//! Only the API surface this workspace uses is provided.
+
+pub use serde::de::Error;
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// Render any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_json_value()
+}
+
+/// Compact JSON text for any serializable value.
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    Ok(v.to_json_value().to_string())
+}
+
+/// Pretty-printed JSON (2-space indent) for any serializable value.
+pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    pretty(&v.to_json_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    use std::fmt::Write;
+    const STEP: usize = 2;
+    match v {
+        Value::Array(xs) if !xs.is_empty() => {
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                pretty(x, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(o) if !o.is_empty() => {
+            out.push('{');
+            for (i, (k, x)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                serde::write_escaped(out, k).expect("string write");
+                out.push_str(": ");
+                pretty(x, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => {
+            write!(out, "{other}").expect("string write");
+        }
+    }
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_json_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::custom("unexpected end of JSON"))
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{word}` at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => {
+                self.eat_word("null")?;
+                Ok(Value::Null)
+            }
+            b't' => {
+                self.eat_word("true")?;
+                Ok(Value::Bool(true))
+            }
+            b'f' => {
+                self.eat_word("false")?;
+                Ok(Value::Bool(false))
+            }
+            b'"' => Ok(Value::String(self.string()?)),
+            b'[' => {
+                self.eat(b'[')?;
+                let mut xs = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Array(xs));
+                }
+                loop {
+                    xs.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Array(xs));
+                        }
+                        c => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `]`, got `{}`",
+                                c as char
+                            )))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.eat(b'{')?;
+                let mut o = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Object(o));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    let val = self.value()?;
+                    o.push((key, val));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Object(o));
+                        }
+                        c => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `}}`, got `{}`",
+                                c as char
+                            )))
+                        }
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(Error::custom(format!(
+                "unexpected character `{}` at offset {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| Error::custom("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                            );
+                        }
+                        c => return Err(Error::custom(format!("bad escape `\\{}`", c as char))),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8: step back and take the full char.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|e| Error::custom(format!("invalid number `{text}`: {e}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Build a [`Value`] from JSON-looking syntax. Supports object and array
+/// literals (nestable), `null`, and arbitrary serializable expressions as
+/// values — the subset of `serde_json::json!` this workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let __arr = {
+            let mut __arr: Vec<$crate::Value> = Vec::new();
+            $crate::json_elems!(__arr; $($tt)*);
+            __arr
+        };
+        $crate::Value::Array(__arr)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let __obj = {
+            let mut __obj: Vec<(String, $crate::Value)> = Vec::new();
+            $crate::json_entries!(__obj; $($tt)*);
+            __obj
+        };
+        $crate::Value::Object(__obj)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal helper for [`json!`] object bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $( $crate::json_entries!($obj; $($rest)*); )?
+    };
+    ($obj:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $( $crate::json_entries!($obj; $($rest)*); )?
+    };
+    ($obj:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $( $crate::json_entries!($obj; $($rest)*); )?
+    };
+    ($obj:ident; $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::to_value(&$val)));
+        $( $crate::json_entries!($obj; $($rest)*); )?
+    };
+}
+
+/// Internal helper for [`json!`] array bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_elems {
+    ($arr:ident;) => {};
+    ($arr:ident; null $(, $($rest:tt)*)?) => {
+        $arr.push($crate::Value::Null);
+        $( $crate::json_elems!($arr; $($rest)*); )?
+    };
+    ($arr:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $( $crate::json_elems!($arr; $($rest)*); )?
+    };
+    ($arr:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $( $crate::json_elems!($arr; $($rest)*); )?
+    };
+    ($arr:ident; $val:expr $(, $($rest:tt)*)?) => {
+        $arr.push($crate::to_value(&$val));
+        $( $crate::json_elems!($arr; $($rest)*); )?
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&5u32).unwrap(), "5");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        let x: f64 = from_str("5").unwrap();
+        assert_eq!(x, 5.0);
+        let y: u64 = from_str("18446744073709551615").unwrap();
+        assert_eq!(y, u64::MAX);
+    }
+
+    #[test]
+    fn round_trip_float_exact() {
+        for &f in &[0.1, 1.0 / 3.0, 12345.6789, f64::MIN_POSITIVE, 1e300] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, f, "float {f} did not round-trip via {s}");
+        }
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let rows = vec![json!({"a": 1}), json!({"a": 2})];
+        let v = json!({
+            "n": 5,
+            "nested": {"x": 1.5, "deep": {"y": [1, 2, 3]}},
+            "rows": rows,
+            "s": "text",
+            "none": null,
+        });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(5));
+        assert_eq!(
+            v.get("nested")
+                .and_then(|n| n.get("x"))
+                .and_then(Value::as_f64),
+            Some(1.5)
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\n\"quoted\"\tand \\ unicode: \u{1F600}";
+        let j = to_string(&s).unwrap();
+        let back: String = from_str(&j).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"rows": [{"a": 1}, {"b": [true, false]}], "empty": []});
+        let p = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&p).unwrap();
+        assert_eq!(back, v);
+        assert!(p.contains('\n'));
+    }
+}
