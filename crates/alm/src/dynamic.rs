@@ -185,6 +185,22 @@ pub struct ReattachReport {
     pub duration: simcore::SimTime,
 }
 
+/// The roots of the subtrees that `dead` would orphan: live nodes whose
+/// parent is dead (each drags its intact subtree along). Schedulers use
+/// this to size a repair — or release the stranded helpers' reservations —
+/// before committing to [`reattach_orphans`].
+pub fn orphaned_subtree_roots(tree: &MulticastTree, dead: &[HostId]) -> Vec<HostId> {
+    let dead_set: std::collections::HashSet<HostId> = dead.iter().copied().collect();
+    tree.bfs_order()
+        .into_iter()
+        .filter(|&u| {
+            u != tree.root()
+                && !dead_set.contains(&u)
+                && dead_set.contains(&tree.parent_of(u).expect("non-root has a parent"))
+        })
+        .collect()
+}
+
 /// Crash repair for a live session: every host in `dead` vanishes at once
 /// and each orphaned subtree re-attaches by itself, retrying with
 /// exponential backoff.
@@ -542,6 +558,35 @@ mod tests {
                 assert!(repaired.contains(*m), "survivor lost in repair");
             }
         }
+    }
+
+    #[test]
+    fn orphaned_subtree_roots_are_the_live_children_of_the_dead() {
+        let net = net();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let members = session(&net, 40, 7);
+        let p = Problem::new(members[0], members.clone(), &net.latency, dbound);
+        let t = amcast(&p);
+        let dead: Vec<HostId> = members
+            .iter()
+            .copied()
+            .filter(|&m| m != t.root())
+            .take(3)
+            .collect();
+        let mut expected: Vec<HostId> = dead
+            .iter()
+            .flat_map(|&d| t.children_of(d))
+            .filter(|c| !dead.contains(c))
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let mut got = orphaned_subtree_roots(&t, &dead);
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        // Consistency with the repair itself: it re-attaches exactly the
+        // orphan roots that do not give up.
+        let (_, report) = reattach_orphans(&p, &t, &dead, &ReattachConfig::default());
+        assert_eq!(report.reattached + report.gave_up, got.len());
     }
 
     struct Table;

@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 
 use netsim::HostId;
+use simcore::audit::{AuditCtx, Auditor, InvariantSet};
 use simcore::{EventQueue, FaultPlan, FaultyLink, SimTime};
 
 use crate::id::NodeId;
@@ -538,6 +539,82 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
     pub fn view_contains(&self, i: usize, id: NodeId) -> bool {
         self.nodes[i].view.contains_key(&id)
     }
+
+    /// Whether node `i` currently holds a death certificate for `id`.
+    pub fn tombstoned(&self, i: usize, id: NodeId) -> bool {
+        self.nodes[i].tombstones.contains_key(&id)
+    }
+
+    /// Sample the ring/tombstone coherence invariants if the auditor is
+    /// due. Returns whether a sample was taken.
+    pub fn audit_sample(&self, auditor: &mut Auditor) -> bool {
+        auditor.sample_due(&dht_invariants(), self, self.queue.now())
+    }
+}
+
+/// The protocol's coherence invariants, checkable at any instant:
+///
+/// * **view-tombstone-disjoint** — a peer is never simultaneously believed
+///   alive and certified dead; direct evidence voids the certificate, and
+///   a certificate blocks gossip re-insertion.
+/// * **self-absent-from-view** — a node never gossips itself into its own
+///   view (the leafset derivation assumes it).
+/// * **leafset-within-view** — the believed leafset is derived from the
+///   view and nothing else.
+/// * **tombstone-deadline-bounded** — every death certificate lapses within
+///   one failure-detection timeout of its issue, so a wrongly-expelled but
+///   live peer can always rejoin.
+pub fn dht_invariants<D: Fn(HostId, HostId) -> SimTime>() -> InvariantSet<DhtSim<D>> {
+    InvariantSet::new()
+        .register("view-tombstone-disjoint", inv_view_tombstone_disjoint::<D>)
+        .register("self-absent-from-view", inv_self_absent::<D>)
+        .register("leafset-within-view", inv_leafset_within_view::<D>)
+        .register("tombstone-deadline-bounded", inv_tombstone_bounded::<D>)
+}
+
+fn inv_view_tombstone_disjoint<D: Fn(HostId, HostId) -> SimTime>(
+    s: &DhtSim<D>,
+    ctx: &mut AuditCtx<'_>,
+) {
+    for (i, n) in s.nodes.iter().enumerate() {
+        for id in n.view.keys() {
+            ctx.check(!n.tombstones.contains_key(id), || {
+                format!("node {i} holds {id:?} in both view and tombstones")
+            });
+        }
+    }
+}
+
+fn inv_self_absent<D: Fn(HostId, HostId) -> SimTime>(s: &DhtSim<D>, ctx: &mut AuditCtx<'_>) {
+    for (i, n) in s.nodes.iter().enumerate() {
+        ctx.check(!n.view.contains_key(&n.member.id), || {
+            format!("node {i} gossiped itself into its own view")
+        });
+    }
+}
+
+fn inv_leafset_within_view<D: Fn(HostId, HostId) -> SimTime>(
+    s: &DhtSim<D>,
+    ctx: &mut AuditCtx<'_>,
+) {
+    for (i, n) in s.nodes.iter().enumerate() {
+        for id in n.leafset(s.cfg.leafset_r) {
+            ctx.check(n.view.contains_key(&id), || {
+                format!("node {i}'s believed leafset lists {id:?} outside its view")
+            });
+        }
+    }
+}
+
+fn inv_tombstone_bounded<D: Fn(HostId, HostId) -> SimTime>(s: &DhtSim<D>, ctx: &mut AuditCtx<'_>) {
+    let horizon = ctx.now() + s.cfg.timeout;
+    for (i, n) in s.nodes.iter().enumerate() {
+        for (id, &until) in &n.tombstones {
+            ctx.check(until <= horizon, || {
+                format!("node {i}'s certificate for {id:?} outlives a detection timeout ({until})")
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -613,6 +690,53 @@ mod tests {
         // it an order of magnitude more time than the lookup join needed.
         slow.run_until(SimTime::from_secs(400));
         assert!(slow.converged());
+    }
+
+    #[test]
+    fn coherence_invariants_hold_through_churn() {
+        // Sample the view/tombstone invariants every second across a run
+        // with kills, a revival, and a join — the flows that historically
+        // produce flapping views. Hard-fail is on in debug builds, so a
+        // violation panics with the offending node; the final report must
+        // be clean either way.
+        let mut s = sim(32);
+        let mut auditor = Auditor::every(SimTime::from_secs(1));
+        let step = SimTime::from_secs(1);
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(120) {
+            t += step;
+            s.run_until(t);
+            s.audit_sample(&mut auditor);
+            if t == SimTime::from_secs(10) {
+                s.kill(5);
+                s.kill(11);
+            }
+            if t == SimTime::from_secs(60) {
+                s.revive(5, 0);
+                s.join(
+                    Member {
+                        id: NodeId::hash_of(0xC0DE),
+                        host: HostId(888),
+                    },
+                    3,
+                );
+            }
+        }
+        let report = auditor.into_report();
+        // The event clock only advances when messages flow, so quiet gaps
+        // between heartbeat waves coalesce polls: expect roughly one sample
+        // per wave, not one per poll.
+        assert!(report.samples >= 20, "auditor barely sampled");
+        assert!(report.checks > 0);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        // The dead node is certified, not believed: no live neighbor holds
+        // victim 11 in its view once expelled.
+        let dead_id = s.member_of(11).id;
+        for i in 0..s.len() {
+            if s.is_alive(i) {
+                assert!(!s.view_contains(i, dead_id));
+            }
+        }
     }
 
     #[test]

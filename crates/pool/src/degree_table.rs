@@ -23,6 +23,7 @@
 //! guarantees every session can at least realize its members-only plan.
 
 use serde::{Deserialize, Serialize};
+use simcore::SimTime;
 
 /// A multicast session's identity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -55,6 +56,17 @@ pub struct Allocation {
     pub rank: Rank,
     /// How many degrees.
     pub count: u32,
+    /// When the claim lapses unless renewed. `None` is a permanent
+    /// reservation (the pre-lease model, still used by the static planners).
+    pub expires_at: Option<SimTime>,
+}
+
+/// The later of two lease deadlines, where `None` means "never expires".
+fn later_expiry(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        _ => None,
+    }
 }
 
 /// The degree table of one host.
@@ -83,9 +95,11 @@ impl DegreeTable {
         self.alloc.iter().map(|a| a.count).sum()
     }
 
-    /// Unallocated degrees.
+    /// Unallocated degrees. Saturating: even if a bug (or a hostile report)
+    /// ever oversubscribes the table, `free()` answers 0 rather than
+    /// wrapping into a huge bogus availability.
     pub fn free(&self) -> u32 {
-        self.dbound - self.used()
+        self.dbound.saturating_sub(self.used())
     }
 
     /// Degrees a claim of `rank` could obtain: free plus everything held at
@@ -127,6 +141,23 @@ impl DegreeTable {
         rank: Rank,
         count: u32,
     ) -> Result<Vec<(SessionId, u32)>, InsufficientDegree> {
+        self.reserve_until(session, rank, count, None)
+    }
+
+    /// Like [`DegreeTable::reserve`], but the claim is a **lease**: it lapses
+    /// at `expires_at` unless renewed (see [`DegreeTable::renew`] and
+    /// [`DegreeTable::expire`]). `None` reserves permanently.
+    ///
+    /// # Errors
+    /// If even full preemption cannot satisfy the claim; the table is left
+    /// unchanged.
+    pub fn reserve_until(
+        &mut self,
+        session: SessionId,
+        rank: Rank,
+        count: u32,
+        expires_at: Option<SimTime>,
+    ) -> Result<Vec<(SessionId, u32)>, InsufficientDegree> {
         if count == 0 {
             return Ok(vec![]);
         }
@@ -156,18 +187,21 @@ impl DegreeTable {
             }
             need -= take;
         }
-        // Record (merging with an existing same-rank allocation).
+        // Record (merging with an existing same-rank allocation; the merged
+        // lease keeps the later deadline, with "permanent" as the top).
         if let Some(a) = self
             .alloc
             .iter_mut()
             .find(|a| a.session == session && a.rank == rank)
         {
             a.count += count;
+            a.expires_at = later_expiry(a.expires_at, expires_at);
         } else {
             self.alloc.push(Allocation {
                 session,
                 rank,
                 count,
+                expires_at,
             });
         }
         debug_assert!(self.used() <= self.dbound, "degree table oversubscribed");
@@ -175,11 +209,52 @@ impl DegreeTable {
     }
 
     /// Release everything `session` holds on this host. Returns the number
-    /// of degrees freed.
+    /// of degrees freed. Idempotent: releasing a session that holds nothing
+    /// (including a second release of the same session) frees 0 and leaves
+    /// the table unchanged — double releases can never underflow the pool.
     pub fn release(&mut self, session: SessionId) -> u32 {
         let freed = self.held_by(session);
         self.alloc.retain(|a| a.session != session);
         freed
+    }
+
+    /// Extend every lease `session` holds on this host to `expires_at`
+    /// (never shortening an existing lease, never demoting a permanent
+    /// reservation). Returns the number of degrees renewed — 0 tells a task
+    /// manager its claim has already lapsed.
+    pub fn renew(&mut self, session: SessionId, expires_at: SimTime) -> u32 {
+        let mut renewed = 0;
+        for a in self.alloc.iter_mut().filter(|a| a.session == session) {
+            if let Some(e) = a.expires_at {
+                a.expires_at = Some(e.max(expires_at));
+            }
+            renewed += a.count;
+        }
+        renewed
+    }
+
+    /// Lapse every lease whose deadline has passed (`expires_at <= now`).
+    /// Returns the reclaimed degrees aggregated per session, in session
+    /// order (deterministic for a given table state).
+    pub fn expire(&mut self, now: SimTime) -> Vec<(SessionId, u32)> {
+        let mut lapsed: Vec<(SessionId, u32)> = Vec::new();
+        self.alloc.retain(|a| {
+            let lapse = matches!(a.expires_at, Some(e) if e <= now);
+            if lapse {
+                match lapsed.iter_mut().find(|(s, _)| *s == a.session) {
+                    Some((_, c)) => *c += a.count,
+                    None => lapsed.push((a.session, a.count)),
+                }
+            }
+            !lapse
+        });
+        lapsed.sort_unstable_by_key(|(s, _)| *s);
+        lapsed
+    }
+
+    /// The earliest lease deadline on this host, if any claim is leased.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.alloc.iter().filter_map(|a| a.expires_at).min()
     }
 }
 
@@ -266,6 +341,109 @@ mod tests {
     }
 
     #[test]
+    fn double_release_is_idempotent_and_never_underflows() {
+        // Regression guard mirroring the PR 1 `RemapStats::dropped` fix: a
+        // crash-recovery race can release the same session from both the
+        // detection path and the lease-expiry sweep. The second release must
+        // be a no-op, and `free()` must never exceed `dbound`.
+        let mut t = DegreeTable::new(3);
+        t.reserve(SessionId(9), Rank::helper(2), 2).unwrap();
+        assert_eq!(t.release(SessionId(9)), 2);
+        assert_eq!(t.release(SessionId(9)), 0);
+        assert_eq!(t.release(SessionId(9)), 0);
+        assert_eq!(t.free(), 3);
+        assert_eq!(t.free() + t.used(), t.dbound());
+        // Releasing a session that never reserved is equally harmless.
+        assert_eq!(t.release(SessionId(1000)), 0);
+        assert_eq!(t.free(), 3);
+    }
+
+    #[test]
+    fn leases_lapse_unless_renewed() {
+        let t0 = SimTime::from_secs(100);
+        let mut t = DegreeTable::new(4);
+        t.reserve_until(SessionId(1), Rank::helper(1), 2, Some(t0))
+            .unwrap();
+        t.reserve_until(
+            SessionId(2),
+            Rank::helper(2),
+            1,
+            Some(t0 + SimTime::from_secs(50)),
+        )
+        .unwrap();
+        assert_eq!(t.next_expiry(), Some(t0));
+        // Before any deadline nothing lapses.
+        assert!(t.expire(SimTime::from_secs(99)).is_empty());
+        // Session 1 renews; session 2 does not.
+        assert_eq!(t.renew(SessionId(1), SimTime::from_secs(400)), 2);
+        let lapsed = t.expire(SimTime::from_secs(200));
+        assert_eq!(lapsed, vec![(SessionId(2), 1)]);
+        assert_eq!(t.held_by(SessionId(1)), 2);
+        assert_eq!(t.held_by(SessionId(2)), 0);
+        assert_eq!(t.free(), 2);
+        // After session 1's extended lease passes, it lapses too.
+        let lapsed = t.expire(SimTime::from_secs(400));
+        assert_eq!(lapsed, vec![(SessionId(1), 2)]);
+        assert_eq!(t.free(), 4);
+    }
+
+    #[test]
+    fn renewing_a_lapsed_lease_reports_zero() {
+        let mut t = DegreeTable::new(2);
+        t.reserve_until(
+            SessionId(5),
+            Rank::helper(3),
+            2,
+            Some(SimTime::from_secs(10)),
+        )
+        .unwrap();
+        t.expire(SimTime::from_secs(10));
+        // The missed-renewal ack: the degrees are gone.
+        assert_eq!(t.renew(SessionId(5), SimTime::from_secs(99)), 0);
+    }
+
+    #[test]
+    fn permanent_reservations_never_expire_and_win_lease_merges() {
+        let mut t = DegreeTable::new(4);
+        t.reserve(SessionId(1), Rank::helper(1), 1).unwrap();
+        // Merging a leased claim into a permanent one keeps it permanent.
+        t.reserve_until(
+            SessionId(1),
+            Rank::helper(1),
+            1,
+            Some(SimTime::from_secs(5)),
+        )
+        .unwrap();
+        assert!(t.expire(SimTime::MAX).is_empty());
+        assert_eq!(t.held_by(SessionId(1)), 2);
+        // Renew never demotes a permanent claim either.
+        t.renew(SessionId(1), SimTime::from_secs(1));
+        assert!(t.expire(SimTime::MAX).is_empty());
+    }
+
+    #[test]
+    fn lease_merge_keeps_the_later_deadline() {
+        let mut t = DegreeTable::new(4);
+        t.reserve_until(
+            SessionId(1),
+            Rank::helper(2),
+            1,
+            Some(SimTime::from_secs(30)),
+        )
+        .unwrap();
+        t.reserve_until(
+            SessionId(1),
+            Rank::helper(2),
+            1,
+            Some(SimTime::from_secs(10)),
+        )
+        .unwrap();
+        // The shorter lease cannot clip the longer one.
+        assert!(t.expire(SimTime::from_secs(20)).is_empty());
+        assert_eq!(t.expire(SimTime::from_secs(30)), vec![(SessionId(1), 2)]);
+    }
+
+    #[test]
     fn zero_count_reservation_is_noop() {
         let mut t = DegreeTable::new(1);
         assert_eq!(t.reserve(SessionId(1), Rank::helper(3), 0).unwrap(), vec![]);
@@ -305,6 +483,49 @@ mod tests {
             }
             prop_assert_eq!(t.free(), dbound);
             prop_assert!(t.allocations().is_empty());
+        }
+
+        #[test]
+        fn prop_lease_ops_conserve_degrees(
+            dbound in 1u32..8,
+            ops in proptest::collection::vec(
+                // (session, rank, count, op, time-in-secs)
+                (0u32..5, 0u8..4, 1u32..4, 0u8..4, 0u64..100),
+                1..50
+            ),
+        ) {
+            let mut t = DegreeTable::new(dbound);
+            let mut clock = SimTime::ZERO;
+            for (sess, rank, count, op, secs) in ops {
+                let sid = SessionId(sess);
+                // Time only moves forward, like the event clock.
+                clock = clock.max(SimTime::from_secs(secs));
+                match op {
+                    0 => {
+                        let _ = t.reserve_until(
+                            sid,
+                            Rank(rank.min(3)),
+                            count,
+                            Some(clock + SimTime::from_secs(10)),
+                        );
+                    }
+                    1 => { t.renew(sid, clock + SimTime::from_secs(10)); }
+                    2 => {
+                        let lapsed: u32 = t.expire(clock).iter().map(|l| l.1).sum();
+                        prop_assert!(lapsed <= dbound);
+                    }
+                    _ => { t.release(sid); }
+                }
+                prop_assert!(t.used() <= t.dbound());
+                prop_assert_eq!(t.free() + t.used(), t.dbound());
+                // No lapsed lease may survive an expiry sweep.
+                if op == 2 {
+                    prop_assert!(t
+                        .allocations()
+                        .iter()
+                        .all(|a| a.expires_at.is_none_or(|e| e > clock)));
+                }
+            }
         }
 
         #[test]

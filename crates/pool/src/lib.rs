@@ -50,7 +50,9 @@ pub use degree_table::{DegreeTable, Rank, SessionId};
 pub use market::{MarketConfig, MarketOutcome, MarketSim};
 pub use recovery::{run_pipeline, RecoveryConfig, RecoveryOutcome, RecoveryTimeline};
 pub use report::{CandidateEntry, ResourceReport};
-pub use task_manager::{plan_and_reserve, PlanConfig, PlanModel, PlanOutcome, SessionSpec};
+pub use task_manager::{
+    plan_and_reserve, plan_and_reserve_leased, PlanConfig, PlanModel, PlanOutcome, SessionSpec,
+};
 
 use std::collections::HashMap;
 
@@ -100,6 +102,7 @@ pub struct ResourcePool {
     pub somo_fanout: usize,
     tables: Vec<DegreeTable>,
     holdings: HashMap<SessionId, Vec<HostId>>,
+    alive: Vec<bool>,
 }
 
 impl ResourcePool {
@@ -129,6 +132,7 @@ impl ResourcePool {
             .iter()
             .map(|(_, h)| DegreeTable::new(h.degree_bound))
             .collect();
+        let alive = vec![true; net.num_hosts()];
         ResourcePool {
             net,
             ring,
@@ -137,7 +141,33 @@ impl ResourcePool {
             somo_fanout: cfg.somo_fanout,
             tables,
             holdings: HashMap::new(),
+            alive,
         }
+    }
+
+    /// Whether host `h` is currently up. All hosts start alive; only an
+    /// explicit [`Self::kill_host`] (driven by a fault plan) changes this.
+    pub fn is_alive(&self, h: HostId) -> bool {
+        self.alive[h.idx()]
+    }
+
+    /// Mark a host crashed. Its degree table is left intact — SOMO keeps
+    /// advertising the stale table until holders release or their leases
+    /// lapse, exactly the stranded state the market has to recover from —
+    /// but the host stops being a candidate and refuses new reservations.
+    pub fn kill_host(&mut self, h: HostId) {
+        self.alive[h.idx()] = false;
+    }
+
+    /// Mark a crashed host up again. Degrees still booked on it from before
+    /// the crash remain booked until released or expired.
+    pub fn revive_host(&mut self, h: HostId) {
+        self.alive[h.idx()] = true;
+    }
+
+    /// Number of hosts currently down.
+    pub fn num_dead(&self) -> usize {
+        self.alive.iter().filter(|a| !**a).count()
     }
 
     /// Number of hosts in the pool.
@@ -150,8 +180,12 @@ impl ResourcePool {
         &self.tables[h.idx()]
     }
 
-    /// Degrees available to a claim of `rank` on host `h`.
+    /// Degrees available to a claim of `rank` on host `h`. A dead host
+    /// offers nothing.
     pub fn available(&self, h: HostId, rank: Rank) -> u32 {
+        if !self.alive[h.idx()] {
+            return 0;
+        }
         self.tables[h.idx()].available_at(rank)
     }
 
@@ -164,7 +198,9 @@ impl ResourcePool {
         self.net
             .hosts
             .ids()
-            .filter(|h| !excl.contains(h) && self.available(*h, rank) >= min_degree)
+            .filter(|h| {
+                self.alive[h.idx()] && !excl.contains(h) && self.available(*h, rank) >= min_degree
+            })
             .collect()
     }
 
@@ -176,6 +212,11 @@ impl ResourcePool {
             cap,
         };
         for h in self.net.hosts.ids() {
+            // A crashed host publishes nothing: its report simply stops
+            // arriving at the SOMO root.
+            if !self.alive[h.idx()] {
+                continue;
+            }
             let t = &self.tables[h.idx()];
             let entry = CandidateEntry {
                 host: h,
@@ -200,13 +241,49 @@ impl ResourcePool {
         rank: Rank,
         count: u32,
     ) -> Result<Vec<(SessionId, u32)>, degree_table::InsufficientDegree> {
-        let preempted = self.tables[h.idx()].reserve(session, rank, count)?;
-        self.holdings.entry(session).or_default().push(h);
+        self.reserve_leased(h, session, rank, count, None)
+    }
+
+    /// Reserve `count` degrees on `h` for a session as a lease that lapses
+    /// at `expires_at` unless renewed (`None` reserves permanently). A dead
+    /// host refuses the reservation outright — this is how a task manager
+    /// planning from a stale SOMO view learns a candidate has crashed.
+    pub fn reserve_leased(
+        &mut self,
+        h: HostId,
+        session: SessionId,
+        rank: Rank,
+        count: u32,
+        expires_at: Option<simcore::SimTime>,
+    ) -> Result<Vec<(SessionId, u32)>, degree_table::InsufficientDegree> {
+        if !self.alive[h.idx()] {
+            return Err(degree_table::InsufficientDegree {
+                requested: count,
+                available: 0,
+            });
+        }
+        let preempted = self.tables[h.idx()].reserve_until(session, rank, count, expires_at)?;
+        let held = self.holdings.entry(session).or_default();
+        if !held.contains(&h) {
+            held.push(h);
+        }
+        // Keep the holdings index an exact mirror of the tables: a victim
+        // whose claim on `h` was fully evicted no longer holds here.
+        for (victim, _) in &preempted {
+            if self.tables[h.idx()].held_by(*victim) == 0 {
+                if let Some(v) = self.holdings.get_mut(victim) {
+                    v.retain(|x| *x != h);
+                    if v.is_empty() {
+                        self.holdings.remove(victim);
+                    }
+                }
+            }
+        }
         Ok(preempted)
     }
 
     /// Release everything a session holds across the pool. Returns the
-    /// number of degrees freed.
+    /// number of degrees freed. Idempotent, like [`DegreeTable::release`].
     pub fn release_session(&mut self, session: SessionId) -> u32 {
         let mut freed = 0;
         if let Some(hosts) = self.holdings.remove(&session) {
@@ -215,6 +292,87 @@ impl ResourcePool {
             }
         }
         freed
+    }
+
+    /// Release only what a session holds on one host (used to drop the
+    /// stranded claim on a crashed helper while the rest of the session
+    /// keeps running). Returns the degrees freed.
+    pub fn release_on_host(&mut self, session: SessionId, h: HostId) -> u32 {
+        let freed = self.tables[h.idx()].release(session);
+        if let Some(held) = self.holdings.get_mut(&session) {
+            held.retain(|x| *x != h);
+            if held.is_empty() {
+                self.holdings.remove(&session);
+            }
+        }
+        freed
+    }
+
+    /// Extend every lease a session holds pool-wide to `expires_at` — the
+    /// task manager's periodic renewal. Returns the degrees renewed; a
+    /// session whose claims have already lapsed gets 0 back.
+    pub fn renew_session(&mut self, session: SessionId, expires_at: simcore::SimTime) -> u32 {
+        let mut renewed = 0;
+        if let Some(hosts) = self.holdings.get(&session) {
+            for h in hosts {
+                renewed += self.tables[h.idx()].renew(session, expires_at);
+            }
+        }
+        renewed
+    }
+
+    /// Lapse every overdue lease in the pool and drop the corresponding
+    /// holdings entries. Returns `(session, degrees_reclaimed)` pairs in
+    /// session order — the degrees a dead task manager leaked back to the
+    /// market.
+    pub fn expire_leases(&mut self, now: simcore::SimTime) -> Vec<(SessionId, u32)> {
+        let mut reclaimed: HashMap<SessionId, u32> = HashMap::new();
+        let mut touched: Vec<HostId> = self.holdings.values().flatten().copied().collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for h in touched {
+            for (s, c) in self.tables[h.idx()].expire(now) {
+                *reclaimed.entry(s).or_default() += c;
+            }
+        }
+        // Drop holdings entries whose host-side claim is now entirely gone.
+        for s in reclaimed.keys() {
+            if let Some(held) = self.holdings.get_mut(s) {
+                held.retain(|h| self.tables[h.idx()].held_by(*s) > 0);
+                if held.is_empty() {
+                    self.holdings.remove(s);
+                }
+            }
+        }
+        let mut out: Vec<(SessionId, u32)> = reclaimed.into_iter().collect();
+        out.sort_unstable_by_key(|(s, _)| *s);
+        out
+    }
+
+    /// The hosts a session currently holds degrees on (empty if none).
+    pub fn holdings_of(&self, session: SessionId) -> &[HostId] {
+        self.holdings.get(&session).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Whether a session holds degrees on host `h`.
+    pub fn holds_on(&self, session: SessionId, h: HostId) -> bool {
+        self.holdings_of(session).contains(&h)
+    }
+
+    /// Total degrees a session holds pool-wide, summed from the authoritative
+    /// per-host tables.
+    pub fn held_total(&self, session: SessionId) -> u32 {
+        self.holdings_of(session)
+            .iter()
+            .map(|h| self.tables[h.idx()].held_by(session))
+            .sum()
+    }
+
+    /// Every session with at least one holdings entry, in session order.
+    pub fn sessions_holding(&self) -> Vec<SessionId> {
+        let mut s: Vec<SessionId> = self.holdings.keys().copied().collect();
+        s.sort_unstable();
+        s
     }
 
     /// Total degrees currently allocated pool-wide.

@@ -20,14 +20,48 @@
 //! The simulation records, per priority class, the improvement over the
 //! members-only AMCast baseline and the number of helpers held — exactly
 //! the two panels of Figure 10.
+//!
+//! ## Crash tolerance
+//!
+//! The paper's market needs "global, on-time and trusted knowledge"; this
+//! simulator additionally survives the fault plans of `simcore::faults`:
+//!
+//! * every reservation is a **lease** renewed by the task manager's own
+//!   replan period, so a crashed manager's degrees lapse back to the pool
+//!   (the periodic [`Ev::ExpireLeases`] sweep) instead of leaking until the
+//!   horizon;
+//! * a crashed **helper** is detected by its owning task manager (the
+//!   missed renewal ack, modeled as [`MarketConfig::detect_delay`]), which
+//!   releases the stranded claim, patches the tree with the bounded-retry
+//!   capped-backoff repair from [`alm::dynamic::reattach_orphans`], and
+//!   then replans fully once the repair's backoff-dominated duration has
+//!   elapsed;
+//! * a crashed **root** triggers deterministic task-manager failover: the
+//!   lowest-ID surviving member becomes the deputy, reconstructs the
+//!   session's holdings from the SOMO-published degree tables (the pool's
+//!   authoritative holdings) and replans; a session with no survivors is
+//!   lost and its leases lapse;
+//! * a registerable invariant set ([`market_invariants`]) is sampled on the
+//!   event clock by a [`simcore::Auditor`] — degree conservation,
+//!   lease/holder consistency and tree degree bounds — hard-failing under
+//!   `debug-assertions`.
+//!
+//! With an empty fault plan none of the extra events are scheduled and the
+//! trajectory is bit-identical to the fault-oblivious market.
 
+use alm::dynamic::{reattach_orphans, ReattachConfig};
+use alm::{MulticastTree, Problem};
+use netsim::HostId;
 use rand::Rng;
+use simcore::audit::{AuditCtx, AuditReport, Auditor, InvariantSet};
 use simcore::rng::derive_rng2;
 use simcore::stats::OnlineStats;
-use simcore::{EventQueue, SimTime};
+use simcore::{EventQueue, FaultPlan, SimTime};
 
 use crate::degree_table::SessionId;
-use crate::task_manager::{plan_and_reserve, PlanConfig, SessionSpec};
+use crate::task_manager::{
+    plan_and_reserve_from_view_leased, plan_and_reserve_leased, PlanConfig, SessionSpec,
+};
 use crate::ResourcePool;
 
 /// Market workload configuration.
@@ -55,6 +89,30 @@ pub struct MarketConfig {
     /// availability can be stale and reservations may be refused. `None`
     /// plans from live degree tables (an always-fresh newscast).
     pub view_refresh: Option<SimTime>,
+    /// Fault plan. Only the crash schedules are interpreted (node labels
+    /// are host indices); with no crashes the market runs the zero-cost
+    /// fault-oblivious path and its trajectory is bit-identical to the
+    /// pre-lease simulator.
+    pub faults: FaultPlan,
+    /// Lease lifetime of every reservation under a non-empty fault plan.
+    /// Each replan renews the session's leases, so any value comfortably
+    /// above `replan_period` keeps a live session from ever lapsing.
+    pub lease_ttl: SimTime,
+    /// How long after a helper's crash its owning task manager notices
+    /// (the missed renewal ack).
+    pub detect_delay: SimTime,
+    /// How long after a root's crash the deputy concludes the task manager
+    /// is gone and takes over.
+    pub failover_delay: SimTime,
+    /// Enable deputy takeover on root crash. When disabled a root crash
+    /// leaves the session to die and its leases to lapse — the degraded
+    /// baseline the failover protocol is measured against.
+    pub failover: bool,
+    /// Bounded-retry/capped-backoff tuning for the mid-session crash
+    /// repair.
+    pub reattach: ReattachConfig,
+    /// Sampling period of the invariant auditor; `None` disables auditing.
+    pub audit_period: Option<SimTime>,
 }
 
 impl Default for MarketConfig {
@@ -69,6 +127,13 @@ impl Default for MarketConfig {
             warmup: SimTime::from_secs(600),
             plan: PlanConfig::default(),
             view_refresh: None,
+            faults: FaultPlan::none(),
+            lease_ttl: SimTime::from_secs(300),
+            detect_delay: SimTime::from_secs(5),
+            failover_delay: SimTime::from_secs(30),
+            failover: true,
+            reattach: ReattachConfig::default(),
+            audit_period: Some(SimTime::from_secs(60)),
         }
     }
 }
@@ -84,6 +149,12 @@ pub struct PriorityStats {
     pub preemptions: u64,
     /// Helper reservations refused because the planning view was stale.
     pub helper_failures: u64,
+    /// Held helpers that crashed mid-session on this class.
+    pub helper_crashes: u64,
+    /// Root crashes survived by deputy takeover.
+    pub failovers: u64,
+    /// Sessions lost to a root crash with no surviving member.
+    pub sessions_lost: u64,
 }
 
 /// Outcome of a market run.
@@ -96,6 +167,24 @@ pub struct MarketOutcome {
     /// Pool degree utilization sampled after every plan (the §5.3 goal of
     /// maximizing whole-pool utilization).
     pub utilization: OnlineStats,
+    /// Mid-session crash repairs run (one per detection that found dead
+    /// hosts in the session's tree).
+    pub crash_repairs: u64,
+    /// Failed re-attach attempts across all crash repairs (the bounded
+    /// retries of `alm::dynamic::reattach_orphans`).
+    pub crash_repair_retries: u64,
+    /// Orphan subtrees abandoned after the retry budget.
+    pub crash_repair_gave_up: u64,
+    /// Degrees returned to the pool by lease expiry — the leakage a dead
+    /// task manager would otherwise have caused.
+    pub lapsed_lease_degrees: u64,
+    /// Degrees still held at the horizon by sessions that are no longer
+    /// active. The crash-tolerance contract is that this is 0: every
+    /// crashed session either failed over or had its leases lapse.
+    pub leaked_degrees: u32,
+    /// Invariant-audit results for the whole run (empty when auditing is
+    /// disabled).
+    pub audit: AuditReport,
 }
 
 impl MarketOutcome {
@@ -103,15 +192,37 @@ impl MarketOutcome {
     pub fn class(&self, priority: u8) -> &PriorityStats {
         &self.per_priority[(priority - 1) as usize]
     }
+
+    /// Total failovers across classes.
+    pub fn failovers(&self) -> u64 {
+        self.per_priority.iter().map(|p| p.failovers).sum()
+    }
+
+    /// Total lost sessions across classes.
+    pub fn sessions_lost(&self) -> u64 {
+        self.per_priority.iter().map(|p| p.sessions_lost).sum()
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
 enum Ev {
     Start(usize),
-    End(usize),
+    /// End of one activity cycle; stamped with the cycle so a stale end
+    /// from a session lost to failover cannot kill its slot's next life.
+    End(usize, u64),
     Replan(usize),
     PreemptReplan(usize),
     RefreshView,
+    /// A host goes down (`true`)/comes back (`false`) per the fault plan.
+    HostFault(HostId, bool),
+    /// The owning task manager notices a crashed host in its session.
+    DetectCrash(usize, u64),
+    /// The deputy concludes the session root is dead and takes over.
+    Failover(usize, u64),
+    /// Periodic lease-expiry sweep (scheduled only under a fault plan).
+    ExpireLeases,
+    /// Periodic invariant-audit sample.
+    Audit,
 }
 
 struct Slot {
@@ -119,6 +230,10 @@ struct Slot {
     active: bool,
     replan_pending: bool,
     cycle: u64,
+    /// Starts deferred because no member was alive (fault runs only).
+    defers: u64,
+    /// The session's current reserved tree, kept for crash repair.
+    tree: Option<MulticastTree>,
 }
 
 /// The market simulator.
@@ -132,6 +247,9 @@ pub struct MarketSim {
     /// The shared SOMO snapshot task managers plan from (when
     /// `cfg.view_refresh` is set).
     view: Option<crate::ResourceReport>,
+    /// Crash schedules present — the fault-aware paths are live.
+    has_faults: bool,
+    auditor: Option<Auditor>,
 }
 
 impl MarketSim {
@@ -155,6 +273,8 @@ impl MarketSim {
                     active: false,
                     replan_pending: false,
                     cycle: 0,
+                    defers: 0,
+                    tree: None,
                 }
             })
             .collect();
@@ -167,6 +287,22 @@ impl MarketSim {
         if cfg.view_refresh.is_some() {
             queue.schedule(SimTime::ZERO, Ev::RefreshView);
         }
+        // Fault-aware events are scheduled only when crashes exist, keeping
+        // the no-op fault path's event stream identical to the legacy one.
+        let has_faults = !cfg.faults.crashes.is_empty();
+        if has_faults {
+            let n = pool.num_hosts() as u64;
+            for (at, node, down) in cfg.faults.crash_edges() {
+                if node < n {
+                    queue.schedule(at, Ev::HostFault(HostId(node as u32), down));
+                }
+            }
+            queue.schedule(cfg.replan_period, Ev::ExpireLeases);
+        }
+        let auditor = cfg.audit_period.map(Auditor::every);
+        if auditor.is_some() {
+            queue.schedule(SimTime::ZERO, Ev::Audit);
+        }
         MarketSim {
             pool,
             cfg,
@@ -175,11 +311,20 @@ impl MarketSim {
             outcome: MarketOutcome::default(),
             seed,
             view: None,
+            has_faults,
+            auditor,
         }
     }
 
     /// Run to the configured horizon and return the aggregated outcome.
-    pub fn run(mut self) -> MarketOutcome {
+    pub fn run(self) -> MarketOutcome {
+        self.run_full().0
+    }
+
+    /// Run to the horizon and return both the outcome and the final pool —
+    /// the degree tables at the horizon are part of the determinism and
+    /// leak-freedom contracts.
+    pub fn run_full(mut self) -> (MarketOutcome, ResourcePool) {
         while let Some(t) = self.queue.peek_time() {
             if t > self.cfg.horizon {
                 break;
@@ -187,26 +332,60 @@ impl MarketSim {
             let (now, ev) = self.queue.pop().expect("peeked");
             self.handle(now, ev);
         }
-        self.outcome
+        // Closing audit sample at the horizon, then the leak census: any
+        // degrees still booked to a session that is no longer active were
+        // neither released nor lapsed — exactly what leases must prevent.
+        self.audit_sample(self.cfg.horizon);
+        for slot in &self.slots {
+            if !slot.active {
+                self.outcome.leaked_degrees += self.pool.held_total(slot.spec.id);
+            }
+        }
+        if let Some(aud) = self.auditor.take() {
+            self.outcome.audit = aud.into_report();
+        }
+        (self.outcome, self.pool)
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::Start(i) => {
+                if self.has_faults && !self.pool.is_alive(self.slots[i].spec.root) {
+                    // The designated root is down: the lowest-ID surviving
+                    // member hosts the task manager instead; with no
+                    // survivor at all the start is deferred by one gap.
+                    match self.lowest_live_member(i) {
+                        Some(d) => self.slots[i].spec.root = d,
+                        None => {
+                            self.slots[i].defers += 1;
+                            let mut rng =
+                                derive_rng2(self.seed, 0x0F00 + i as u64, self.slots[i].defers);
+                            let gap = jittered(self.cfg.mean_gap, &mut rng);
+                            self.queue.schedule(now + gap, Ev::Start(i));
+                            return;
+                        }
+                    }
+                }
                 self.slots[i].active = true;
                 self.slots[i].cycle += 1;
                 self.plan(i, now);
                 let cycle = self.slots[i].cycle;
                 let mut rng = derive_rng2(self.seed, 0x0D00 + i as u64, cycle);
                 let dur = jittered(self.cfg.mean_active, &mut rng);
-                self.queue.schedule(now + dur, Ev::End(i));
+                self.queue.schedule(now + dur, Ev::End(i, cycle));
                 self.queue
                     .schedule(now + self.cfg.replan_period, Ev::Replan(i));
             }
-            Ev::End(i) => {
+            Ev::End(i, cycle) => {
+                if !self.slots[i].active || self.slots[i].cycle != cycle {
+                    // A stale end for a cycle that was already lost to a
+                    // root crash; the slot's next life is scheduled by the
+                    // failover path.
+                    return;
+                }
                 self.slots[i].active = false;
+                self.slots[i].tree = None;
                 self.pool.release_session(self.slots[i].spec.id);
-                let cycle = self.slots[i].cycle;
                 let mut rng = derive_rng2(self.seed, 0x0E00 + i as u64, cycle);
                 let gap = jittered(self.cfg.mean_gap, &mut rng);
                 self.queue.schedule(now + gap, Ev::Start(i));
@@ -233,20 +412,227 @@ impl MarketSim {
                     self.queue.schedule(now + period, Ev::RefreshView);
                 }
             }
+            Ev::HostFault(h, down) => {
+                if down {
+                    self.pool.kill_host(h);
+                    self.on_host_down(h, now);
+                } else {
+                    self.pool.revive_host(h);
+                }
+            }
+            Ev::DetectCrash(i, cycle) => self.detect_crash(i, cycle, now),
+            Ev::Failover(i, cycle) => self.failover(i, cycle, now),
+            Ev::ExpireLeases => {
+                for (_, degrees) in self.pool.expire_leases(now) {
+                    self.outcome.lapsed_lease_degrees += degrees as u64;
+                }
+                self.queue
+                    .schedule(now + self.cfg.replan_period, Ev::ExpireLeases);
+            }
+            Ev::Audit => {
+                self.audit_sample(now);
+                if let Some(period) = self.cfg.audit_period {
+                    self.queue.schedule(now + period, Ev::Audit);
+                }
+            }
         }
     }
 
-    fn plan(&mut self, i: usize, now: SimTime) {
+    /// The deterministic deputy choice: the surviving member with the
+    /// lowest host ID.
+    fn lowest_live_member(&self, i: usize) -> Option<HostId> {
+        self.slots[i]
+            .spec
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| self.pool.is_alive(m))
+            .min()
+    }
+
+    /// A host went down: route the event to every session it touches.
+    fn on_host_down(&mut self, h: HostId, now: SimTime) {
+        for i in 0..self.slots.len() {
+            let slot = &self.slots[i];
+            if !slot.active {
+                continue;
+            }
+            let cycle = slot.cycle;
+            if slot.spec.root == h {
+                if self.cfg.failover {
+                    // The deputy notices the silent task manager after the
+                    // failover delay (a missed renewal round).
+                    self.queue
+                        .schedule(now + self.cfg.failover_delay, Ev::Failover(i, cycle));
+                }
+                // Without failover the session dies in place; its leases
+                // lapse through the expiry sweep.
+            } else if slot.tree.as_ref().is_some_and(|t| t.contains(h))
+                || self.pool.holds_on(slot.spec.id, h)
+            {
+                self.queue
+                    .schedule(now + self.cfg.detect_delay, Ev::DetectCrash(i, cycle));
+            }
+        }
+    }
+
+    /// The owning task manager notices dead hosts in its session: release
+    /// the stranded claims, patch the tree with the bounded-retry repair,
+    /// and schedule a full replan for when the repair has settled.
+    fn detect_crash(&mut self, i: usize, cycle: u64, now: SimTime) {
+        if !self.slots[i].active || self.slots[i].cycle != cycle {
+            return;
+        }
         let spec = self.slots[i].spec.clone();
+        if !self.pool.is_alive(spec.root) {
+            // The root died too; the pending failover owns this session.
+            return;
+        }
+        // Release every stranded claim (degrees booked on hosts that are
+        // now dead). `release_on_host` is idempotent, so overlapping
+        // detections are harmless.
+        let stranded: Vec<HostId> = self
+            .pool
+            .holdings_of(spec.id)
+            .iter()
+            .copied()
+            .filter(|&x| !self.pool.is_alive(x))
+            .collect();
+        for x in &stranded {
+            self.pool.release_on_host(spec.id, *x);
+        }
+        let Some(tree) = self.slots[i].tree.clone() else {
+            return;
+        };
+        let dead: Vec<HostId> = tree
+            .hosts()
+            .iter()
+            .copied()
+            .filter(|&x| !self.pool.is_alive(x))
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        if now >= self.cfg.warmup {
+            let crashed_helpers = dead.iter().filter(|x| !spec.members.contains(x)).count();
+            self.outcome.per_priority[(spec.priority - 1) as usize].helper_crashes +=
+                crashed_helpers as u64;
+        }
+        // Patch the broken tree in place: each orphaned subtree re-attaches
+        // with bounded retries and capped exponential backoff (the PR 1
+        // recovery machinery), so the session keeps flowing while the full
+        // replan waits for the repair to settle.
+        let net = &self.pool.net;
+        let p = Problem::new(spec.root, spec.members.clone(), &net.latency, |x| {
+            net.hosts.degree_bound(x)
+        });
+        let (repaired, report) = reattach_orphans(&p, &tree, &dead, &self.cfg.reattach);
+        self.outcome.crash_repairs += 1;
+        self.outcome.crash_repair_retries += report.retries;
+        self.outcome.crash_repair_gave_up += report.gave_up as u64;
+        self.slots[i].tree = Some(repaired);
+        if !self.slots[i].replan_pending {
+            self.slots[i].replan_pending = true;
+            let settle = report.duration.max(SimTime::from_secs(1));
+            self.queue.schedule(now + settle, Ev::PreemptReplan(i));
+        }
+    }
+
+    /// Deputy takeover: the lowest-ID surviving member reconstructs the
+    /// session from the SOMO-published degree tables (the pool's holdings
+    /// are exactly what the tables advertise) and replans as the new task
+    /// manager. With no survivors the session is lost and its leases are
+    /// left to lapse — a dead manager cannot release anything.
+    fn failover(&mut self, i: usize, cycle: u64, now: SimTime) {
+        if !self.slots[i].active || self.slots[i].cycle != cycle {
+            return;
+        }
+        let spec = self.slots[i].spec.clone();
+        if self.pool.is_alive(spec.root) {
+            // The root recovered before the deputy acted.
+            return;
+        }
+        let pidx = (spec.priority - 1) as usize;
+        match self.lowest_live_member(i) {
+            Some(deputy) => {
+                if now >= self.cfg.warmup {
+                    self.outcome.per_priority[pidx].failovers += 1;
+                }
+                self.slots[i].spec.root = deputy;
+                // The deputy's first replan releases the dead root's
+                // holdings (reconstructed from the published tables) and
+                // re-reserves under fresh leases.
+                self.plan(i, now);
+            }
+            None => {
+                if now >= self.cfg.warmup {
+                    self.outcome.per_priority[pidx].sessions_lost += 1;
+                }
+                self.slots[i].active = false;
+                self.slots[i].tree = None;
+                self.slots[i].defers += 1;
+                let mut rng = derive_rng2(self.seed, 0x0F00 + i as u64, self.slots[i].defers);
+                let gap = jittered(self.cfg.mean_gap, &mut rng);
+                self.queue.schedule(now + gap, Ev::Start(i));
+            }
+        }
+    }
+
+    /// Take one invariant-audit sample of the current market state.
+    fn audit_sample(&mut self, now: SimTime) {
+        let Some(mut aud) = self.auditor.take() else {
+            return;
+        };
+        let sessions: Vec<SessionAuditEntry<'_>> = self
+            .slots
+            .iter()
+            .map(|s| SessionAuditEntry {
+                id: s.spec.id,
+                active: s.active,
+                root: s.spec.root,
+                tree: s.tree.as_ref(),
+            })
+            .collect();
+        let view = MarketAuditView {
+            pool: &self.pool,
+            sessions,
+        };
+        aud.sample(&market_invariants(), &view, now);
+        self.auditor = Some(aud);
+    }
+
+    fn plan(&mut self, i: usize, now: SimTime) {
+        let mut spec = self.slots[i].spec.clone();
+        let mut lease = None;
+        if self.has_faults {
+            if !self.pool.is_alive(spec.root) {
+                // Root crashed between the trigger and this plan; the
+                // failover path owns the session now.
+                return;
+            }
+            // Dead members cannot be planned for; survivors carry on.
+            spec.members.retain(|&m| self.pool.is_alive(m));
+            if spec.members.len() < 2 {
+                // Nobody to multicast to: hold no degrees while dormant.
+                self.pool.release_session(spec.id);
+                self.slots[i].tree = None;
+                return;
+            }
+            // Reserving IS renewing: each replan re-reserves the whole
+            // session under a fresh lease one TTL out.
+            lease = Some(now + self.cfg.lease_ttl);
+        }
         let out = match &self.view {
-            Some(view) => crate::task_manager::plan_and_reserve_from_view(
+            Some(view) => plan_and_reserve_from_view_leased(
                 &mut self.pool,
                 &spec,
                 &self.cfg.plan,
                 view,
+                lease,
             ),
-            None => plan_and_reserve(&mut self.pool, &spec, &self.cfg.plan),
+            None => plan_and_reserve_leased(&mut self.pool, &spec, &self.cfg.plan, lease),
         };
+        self.slots[i].tree = Some(out.tree.clone());
         self.outcome.plans += 1;
         if now >= self.cfg.warmup {
             let stats = &mut self.outcome.per_priority[(spec.priority - 1) as usize];
@@ -270,6 +656,148 @@ impl MarketSim {
             }
         }
     }
+}
+
+/// One session's state as the auditor sees it.
+pub struct SessionAuditEntry<'a> {
+    /// Session identity.
+    pub id: SessionId,
+    /// Whether the session is currently active.
+    pub active: bool,
+    /// Current root (post-failover if one happened).
+    pub root: HostId,
+    /// The reserved tree, when one exists.
+    pub tree: Option<&'a MulticastTree>,
+}
+
+/// Read-only bundle of market state handed to the registered invariants.
+pub struct MarketAuditView<'a> {
+    /// The pool (degree tables, holdings, liveness).
+    pub pool: &'a ResourcePool,
+    /// Every session slot.
+    pub sessions: Vec<SessionAuditEntry<'a>>,
+}
+
+fn inv_degree_conservation(v: &MarketAuditView<'_>, ctx: &mut AuditCtx<'_>) {
+    for h in v.pool.net.hosts.ids() {
+        let t = v.pool.table(h);
+        ctx.check(t.used() <= t.dbound(), || {
+            format!("host {h:?} oversubscribed: {}/{}", t.used(), t.dbound())
+        });
+        ctx.check(t.free() + t.used() == t.dbound(), || {
+            format!(
+                "host {h:?} books don't balance: free {} + used {} != dbound {}",
+                t.free(),
+                t.used(),
+                t.dbound()
+            )
+        });
+        // No double-booking: one allocation row per (session, rank), all
+        // positive, and at most one session claiming member rank (member
+        // sets are disjoint by construction).
+        let allocs = t.allocations();
+        let mut member_sessions = 0usize;
+        for (k, a) in allocs.iter().enumerate() {
+            ctx.check(a.count > 0, || {
+                format!("host {h:?} holds an empty allocation for {:?}", a.session)
+            });
+            ctx.check(
+                allocs[k + 1..]
+                    .iter()
+                    .all(|b| (b.session, b.rank) != (a.session, a.rank)),
+                || format!("host {h:?} double-books {:?} at {:?}", a.session, a.rank),
+            );
+            if a.rank == crate::Rank::MEMBER {
+                member_sessions += 1;
+            }
+        }
+        ctx.check(member_sessions <= 1, || {
+            format!("host {h:?} claimed as member by {member_sessions} sessions")
+        });
+    }
+}
+
+fn inv_lease_holder_consistency(v: &MarketAuditView<'_>, ctx: &mut AuditCtx<'_>) {
+    // Holdings → tables: every holdings entry is backed by real degrees.
+    for s in v.pool.sessions_holding() {
+        for &h in v.pool.holdings_of(s) {
+            ctx.check(v.pool.table(h).held_by(s) > 0, || {
+                format!("session {s:?} lists {h:?} but holds no degrees there")
+            });
+        }
+    }
+    // Tables → holdings: no orphan allocation outside the holdings index.
+    for h in v.pool.net.hosts.ids() {
+        for a in v.pool.table(h).allocations() {
+            ctx.check(v.pool.holds_on(a.session, h), || {
+                format!(
+                    "host {h:?} books {} degrees for {:?} unknown to its holdings",
+                    a.count, a.session
+                )
+            });
+        }
+    }
+    // A session that is not active may only hold *leased* degrees (they
+    // will lapse); permanent degrees held by an inactive session would
+    // leak to the horizon.
+    for s in &v.sessions {
+        if s.active {
+            continue;
+        }
+        for &h in v.pool.holdings_of(s.id) {
+            ctx.check(
+                v.pool
+                    .table(h)
+                    .allocations()
+                    .iter()
+                    .filter(|a| a.session == s.id)
+                    .all(|a| a.expires_at.is_some()),
+                || {
+                    format!(
+                        "inactive session {:?} holds permanent degrees on {h:?}",
+                        s.id
+                    )
+                },
+            );
+        }
+    }
+}
+
+fn inv_tree_degree_bounds(v: &MarketAuditView<'_>, ctx: &mut AuditCtx<'_>) {
+    for s in &v.sessions {
+        let Some(tree) = s.tree else { continue };
+        if !s.active {
+            continue;
+        }
+        ctx.check(tree.root() == s.root, || {
+            format!(
+                "session {:?} tree rooted at {:?}, expected {:?}",
+                s.id,
+                tree.root(),
+                s.root
+            )
+        });
+        for &h in tree.hosts() {
+            let bound = v.pool.net.hosts.degree_bound(h);
+            ctx.check(tree.degree(h) <= bound, || {
+                format!(
+                    "session {:?} tree uses {} degrees on {h:?}, bound {bound}",
+                    s.id,
+                    tree.degree(h)
+                )
+            });
+        }
+    }
+}
+
+/// The market's registered invariants: degree conservation (reserved ≤
+/// capacity, no double-booking), lease/holder consistency, and tree degree
+/// bounds. Rebuilt per sample — the set is a handful of `fn` pointers.
+pub fn market_invariants<'a>() -> InvariantSet<MarketAuditView<'a>> {
+    InvariantSet::new()
+        .register("degree-conservation", inv_degree_conservation)
+        .register("lease-holder-consistency", inv_lease_holder_consistency)
+        .register("tree-degree-bounds", inv_tree_degree_bounds)
 }
 
 /// Draw a duration uniformly in [0.5, 1.5] × mean.
@@ -415,5 +943,194 @@ mod tests {
             );
             assert_eq!(a.class(p).improvement.mean(), b.class(p).improvement.mean());
         }
+    }
+
+    fn small_pool(seed: u64) -> ResourcePool {
+        ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: 300,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 5,
+                ..PoolConfig::default()
+            },
+            seed,
+        )
+    }
+
+    fn faulty_cfg(sessions: usize) -> MarketConfig {
+        MarketConfig {
+            sessions,
+            member_size: 12,
+            horizon: SimTime::from_secs(1800),
+            warmup: SimTime::from_secs(300),
+            plan: PlanConfig {
+                model: PlanModel::Oracle,
+                ..PlanConfig::default()
+            },
+            ..MarketConfig::default()
+        }
+    }
+
+    #[test]
+    fn helper_crashes_are_detected_repaired_and_leak_free() {
+        let pool = small_pool(21);
+        let seed = 21;
+        let sessions = 9;
+        // Crash hosts outside every member set, so only *helpers* can die:
+        // the pure mid-session helper-crash path.
+        let member_hosts: std::collections::HashSet<netsim::HostId> = pool
+            .partition_members(sessions, 12, seed)
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut faults = simcore::FaultPlan::none();
+        let mut crashed = 0;
+        for h in pool.net.hosts.ids() {
+            if !member_hosts.contains(&h) && h.0 % 4 == 0 {
+                faults = faults.crash_forever(h.0 as u64, SimTime::from_secs(700 + h.0 as u64));
+                crashed += 1;
+            }
+        }
+        assert!(crashed > 20, "fault plan too small to be interesting");
+        let cfg = MarketConfig {
+            faults,
+            ..faulty_cfg(sessions)
+        };
+        let (out, pool) = MarketSim::new(pool, cfg, seed).run_full();
+        let helper_crashes: u64 = (1..=3).map(|p| out.class(p).helper_crashes).sum();
+        assert!(
+            helper_crashes > 0,
+            "no held helper ever crashed — test workload too thin"
+        );
+        assert!(out.crash_repairs > 0, "detections never ran the repair");
+        assert_eq!(out.failovers(), 0, "no root crashed, yet a failover ran");
+        // The contract: nothing stranded at the horizon.
+        assert_eq!(
+            out.leaked_degrees, 0,
+            "inactive sessions still hold degrees"
+        );
+        assert!(out.audit.is_clean(), "audit: {:?}", out.audit.violations);
+        assert!(out.audit.samples > 0);
+        // No dead host still carries booked degrees once the dust settles:
+        // detection released them or their leases lapsed.
+        for h in pool.net.hosts.ids() {
+            if !pool.is_alive(h) {
+                let t = pool.table(h);
+                for s in pool.sessions_holding() {
+                    assert!(
+                        t.held_by(s) == 0 || pool.holds_on(s, h),
+                        "ghost claim on dead {h:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_crash_fails_over_to_a_surviving_member() {
+        let pool = small_pool(22);
+        let seed = 22;
+        let sessions = 9;
+        let sets = pool.partition_members(sessions, 12, seed);
+        // Kill three session roots mid-run, well after warm-up.
+        let mut faults = simcore::FaultPlan::none();
+        for set in sets.iter().take(3) {
+            faults = faults.crash_forever(set[0].0 as u64, SimTime::from_secs(900));
+        }
+        let cfg = MarketConfig {
+            faults,
+            ..faulty_cfg(sessions)
+        };
+        let (out, _) = MarketSim::new(pool, cfg, seed).run_full();
+        assert!(
+            out.failovers() >= 1,
+            "no deputy ever took over a crashed root"
+        );
+        assert_eq!(
+            out.sessions_lost(),
+            0,
+            "members survived, yet a session died"
+        );
+        assert_eq!(out.leaked_degrees, 0);
+        assert!(out.audit.is_clean(), "audit: {:?}", out.audit.violations);
+    }
+
+    #[test]
+    fn without_failover_leases_lapse_and_nothing_leaks() {
+        let pool = small_pool(23);
+        let seed = 23;
+        let sessions = 9;
+        let sets = pool.partition_members(sessions, 12, seed);
+        let mut faults = simcore::FaultPlan::none();
+        for set in sets.iter().take(3) {
+            faults = faults.crash_forever(set[0].0 as u64, SimTime::from_secs(700));
+        }
+        let cfg = MarketConfig {
+            faults,
+            failover: false,
+            ..faulty_cfg(sessions)
+        };
+        let (out, _) = MarketSim::new(pool, cfg, seed).run_full();
+        assert_eq!(out.failovers(), 0);
+        // Nobody released the dead managers' claims — the leases did.
+        assert!(
+            out.lapsed_lease_degrees > 0,
+            "dead sessions never lapsed a lease"
+        );
+        assert_eq!(
+            out.leaked_degrees, 0,
+            "leases failed to reclaim a dead session"
+        );
+        assert!(out.audit.is_clean(), "audit: {:?}", out.audit.violations);
+    }
+
+    #[test]
+    fn stale_view_refusals_are_counted_and_leave_no_ghost_claims() {
+        // The `view_refresh` regime: task managers plan from a snapshot up
+        // to 10 minutes old, so helper reservations get refused — and every
+        // refused attempt must roll back completely.
+        let pool = small_pool(24);
+        let cfg = MarketConfig {
+            view_refresh: Some(SimTime::from_secs(600)),
+            ..faulty_cfg(12)
+        };
+        let (out, mut pool) = MarketSim::new(pool, cfg, 24).run_full();
+        let refusals: u64 = (1..=3).map(|p| out.class(p).helper_failures).sum();
+        assert!(
+            refusals > 0,
+            "a 10-minute-stale view never caused a refusal"
+        );
+        assert!(out.audit.is_clean(), "audit: {:?}", out.audit.violations);
+        // Releasing every slot must drain the pool to zero: refused
+        // reservations may not leave partial claims behind.
+        for i in 0..12u32 {
+            pool.release_session(SessionId(i));
+        }
+        assert_eq!(pool.total_used(), 0, "ghost claims survive a full release");
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_the_fault_oblivious_trajectory() {
+        // The no-op fault path contract, in miniature: an explicitly empty
+        // fault plan (with auditing on) must not perturb a single stat.
+        let a = small_market(6, 31).run();
+        let cfg_b = MarketConfig {
+            faults: simcore::FaultPlan::none(),
+            audit_period: Some(SimTime::from_secs(30)),
+            ..faulty_cfg(6)
+        };
+        let b = MarketSim::new(small_pool(31), cfg_b, 31).run();
+        assert_eq!(a.plans, b.plans);
+        for p in 1..=3u8 {
+            assert_eq!(a.class(p).improvement.mean(), b.class(p).improvement.mean());
+            assert_eq!(a.class(p).helpers.mean(), b.class(p).helpers.mean());
+            assert_eq!(a.class(p).preemptions, b.class(p).preemptions);
+        }
+        assert_eq!(a.utilization.mean(), b.utilization.mean());
+        assert_eq!(b.crash_repairs, 0);
+        assert_eq!(b.lapsed_lease_degrees, 0);
+        assert!(b.audit.is_clean());
     }
 }

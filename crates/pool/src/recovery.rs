@@ -24,7 +24,7 @@
 //! this).
 
 use alm::amcast::amcast;
-use alm::dynamic::{reattach_orphans, ReattachConfig, ReattachReport};
+use alm::dynamic::{orphaned_subtree_roots, reattach_orphans, ReattachConfig, ReattachReport};
 use alm::problem::Problem;
 use alm::tree::MulticastTree;
 use dht::proto::{DhtSim, ProtoConfig};
@@ -33,6 +33,7 @@ use netsim::{HostId, Network, NetworkConfig};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::Serialize;
+use simcore::audit::{AuditCtx, AuditReport, Auditor, InvariantSet};
 use simcore::{FaultPlan, SimTime};
 use somo::flow::{FlowMode, FreshnessReport, GatherSim};
 use somo::heal::{remap_stats, RemapStats};
@@ -139,6 +140,11 @@ pub struct RecoveryOutcome {
     pub gather_messages: u64,
     /// Gather messages dropped (exposure + regather).
     pub gather_dropped: u64,
+    /// Invariant audit over the whole pipeline: ring/tombstone coherence
+    /// sampled through detection and expulsion, plus a final check that the
+    /// repaired session tree is dead-free and within degree bounds. Clean
+    /// on every seed or the run panics under `debug-assertions`.
+    pub audit: AuditReport,
 }
 
 /// How long past `crash_at` the detection/expulsion poll keeps trying
@@ -191,11 +197,16 @@ pub fn run_pipeline(cfg: &RecoveryConfig) -> RecoveryOutcome {
     }
     let mut detected_at = None;
     let mut expelled_at = None;
+    // Ring coherence is audited on the same poll clock that times the
+    // repair: every live view/tombstone pair must stay disjoint while the
+    // death certificates propagate.
+    let mut auditor = Auditor::every(scale(POLL_STEP, 4));
     let deadline = cfg.crash_at + scale(cfg.proto.timeout, POLL_PATIENCE);
     let mut t = cfg.crash_at;
     while t < deadline && expelled_at.is_none() {
         t += POLL_STEP;
         dht.run_until(t);
+        dht.audit_sample(&mut auditor);
         if detected_at.is_none()
             && watch
                 .iter()
@@ -302,6 +313,7 @@ pub fn run_pipeline(cfg: &RecoveryConfig) -> RecoveryOutcome {
     } else {
         1.0 - reachable_avoiding(&session_tree, &dead_in_tree) as f64 / survivors as f64
     };
+    let orphans = orphaned_subtree_roots(&session_tree, &dead_in_tree);
     let (repaired, alm_report) = reattach_orphans(&p, &session_tree, &dead_in_tree, &cfg.reattach);
     let post_delivery = if survivors == 0 {
         1.0
@@ -309,6 +321,21 @@ pub fn run_pipeline(cfg: &RecoveryConfig) -> RecoveryOutcome {
         reachable_avoiding(&repaired, &[]) as f64 / survivors as f64
     };
     let reattached_at = rebuilt_at.map(|r| r + alm_report.duration);
+
+    // Final audit: the repaired tree must be dead-free, within physical
+    // degree bounds, and account for every orphaned subtree.
+    let view = RepairAuditView {
+        tree: &repaired,
+        dead: &dead_in_tree,
+        bounds: repaired.hosts().iter().map(|&h| (h, dbound(h))).collect(),
+        orphans: orphans.len(),
+        report: alm_report,
+    };
+    auditor.sample(
+        &repair_invariants(),
+        &view,
+        reattached_at.unwrap_or_else(|| dht.now()),
+    );
 
     RecoveryOutcome {
         timeline: RecoveryTimeline {
@@ -329,7 +356,56 @@ pub fn run_pipeline(cfg: &RecoveryConfig) -> RecoveryOutcome {
         dht_dropped: dht.messages_dropped(),
         gather_messages,
         gather_dropped,
+        audit: auditor.into_report(),
     }
+}
+
+/// The borrow bundle the post-repair invariants run against.
+struct RepairAuditView<'a> {
+    tree: &'a MulticastTree,
+    dead: &'a [HostId],
+    /// Physical degree bound per host in the repaired tree.
+    bounds: Vec<(HostId, u32)>,
+    /// Subtree roots the crash orphaned.
+    orphans: usize,
+    report: ReattachReport,
+}
+
+fn repair_invariants<'a>() -> InvariantSet<RepairAuditView<'a>> {
+    InvariantSet::new()
+        .register(
+            "no-dead-host-in-repaired-tree",
+            inv_no_dead_in_repaired_tree,
+        )
+        .register("repaired-degrees-bounded", inv_repaired_degrees_bounded)
+        .register("orphan-accounting", inv_orphan_accounting)
+}
+
+fn inv_no_dead_in_repaired_tree(v: &RepairAuditView<'_>, ctx: &mut AuditCtx<'_>) {
+    for &d in v.dead {
+        ctx.check(!v.tree.contains(d), || {
+            format!("dead {d:?} survives in the repaired session tree")
+        });
+    }
+}
+
+fn inv_repaired_degrees_bounded(v: &RepairAuditView<'_>, ctx: &mut AuditCtx<'_>) {
+    for &(h, bound) in &v.bounds {
+        let deg = v.tree.degree(h);
+        ctx.check(deg <= bound, || {
+            format!("repaired tree drives {h:?} at degree {deg} > bound {bound}")
+        });
+    }
+}
+
+fn inv_orphan_accounting(v: &RepairAuditView<'_>, ctx: &mut AuditCtx<'_>) {
+    let settled = v.report.reattached + v.report.gave_up;
+    ctx.check(settled == v.orphans, || {
+        format!(
+            "{} orphan subtrees but only {} settled (reattached {} + gave up {})",
+            v.orphans, settled, v.report.reattached, v.report.gave_up
+        )
+    });
 }
 
 /// The same victim choice `ext_churn` makes: shuffle ring indices with
@@ -414,6 +490,12 @@ mod tests {
         assert_eq!(out.alm.gave_up, 0);
         assert_eq!(out.dht_dropped, 0);
         assert_eq!(out.gather_dropped, 0);
+        assert!(out.audit.samples > 0, "auditor never sampled the pipeline");
+        assert!(
+            out.audit.is_clean(),
+            "violations: {:?}",
+            out.audit.violations
+        );
     }
 
     #[test]
@@ -426,6 +508,11 @@ mod tests {
             "unsync regather must converge to a full census under 5% loss"
         );
         assert!(out.timeline.reattached_at.is_some());
+        assert!(
+            out.audit.is_clean(),
+            "coherence broke under loss: {:?}",
+            out.audit.violations
+        );
     }
 
     #[test]

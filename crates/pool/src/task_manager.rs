@@ -22,6 +22,7 @@ use alm::critical::helpers_used;
 use alm::{adjust, amcast, critical, HelperPool, HelperStrategy, MulticastTree, Problem};
 use netsim::{HostId, LatencyModel};
 use serde::{Deserialize, Serialize};
+use simcore::SimTime;
 
 use crate::degree_table::{Rank, SessionId};
 use crate::ResourcePool;
@@ -118,6 +119,20 @@ pub fn plan_and_reserve(
     spec: &SessionSpec,
     cfg: &PlanConfig,
 ) -> PlanOutcome {
+    plan_and_reserve_leased(pool, spec, cfg, None)
+}
+
+/// [`plan_and_reserve`], but every reservation is a **lease** expiring at
+/// `lease_until` unless renewed (`None` reserves permanently). This is the
+/// crash-tolerant market's entry point: the task manager's replan period
+/// doubles as its renewal heartbeat, so a manager that dies simply stops
+/// renewing and its degrees flow back to the pool.
+pub fn plan_and_reserve_leased(
+    pool: &mut ResourcePool,
+    spec: &SessionSpec,
+    cfg: &PlanConfig,
+    lease_until: Option<SimTime>,
+) -> PlanOutcome {
     assert!((1..=3).contains(&spec.priority), "priority must be 1..=3");
     // Replanning is all-or-nothing: drop current holdings first.
     pool.release_session(spec.id);
@@ -134,7 +149,7 @@ pub fn plan_and_reserve(
         .iter()
         .map(|&h| (h, pool.available(h, helper_rank)))
         .collect();
-    plan_with_candidates(pool, spec, cfg, candidates, &stale_avail)
+    plan_with_candidates(pool, spec, cfg, candidates, &stale_avail, lease_until)
 }
 
 /// Plan from an explicit (possibly **stale**) SOMO view instead of the live
@@ -147,6 +162,20 @@ pub fn plan_and_reserve_from_view(
     spec: &SessionSpec,
     cfg: &PlanConfig,
     view: &crate::ResourceReport,
+) -> PlanOutcome {
+    plan_and_reserve_from_view_leased(pool, spec, cfg, view, None)
+}
+
+/// [`plan_and_reserve_from_view`] with leased reservations (see
+/// [`plan_and_reserve_leased`]). A crashed candidate promised by the stale
+/// view refuses its reservation like any over-committed host; the retry
+/// loop absorbs it.
+pub fn plan_and_reserve_from_view_leased(
+    pool: &mut ResourcePool,
+    spec: &SessionSpec,
+    cfg: &PlanConfig,
+    view: &crate::ResourceReport,
+    lease_until: Option<SimTime>,
 ) -> PlanOutcome {
     assert!((1..=3).contains(&spec.priority), "priority must be 1..=3");
     pool.release_session(spec.id);
@@ -165,7 +194,7 @@ pub fn plan_and_reserve_from_view(
         .filter(|e| candidates.contains(&e.host))
         .map(|e| (e.host, e.avail[rank_idx]))
         .collect();
-    plan_with_candidates(pool, spec, cfg, candidates, &stale_avail)
+    plan_with_candidates(pool, spec, cfg, candidates, &stale_avail, lease_until)
 }
 
 /// Shared planning + reservation loop. `stale_avail` is the availability
@@ -178,6 +207,7 @@ fn plan_with_candidates(
     cfg: &PlanConfig,
     mut candidates: Vec<HostId>,
     stale_avail: &[(HostId, u32)],
+    lease_until: Option<SimTime>,
 ) -> PlanOutcome {
     let helper_rank = Rank::helper(spec.priority);
     let stale: std::collections::HashMap<HostId, u32> = stale_avail.iter().copied().collect();
@@ -230,7 +260,7 @@ fn plan_with_candidates(
             } else {
                 helper_rank
             };
-            match pool.reserve(h, spec.id, rank, degree) {
+            match pool.reserve_leased(h, spec.id, rank, degree, lease_until) {
                 Ok(victims) => preempted.extend(victims.into_iter().map(|(s, _)| s)),
                 Err(e) => {
                     assert!(
@@ -537,6 +567,68 @@ mod tests {
         // the failed attempts).
         for &h in out.tree.hosts() {
             assert_eq!(pool.table(h).held_by(SessionId(99)), out.tree.degree(h));
+        }
+    }
+
+    #[test]
+    fn leased_plan_lapses_without_renewal_and_survives_with_it() {
+        let mut pool = small_pool(12);
+        let s = spec(&pool, 44, 2, 90);
+        let lease = SimTime::from_secs(300);
+        let out = plan_and_reserve_leased(&mut pool, &s, &PlanConfig::default(), Some(lease));
+        let held = pool.held_total(SessionId(44));
+        assert!(held > 0);
+        assert_eq!(
+            held,
+            out.tree
+                .hosts()
+                .iter()
+                .map(|&h| out.tree.degree(h))
+                .sum::<u32>()
+        );
+        // Before the deadline nothing lapses.
+        assert!(pool.expire_leases(SimTime::from_secs(299)).is_empty());
+        // A renewal pushes the deadline out…
+        assert_eq!(
+            pool.renew_session(SessionId(44), SimTime::from_secs(600)),
+            held
+        );
+        assert!(pool.expire_leases(SimTime::from_secs(300)).is_empty());
+        assert_eq!(pool.held_total(SessionId(44)), held);
+        // …and a missed renewal returns every degree to the pool.
+        let lapsed = pool.expire_leases(SimTime::from_secs(600));
+        assert_eq!(lapsed, vec![(SessionId(44), held)]);
+        assert_eq!(pool.held_total(SessionId(44)), 0);
+        assert_eq!(pool.total_used(), 0);
+        assert!(pool.holdings_of(SessionId(44)).is_empty());
+    }
+
+    #[test]
+    fn dead_candidate_from_stale_view_is_refused_and_absorbed() {
+        let mut pool = small_pool(13);
+        let s = spec(&pool, 55, 2, 95);
+        let cfg = PlanConfig {
+            model: PlanModel::Oracle,
+            ..PlanConfig::default()
+        };
+        // Snapshot, then crash the best helpers the view promised.
+        let view = pool.snapshot_report(usize::MAX);
+        let reference = plan_and_reserve(&mut pool, &s, &cfg);
+        pool.release_session(s.id);
+        for &h in &reference.helpers {
+            pool.kill_host(h);
+        }
+        let out = plan_and_reserve_from_view(&mut pool, &s, &cfg, &view);
+        if !reference.helpers.is_empty() {
+            assert!(
+                out.helper_failures > 0,
+                "crashed candidates should have refused their reservations"
+            );
+        }
+        // The final tree holds no dead host, and holdings match it exactly.
+        for &h in out.tree.hosts() {
+            assert!(pool.is_alive(h), "dead host {h:?} in final tree");
+            assert_eq!(pool.table(h).held_by(SessionId(55)), out.tree.degree(h));
         }
     }
 

@@ -47,9 +47,37 @@ fn allocation_fields_survive() {
         session: SessionId(7),
         rank: Rank::helper(2),
         count: 3,
+        expires_at: None,
     };
     let back: Allocation = serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
     assert_eq!(back, a);
+}
+
+#[test]
+fn leased_allocation_round_trips_with_its_deadline() {
+    use simcore::SimTime;
+    let a = Allocation {
+        session: SessionId(3),
+        rank: Rank::MEMBER,
+        count: 1,
+        expires_at: Some(SimTime::from_millis(123_456)),
+    };
+    let back: Allocation = serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+    assert_eq!(back, a);
+
+    // A leased table entry survives the SOMO publish path too — the deputy
+    // reconstructing a crashed manager's session depends on this.
+    let mut t = DegreeTable::new(4);
+    t.reserve_until(
+        SessionId(3),
+        Rank::helper(1),
+        2,
+        Some(SimTime::from_secs(300)),
+    )
+    .unwrap();
+    let back: DegreeTable = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    assert_eq!(back.allocations(), t.allocations());
+    assert_eq!(back.next_expiry(), Some(SimTime::from_secs(300)));
 }
 
 #[test]

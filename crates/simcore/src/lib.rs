@@ -19,6 +19,10 @@
 //! * [`faults`] — seed-deterministic fault injection: message loss, delay
 //!   jitter, link outages/partitions and crash schedules ([`FaultPlan`]),
 //!   executed per message by a [`FaultyLink`].
+//! * [`audit`] — cross-crate invariant auditing: registerable named
+//!   invariants ([`audit::InvariantSet`]) sampled on the event clock by an
+//!   [`Auditor`], hard-failing under `debug-assertions` and reporting
+//!   violations ([`audit::AuditReport`]) in release sweeps.
 //!
 //! ## Example
 //!
@@ -42,12 +46,14 @@
 //! assert_eq!(seen[2].1, Ev::Done);
 //! ```
 
+pub mod audit;
 pub mod faults;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use audit::{AuditReport, Auditor, InvariantSet};
 pub use faults::{FaultPlan, FaultyLink};
 pub use queue::EventQueue;
 pub use time::SimTime;

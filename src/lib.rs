@@ -37,9 +37,9 @@ pub mod prelude {
     pub use dht::{NodeId, Ring};
     pub use netsim::{HostId, LatencyModel, Network, NetworkConfig};
     pub use pool::{
-        plan_and_reserve, MarketConfig, MarketSim, PlanConfig, PlanModel, PoolConfig, Rank,
-        ResourcePool, SessionId, SessionSpec,
+        plan_and_reserve, plan_and_reserve_leased, MarketConfig, MarketSim, PlanConfig, PlanModel,
+        PoolConfig, Rank, ResourcePool, SessionId, SessionSpec,
     };
-    pub use simcore::{EventQueue, SimTime};
+    pub use simcore::{AuditReport, Auditor, EventQueue, FaultPlan, InvariantSet, SimTime};
     pub use somo::{Report, SomoTree};
 }

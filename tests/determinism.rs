@@ -167,6 +167,84 @@ fn recovery_pipeline_is_bit_identical_across_runs() {
     assert!(a.timeline.reattached_at.is_some());
 }
 
+/// One faulted market trajectory: a crash plan killing helpers and session
+/// roots mid-run, with leases, failover, and the invariant auditor live.
+/// Captures the aggregate outcome AND the final degree table of every
+/// host — the books themselves must be bit-reproducible, not just the
+/// stats.
+#[derive(Debug, PartialEq)]
+struct MarketTrace {
+    plans: u64,
+    per_class: Vec<(u64, u64, u64, u64)>,
+    crash_repairs: u64,
+    lapsed: u64,
+    leaked: u32,
+    tables: Vec<Vec<pool::degree_table::Allocation>>,
+}
+
+fn faulted_market_trajectory(seed: u64) -> MarketTrace {
+    let pool = ResourcePool::build(
+        &PoolConfig {
+            net: NetworkConfig {
+                num_hosts: 300,
+                ..NetworkConfig::default()
+            },
+            coord_rounds: 4,
+            ..PoolConfig::default()
+        },
+        seed,
+    );
+    let mut faults = simcore::FaultPlan::none();
+    for h in (0..300u64).step_by(7) {
+        faults = faults.crash_forever(h, SimTime::from_secs(600 + h));
+    }
+    let cfg = MarketConfig {
+        sessions: 9,
+        member_size: 12,
+        horizon: SimTime::from_secs(1800),
+        warmup: SimTime::from_secs(300),
+        faults,
+        ..MarketConfig::default()
+    };
+    let (out, pool) = MarketSim::new(pool, cfg, seed).run_full();
+    let per_class: Vec<(u64, u64, u64, u64)> = (1..=3)
+        .map(|p| {
+            let c = out.class(p);
+            (
+                c.helper_crashes,
+                c.failovers,
+                c.sessions_lost,
+                c.preemptions,
+            )
+        })
+        .collect();
+    let tables: Vec<Vec<pool::degree_table::Allocation>> = pool
+        .net
+        .hosts
+        .ids()
+        .map(|h| pool.table(h).allocations().to_vec())
+        .collect();
+    MarketTrace {
+        plans: out.plans,
+        per_class,
+        crash_repairs: out.crash_repairs,
+        lapsed: out.lapsed_lease_degrees,
+        leaked: out.leaked_degrees,
+        tables,
+    }
+}
+
+#[test]
+fn faulted_market_trajectory_is_bit_identical_across_runs() {
+    let a = faulted_market_trajectory(29);
+    let b = faulted_market_trajectory(29);
+    // Aggregate stats AND the final books must match field for field.
+    assert_eq!(a, b);
+    // And the plan actually produced fault activity worth pinning.
+    let activity: u64 = a.per_class.iter().map(|c| c.0 + c.1 + c.2).sum();
+    assert!(activity > 0, "fault plan never touched a session");
+}
+
 #[test]
 fn somo_tree_is_a_pure_function_of_the_ring() {
     let a = build(11);
