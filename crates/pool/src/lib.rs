@@ -47,11 +47,12 @@ pub mod report;
 pub mod task_manager;
 
 pub use degree_table::{DegreeTable, Rank, SessionId};
-pub use market::{MarketConfig, MarketOutcome, MarketSim};
+pub use market::{DiscoveryMode, MarketConfig, MarketOutcome, MarketSim};
 pub use recovery::{run_pipeline, RecoveryConfig, RecoveryOutcome, RecoveryTimeline};
 pub use report::{CandidateEntry, ResourceReport};
 pub use task_manager::{
-    plan_and_reserve, plan_and_reserve_leased, PlanConfig, PlanModel, PlanOutcome, SessionSpec,
+    plan_and_reserve, plan_and_reserve_from_query, plan_and_reserve_from_query_leased,
+    plan_and_reserve_leased, PlanConfig, PlanModel, PlanOutcome, SessionSpec,
 };
 
 use std::collections::HashMap;
@@ -193,19 +194,35 @@ impl ResourcePool {
     /// with at least `min_degree` available. This is the query a task
     /// manager issues against the SOMO root view; [`Self::snapshot_report`]
     /// produces that view explicitly.
+    ///
+    /// **Ordering contract.** The list is fully deterministic: sorted by
+    /// availability at `rank` descending, ties by host id ascending — the
+    /// same stable key every discovery surface uses
+    /// ([`report::ResourceReport`]'s best-first order and the `query`
+    /// crate's top-k answers), so the three paths hand identically-ordered
+    /// candidate sets to the planner.
     pub fn candidates(&self, rank: Rank, exclude: &[HostId], min_degree: u32) -> Vec<HostId> {
         let excl: std::collections::HashSet<HostId> = exclude.iter().copied().collect();
-        self.net
+        let mut out: Vec<(u32, HostId)> = self
+            .net
             .hosts
             .ids()
-            .filter(|h| {
-                self.alive[h.idx()] && !excl.contains(h) && self.available(*h, rank) >= min_degree
-            })
-            .collect()
+            .filter(|h| self.alive[h.idx()] && !excl.contains(h))
+            .map(|h| (self.available(h, rank), h))
+            .filter(|&(avail, _)| avail >= min_degree)
+            .collect();
+        out.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        out.into_iter().map(|(_, h)| h).collect()
     }
 
     /// The pool-wide resource report — what the SOMO root holds after one
     /// full gather (see `tests/` for the flow-simulated equivalent).
+    ///
+    /// Deterministic: entries are merged in host-id order and
+    /// [`ResourceReport`]'s best-first sort is a strict total order
+    /// (availability per rank descending, weakest rank first, then host id
+    /// ascending), so the same tables always produce the same report —
+    /// including which entries survive the `cap` truncation.
     pub fn snapshot_report(&self, cap: usize) -> ResourceReport {
         let mut r = ResourceReport {
             entries: Vec::new(),
@@ -230,6 +247,60 @@ impl ResourcePool {
             r.merge(&ResourceReport::of_member(entry));
         }
         r
+    }
+
+    /// The [`query::HostSample`] host `h` would publish into the SOMO
+    /// aggregation tree at time `now`: its availability at every claim
+    /// rank, its first two network-coordinate dimensions (the region the
+    /// aggregate histograms bucket over), and its access-link class. A dead
+    /// host publishes nothing (`None`) — its stale aggregate contribution
+    /// ages out of the index at the next refresh.
+    pub fn host_sample(&self, h: HostId, now: simcore::SimTime) -> Option<query::HostSample> {
+        if !self.alive[h.idx()] {
+            return None;
+        }
+        let t = &self.tables[h.idx()];
+        let c = self.coords.get(h).as_slice();
+        Some(query::HostSample {
+            host: h,
+            free: [
+                t.available_at(Rank::MEMBER),
+                t.available_at(Rank::helper(1)),
+                t.available_at(Rank::helper(2)),
+                t.available_at(Rank::helper(3)),
+            ],
+            pos: [
+                c.first().copied().unwrap_or(0.0),
+                c.get(1).copied().unwrap_or(0.0),
+            ],
+            bw_class: self.net.hosts.get(h).bandwidth.class as u8,
+            sampled_at: now,
+        })
+    }
+
+    /// Build a [`query::QueryIndex`] over the pool's ring at the configured
+    /// SOMO fanout, seeded with every live host's current sample. `period`
+    /// is the gather interval the index will be refreshed at — the `T` in
+    /// its staleness bound.
+    pub fn build_query_index(
+        &self,
+        period: simcore::SimTime,
+        now: simcore::SimTime,
+    ) -> query::QueryIndex {
+        query::QueryIndex::build(
+            &self.ring,
+            self.somo_fanout,
+            period,
+            query::RegionBounds::default(),
+            |m| self.host_sample(self.ring.member(m).host, now),
+        )
+    }
+
+    /// One periodic gather round: republish every live host's sample into
+    /// `index` and recompute the aggregate cache (maintenance traffic is
+    /// accounted inside the index).
+    pub fn refresh_query_index(&self, index: &mut query::QueryIndex, now: simcore::SimTime) {
+        index.refresh(|m| self.host_sample(self.ring.member(m).host, now));
     }
 
     /// Reserve `count` degrees on `h` for a session. Returns sessions that

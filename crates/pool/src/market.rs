@@ -60,9 +60,25 @@ use simcore::{EventQueue, FaultPlan, SimTime};
 
 use crate::degree_table::SessionId;
 use crate::task_manager::{
-    plan_and_reserve_from_view_leased, plan_and_reserve_leased, PlanConfig, SessionSpec,
+    plan_and_reserve_from_query_leased, plan_and_reserve_from_view_leased, plan_and_reserve_leased,
+    PlanConfig, SessionSpec,
 };
 use crate::ResourcePool;
+use somo::traffic::TrafficLedger;
+
+/// How task managers discover helper candidates when planning from a
+/// periodically refreshed view (`view_refresh` set).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DiscoveryMode {
+    /// Plan from a pool-wide snapshot report gathered up the SOMO tree —
+    /// the full-scan baseline (Figure 7's compressed resource report).
+    #[default]
+    Snapshot,
+    /// Plan from scoped top-k queries against the hierarchical aggregate
+    /// index (`crates/query`) — O(k log N) wire cost per plan instead of a
+    /// pool-wide gather.
+    Query,
+}
 
 /// Market workload configuration.
 #[derive(Clone, Debug)]
@@ -89,6 +105,10 @@ pub struct MarketConfig {
     /// availability can be stale and reservations may be refused. `None`
     /// plans from live degree tables (an always-fresh newscast).
     pub view_refresh: Option<SimTime>,
+    /// Which discovery surface backs the refreshed view: the snapshot
+    /// report (default, the fig-10 anchor path) or the hierarchical query
+    /// index. Ignored when `view_refresh` is `None` (live planning).
+    pub discovery: DiscoveryMode,
     /// Fault plan. Only the crash schedules are interpreted (node labels
     /// are host indices); with no crashes the market runs the zero-cost
     /// fault-oblivious path and its trajectory is bit-identical to the
@@ -127,6 +147,7 @@ impl Default for MarketConfig {
             warmup: SimTime::from_secs(600),
             plan: PlanConfig::default(),
             view_refresh: None,
+            discovery: DiscoveryMode::Snapshot,
             faults: FaultPlan::none(),
             lease_ttl: SimTime::from_secs(300),
             detect_delay: SimTime::from_secs(5),
@@ -185,6 +206,11 @@ pub struct MarketOutcome {
     /// Invariant-audit results for the whole run (empty when auditing is
     /// disabled).
     pub audit: AuditReport,
+    /// Wire cost of top-k query descents (Query discovery mode only).
+    pub query_traffic: TrafficLedger,
+    /// Wire cost of the periodic aggregate gathers that keep the query
+    /// index fresh (Query discovery mode only).
+    pub query_maintenance: TrafficLedger,
 }
 
 impl MarketOutcome {
@@ -245,8 +271,11 @@ pub struct MarketSim {
     outcome: MarketOutcome,
     seed: u64,
     /// The shared SOMO snapshot task managers plan from (when
-    /// `cfg.view_refresh` is set).
+    /// `cfg.view_refresh` is set and discovery is `Snapshot`).
     view: Option<crate::ResourceReport>,
+    /// The hierarchical aggregate index task managers query (when
+    /// `cfg.view_refresh` is set and discovery is `Query`).
+    qindex: Option<query::QueryIndex>,
     /// Crash schedules present — the fault-aware paths are live.
     has_faults: bool,
     auditor: Option<Auditor>,
@@ -311,6 +340,7 @@ impl MarketSim {
             outcome: MarketOutcome::default(),
             seed,
             view: None,
+            qindex: None,
             has_faults,
             auditor,
         }
@@ -343,6 +373,12 @@ impl MarketSim {
         }
         if let Some(aud) = self.auditor.take() {
             self.outcome.audit = aud.into_report();
+        }
+        if let Some(idx) = &self.qindex {
+            self.outcome.query_traffic.absorb(&idx.query_traffic());
+            self.outcome
+                .query_maintenance
+                .absorb(&idx.maintenance_traffic());
         }
         (self.outcome, self.pool)
     }
@@ -404,10 +440,22 @@ impl MarketSim {
                 }
             }
             Ev::RefreshView => {
-                self.view = Some(
-                    self.pool
-                        .snapshot_report(crate::ResourceReport::DEFAULT_CAP),
-                );
+                match self.cfg.discovery {
+                    DiscoveryMode::Snapshot => {
+                        self.view = Some(
+                            self.pool
+                                .snapshot_report(crate::ResourceReport::DEFAULT_CAP),
+                        );
+                    }
+                    DiscoveryMode::Query => {
+                        let period = self.cfg.view_refresh.expect("RefreshView scheduled");
+                        let pool = &self.pool;
+                        match &mut self.qindex {
+                            Some(idx) => pool.refresh_query_index(idx, now),
+                            None => self.qindex = Some(pool.build_query_index(period, now)),
+                        }
+                    }
+                }
                 if let Some(period) = self.cfg.view_refresh {
                     self.queue.schedule(now + period, Ev::RefreshView);
                 }
@@ -622,15 +670,12 @@ impl MarketSim {
             // session under a fresh lease one TTL out.
             lease = Some(now + self.cfg.lease_ttl);
         }
-        let out = match &self.view {
-            Some(view) => plan_and_reserve_from_view_leased(
-                &mut self.pool,
-                &spec,
-                &self.cfg.plan,
-                view,
-                lease,
-            ),
-            None => plan_and_reserve_leased(&mut self.pool, &spec, &self.cfg.plan, lease),
+        let out = if let Some(qindex) = &mut self.qindex {
+            plan_and_reserve_from_query_leased(&mut self.pool, &spec, &self.cfg.plan, qindex, lease)
+        } else if let Some(view) = &self.view {
+            plan_and_reserve_from_view_leased(&mut self.pool, &spec, &self.cfg.plan, view, lease)
+        } else {
+            plan_and_reserve_leased(&mut self.pool, &spec, &self.cfg.plan, lease)
         };
         self.slots[i].tree = Some(out.tree.clone());
         self.outcome.plans += 1;
@@ -929,6 +974,53 @@ mod tests {
         // With a 5-minute-old view under churn, at least some helper
         // reservations must have been refused.
         assert!(total_failures > 0, "suspiciously zero stale failures");
+    }
+
+    #[test]
+    fn query_discovery_mode_runs_and_absorbs_staleness() {
+        let pool = ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: 300,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 5,
+                ..PoolConfig::default()
+            },
+            11,
+        );
+        let cfg = MarketConfig {
+            sessions: 12,
+            member_size: 12,
+            horizon: SimTime::from_secs(1800),
+            warmup: SimTime::from_secs(300),
+            // Same 5-minute refresh as the snapshot view, but discovery
+            // runs scoped top-k queries against the aggregate index.
+            view_refresh: Some(SimTime::from_secs(300)),
+            discovery: DiscoveryMode::Query,
+            plan: PlanConfig {
+                model: PlanModel::Oracle,
+                ..PlanConfig::default()
+            },
+            ..MarketConfig::default()
+        };
+        let out = MarketSim::new(pool, cfg, 13).run();
+        assert!(out.plans > 12);
+        for p in 1..=3u8 {
+            let c = out.class(p);
+            assert!(c.improvement.count() > 0);
+            assert!(c.improvement.mean() > -0.15, "class {p} collapsed");
+        }
+        // A stale index is refused exactly like a stale snapshot.
+        let total_failures: u64 = (1..=3).map(|p| out.class(p).helper_failures).sum();
+        assert!(total_failures > 0, "suspiciously zero stale failures");
+        // Both ledgers were exercised: plans descended the tree and the
+        // periodic gathers pushed aggregates up it.
+        assert!(out.query_traffic.messages > 0, "no query descents charged");
+        assert!(
+            out.query_maintenance.messages > 0,
+            "no gather rounds charged"
+        );
     }
 
     #[test]

@@ -65,10 +65,21 @@ impl ResourceReport {
     }
 
     fn sort_and_cap(&mut self) {
-        // Best candidates first: most capacity at the weakest rank (3),
-        // ties by host id for determinism.
-        self.entries
-            .sort_by(|a, b| b.avail[3].cmp(&a.avail[3]).then(a.host.cmp(&b.host)));
+        // Best candidates first under a *strict total order*: availability
+        // descending at the weakest rank (3), stronger ranks breaking ties
+        // in turn, host id ascending last. No two distinct entries compare
+        // equal, so the post-merge order — and which entries survive the
+        // cap — is independent of arrival order. This is the same stable
+        // key `ResourcePool::candidates` and the query crate's top-k
+        // answers use (free degree desc, host id asc).
+        self.entries.sort_by(|a, b| {
+            b.avail[3]
+                .cmp(&a.avail[3])
+                .then(b.avail[2].cmp(&a.avail[2]))
+                .then(b.avail[1].cmp(&a.avail[1]))
+                .then(b.avail[0].cmp(&a.avail[0]))
+                .then(a.host.cmp(&b.host))
+        });
         self.entries.dedup_by_key(|e| e.host);
         self.entries.truncate(self.cap);
     }

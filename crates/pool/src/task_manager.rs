@@ -54,6 +54,15 @@ pub struct PlanConfig {
     pub radius_ms: f64,
     /// Helper scoring strategy.
     pub strategy: HelperStrategy,
+    /// Candidate budget of a query-based discovery
+    /// ([`plan_and_reserve_from_query`]): the `k` of the top-k idle-helper
+    /// query. Matches [`crate::ResourceReport::DEFAULT_CAP`] by default, so
+    /// the query path sees the same truncation budget as the snapshot view.
+    pub query_k: usize,
+    /// Query-based discovery scope: `true` descends from the task manager's
+    /// nearest SOMO ancestor that provably covers the demand (the paper's
+    /// locality discipline), `false` from the root (pool-wide exact top-k).
+    pub query_local: bool,
 }
 
 impl Default for PlanConfig {
@@ -67,6 +76,8 @@ impl Default for PlanConfig {
             helper_min_degree: 4,
             radius_ms: 100.0,
             strategy: HelperStrategy::MinMaxSibling,
+            query_k: crate::ResourceReport::DEFAULT_CAP,
+            query_local: false,
         }
     }
 }
@@ -194,6 +205,65 @@ pub fn plan_and_reserve_from_view_leased(
         .filter(|e| candidates.contains(&e.host))
         .map(|e| (e.host, e.avail[rank_idx]))
         .collect();
+    plan_with_candidates(pool, spec, cfg, candidates, &stale_avail, lease_until)
+}
+
+/// Plan from a scoped **top-k query answer** instead of a full snapshot —
+/// the `O(log N)` discovery path. The task manager asks the aggregation
+/// tree for the `cfg.query_k` best idle helpers at its priority rank
+/// (excluding its own members), descending from the SOMO root or, with
+/// `cfg.query_local`, from its nearest covering ancestor. The answer's
+/// samples become the candidate set and the believed availability; like any
+/// cached view they can be stale, so refused reservations are absorbed by
+/// the same bounded-retry loop as the snapshot path.
+pub fn plan_and_reserve_from_query(
+    pool: &mut ResourcePool,
+    spec: &SessionSpec,
+    cfg: &PlanConfig,
+    index: &mut query::QueryIndex,
+) -> PlanOutcome {
+    plan_and_reserve_from_query_leased(pool, spec, cfg, index, None)
+}
+
+/// [`plan_and_reserve_from_query`] with leased reservations (see
+/// [`plan_and_reserve_leased`]).
+pub fn plan_and_reserve_from_query_leased(
+    pool: &mut ResourcePool,
+    spec: &SessionSpec,
+    cfg: &PlanConfig,
+    index: &mut query::QueryIndex,
+    lease_until: Option<SimTime>,
+) -> PlanOutcome {
+    assert!((1..=3).contains(&spec.priority), "priority must be 1..=3");
+    pool.release_session(spec.id);
+
+    let rank_idx = spec.priority as usize; // free[] index for helper rank
+    let (candidates, stale_avail): (Vec<HostId>, Vec<(HostId, u32)>) = if cfg.use_helpers {
+        let scope = if cfg.query_local {
+            index
+                .member_of(spec.root)
+                .map(|m| query::Scope::Nearest { member: m as u32 })
+                .unwrap_or(query::Scope::Global)
+        } else {
+            query::Scope::Global
+        };
+        let ans = index.top_k(
+            cfg.query_k,
+            rank_idx,
+            cfg.helper_min_degree,
+            &spec.members,
+            scope,
+        );
+        (
+            ans.hosts.iter().map(|s| s.host).collect(),
+            ans.hosts
+                .iter()
+                .map(|s| (s.host, s.free[rank_idx]))
+                .collect(),
+        )
+    } else {
+        (Vec::new(), Vec::new())
+    };
     plan_with_candidates(pool, spec, cfg, candidates, &stale_avail, lease_until)
 }
 

@@ -1,0 +1,346 @@
+//! The incrementally-maintained aggregate index over a SOMO tree.
+//!
+//! A [`QueryIndex`] caches one [`Aggregate`] per logical SOMO node: the
+//! summary of every member whose canonical leaf lies in that node's
+//! subtree. Maintenance is incremental — when a member republishes its
+//! [`HostSample`], only the leaf→root path is recomputed (`O(k·log_k N)`
+//! merges, `O(log_k N)` messages on the wire) — exactly the update
+//! discipline §3.2 prescribes for SOMO reports, just with a richer report
+//! type.
+//!
+//! The index also carries the metadata needed to turn a cached view into a
+//! *bounded-staleness* answer: the gather period it is refreshed at, from
+//! which [`QueryIndex::freshness_bound`] derives the paper's
+//! `ceil(log_k N)·T` staleness bound (see [`somo::flow`]).
+
+use std::collections::HashMap;
+
+use dht::Ring;
+use simcore::SimTime;
+use somo::traffic::TrafficLedger;
+use somo::{Report, SomoTree};
+
+use crate::aggregate::{Aggregate, HostSample, RegionBounds};
+
+/// Aggregates cached at every SOMO node, maintained incrementally.
+pub struct QueryIndex {
+    pub(crate) tree: SomoTree,
+    pub(crate) bounds: RegionBounds,
+    pub(crate) period: SimTime,
+    /// One cached aggregate per logical node (index-aligned with
+    /// `tree.nodes()`).
+    pub(crate) aggs: Vec<Aggregate>,
+    /// Latest published sample per ring member (`None` = silent/dead).
+    pub(crate) samples: Vec<Option<HostSample>>,
+    /// Ring member → its canonical reporting leaf.
+    pub(crate) leaf_of: Vec<u32>,
+    /// Canonical reporting leaf → ring member.
+    pub(crate) member_of_leaf: HashMap<u32, usize>,
+    /// Host label → ring member index (for point lookups).
+    pub(crate) member_of_host: HashMap<netsim::HostId, usize>,
+    /// Upward maintenance traffic (full builds + incremental updates).
+    pub(crate) maintenance: TrafficLedger,
+    /// Downward query traffic (descents + answers).
+    pub(crate) query_traffic: TrafficLedger,
+}
+
+impl QueryIndex {
+    /// Build the index over the current ring membership. `sample(m)`
+    /// produces member `m`'s current published sample (`None` for a member
+    /// that has not reported / is down). `period` is the reporting interval
+    /// the samples are refreshed at — the `T` of the staleness bound.
+    pub fn build(
+        ring: &Ring,
+        fanout: usize,
+        period: SimTime,
+        bounds: RegionBounds,
+        mut sample: impl FnMut(usize) -> Option<HostSample>,
+    ) -> QueryIndex {
+        let tree = SomoTree::build(ring, fanout);
+        let mut leaf_of = Vec::with_capacity(ring.len());
+        let mut member_of_leaf = HashMap::new();
+        for m in 0..ring.len() {
+            let leaf = tree.canonical_leaf_of(ring.member(m).id);
+            leaf_of.push(leaf);
+            let prev = member_of_leaf.insert(leaf, m);
+            debug_assert!(prev.is_none(), "two members share a canonical leaf");
+        }
+        let samples: Vec<Option<HostSample>> = (0..ring.len()).map(&mut sample).collect();
+        let mut member_of_host = HashMap::new();
+        for (m, s) in samples.iter().enumerate() {
+            if let Some(s) = s {
+                member_of_host.insert(s.host, m);
+            }
+        }
+        let mut idx = QueryIndex {
+            aggs: vec![Aggregate::empty(); tree.len()],
+            tree,
+            bounds,
+            period,
+            samples,
+            leaf_of,
+            member_of_leaf,
+            member_of_host,
+            maintenance: TrafficLedger::default(),
+            query_traffic: TrafficLedger::default(),
+        };
+        idx.rebuild_all();
+        idx
+    }
+
+    /// Recompute every cached aggregate bottom-up and account one full
+    /// gather round of maintenance traffic (each inter-host tree edge ships
+    /// one fixed-size aggregate).
+    pub fn rebuild_all(&mut self) {
+        let n = self.tree.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.tree.nodes()[i as usize].level));
+        for &i in &order {
+            self.recompute_node(i);
+        }
+        // Traffic: every non-root node with a non-empty subtree pushes its
+        // aggregate to its parent; same-host hops are free (GatherSim's
+        // convention).
+        for (i, node) in self.tree.nodes().iter().enumerate() {
+            if let Some(p) = node.parent {
+                if !self.aggs[i].is_empty() && self.tree.nodes()[p as usize].host != node.host {
+                    self.maintenance.record(Aggregate::WIRE_BYTES);
+                }
+            }
+        }
+    }
+
+    /// One full periodic gather round: every member republishes its sample
+    /// and the whole aggregate cache is recomputed bottom-up, charging one
+    /// fixed-size aggregate per inter-host tree edge (the batched
+    /// once-per-period cost — per-member deltas go through
+    /// [`Self::update_member`] instead).
+    pub fn refresh(&mut self, mut sample: impl FnMut(usize) -> Option<HostSample>) {
+        for m in 0..self.samples.len() {
+            let s = sample(m);
+            if let Some(s) = &s {
+                self.member_of_host.insert(s.host, m);
+            } else if let Some(old) = &self.samples[m] {
+                self.member_of_host.remove(&old.host);
+            }
+            self.samples[m] = s;
+        }
+        self.rebuild_all();
+    }
+
+    /// Replace member `m`'s published sample and refresh the cached
+    /// aggregates on its leaf→root path (`None` withdraws the member, e.g.
+    /// on crash). `O(k·log_k N)` merges; one aggregate crosses each
+    /// inter-host edge of the path.
+    pub fn update_member(&mut self, m: usize, sample: Option<HostSample>) {
+        if let Some(s) = &sample {
+            self.member_of_host.insert(s.host, m);
+        } else if let Some(old) = &self.samples[m] {
+            self.member_of_host.remove(&old.host);
+        }
+        self.samples[m] = sample;
+        let mut cur = self.leaf_of[m];
+        loop {
+            self.recompute_node(cur);
+            let node = &self.tree.nodes()[cur as usize];
+            let Some(p) = node.parent else { break };
+            if self.tree.nodes()[p as usize].host != node.host {
+                self.maintenance.record(Aggregate::WIRE_BYTES);
+            }
+            cur = p;
+        }
+    }
+
+    /// Recompute one node's aggregate from its (already current) children
+    /// plus its own canonical member's sample if it is a reporting leaf.
+    fn recompute_node(&mut self, i: u32) {
+        let mut acc = Aggregate::empty();
+        if let Some(&m) = self.member_of_leaf.get(&i) {
+            if let Some(s) = &self.samples[m] {
+                acc.merge(&Aggregate::of_sample(s, &self.bounds));
+            }
+        }
+        let children = self.tree.nodes()[i as usize].children.clone();
+        for c in children {
+            let child = self.aggs[c as usize].clone();
+            acc.merge(&child);
+        }
+        self.aggs[i as usize] = acc;
+    }
+
+    /// The underlying SOMO tree snapshot.
+    pub fn tree(&self) -> &SomoTree {
+        &self.tree
+    }
+
+    /// The region grid the histograms are drawn over.
+    pub fn bounds(&self) -> &RegionBounds {
+        &self.bounds
+    }
+
+    /// The cached aggregate of one logical node's subtree.
+    pub fn aggregate(&self, node: u32) -> &Aggregate {
+        &self.aggs[node as usize]
+    }
+
+    /// The whole-pool aggregate (cached at the root).
+    pub fn root_aggregate(&self) -> &Aggregate {
+        &self.aggs[0]
+    }
+
+    /// Member `m`'s latest published sample.
+    pub fn sample(&self, m: usize) -> Option<&HostSample> {
+        self.samples[m].as_ref()
+    }
+
+    /// Number of ring members the index was built over.
+    pub fn members(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Member `m`'s canonical reporting leaf.
+    pub fn leaf_of(&self, m: usize) -> u32 {
+        self.leaf_of[m]
+    }
+
+    /// The reporting member behind a leaf, if any.
+    pub fn member_of_leaf(&self, leaf: u32) -> Option<usize> {
+        self.member_of_leaf.get(&leaf).copied()
+    }
+
+    /// The ring member currently publishing as host `h`, if any — the hook
+    /// a task manager uses to anchor a [`crate::Scope::Nearest`] descent at
+    /// its own position in the tree.
+    pub fn member_of(&self, h: netsim::HostId) -> Option<usize> {
+        self.member_of_host.get(&h).copied()
+    }
+
+    /// The reporting period the index is refreshed at.
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// The staleness bound attached to every answer served from this index:
+    /// the paper's unsynchronized gather bound `ceil(log_k N)·T` — cached
+    /// data can lag a member's truth by at most one report per level.
+    pub fn freshness_bound(&self) -> SimTime {
+        somo::flow::unsync_staleness_bound(self.samples.len(), self.tree.fanout(), self.period)
+    }
+
+    /// Upward maintenance traffic accounted so far.
+    pub fn maintenance_traffic(&self) -> TrafficLedger {
+        self.maintenance
+    }
+
+    /// Query traffic (descents + answers) accounted so far.
+    pub fn query_traffic(&self) -> TrafficLedger {
+        self.query_traffic
+    }
+
+    /// Reset the query-traffic ledger (benches measure per-window rates).
+    pub fn reset_query_traffic(&mut self) {
+        self.query_traffic = TrafficLedger::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::HostId;
+
+    fn sample(m: usize, free3: u32) -> HostSample {
+        HostSample {
+            host: HostId(m as u32),
+            free: [free3 + 3, free3 + 2, free3 + 1, free3],
+            pos: [
+                (m as f64 % 19.0) * 10.0 - 90.0,
+                (m as f64 % 7.0) * 20.0 - 60.0,
+            ],
+            bw_class: (m % 5) as u8,
+            sampled_at: SimTime::from_secs(1),
+        }
+    }
+
+    fn build(n: u32, seed: u64) -> (Ring, QueryIndex) {
+        let ring = Ring::with_random_ids((0..n).map(HostId), seed);
+        let idx = QueryIndex::build(
+            &ring,
+            4,
+            SimTime::from_secs(5),
+            RegionBounds::default(),
+            |m| Some(sample(m, (m % 9) as u32)),
+        );
+        (ring, idx)
+    }
+
+    #[test]
+    fn root_aggregate_counts_every_member() {
+        let (ring, idx) = build(100, 11);
+        assert_eq!(idx.root_aggregate().hosts, ring.len() as u64);
+        let hist_total: u64 = idx.root_aggregate().degree_hist.iter().sum();
+        assert_eq!(hist_total, ring.len() as u64);
+    }
+
+    #[test]
+    fn every_node_aggregate_equals_subtree_brute_force() {
+        let (_ring, idx) = build(64, 12);
+        // For each node, fold the canonical samples of its subtree by hand.
+        for i in 0..idx.tree().len() as u32 {
+            let mut want = Aggregate::empty();
+            let mut stack = vec![i];
+            while let Some(cur) = stack.pop() {
+                if let Some(m) = idx.member_of_leaf(cur) {
+                    if let Some(s) = idx.sample(m) {
+                        want.merge(&Aggregate::of_sample(s, idx.bounds()));
+                    }
+                }
+                stack.extend(idx.tree().nodes()[cur as usize].children.iter().copied());
+            }
+            assert_eq!(idx.aggregate(i), &want, "node {i} cache diverged");
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_full_rebuild() {
+        let (_ring, mut idx) = build(80, 13);
+        // Mutate a handful of members incrementally...
+        for m in [0usize, 7, 33, 79] {
+            let mut s = sample(m, 40);
+            s.sampled_at = SimTime::from_secs(9);
+            idx.update_member(m, Some(s));
+        }
+        idx.update_member(5, None); // member 5 goes silent
+        let incremental: Vec<Aggregate> = (0..idx.tree().len() as u32)
+            .map(|i| idx.aggregate(i).clone())
+            .collect();
+        // ...then recompute everything from scratch and compare.
+        idx.rebuild_all();
+        for (i, want) in incremental.iter().enumerate() {
+            assert_eq!(idx.aggregate(i as u32), want, "node {i}");
+        }
+        assert_eq!(idx.root_aggregate().hosts, 79);
+    }
+
+    #[test]
+    fn update_traffic_is_logarithmic_not_linear() {
+        let (_ring, mut idx) = build(256, 14);
+        let before = idx.maintenance_traffic();
+        idx.update_member(100, Some(sample(100, 7)));
+        let delta = idx.maintenance_traffic().messages - before.messages;
+        // The path to the root is at most depth hops.
+        assert!(
+            delta <= idx.tree().depth() as u64 + 1,
+            "update cost {delta}"
+        );
+        assert!(delta >= 1, "update shipped nothing");
+    }
+
+    #[test]
+    fn freshness_bound_matches_flow_math() {
+        let (_ring, idx) = build(256, 15);
+        assert_eq!(
+            idx.freshness_bound(),
+            somo::flow::unsync_staleness_bound(256, 4, SimTime::from_secs(5))
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Continuous standing queries: threshold subscriptions.
+//!
+//! A task manager that keeps replanning wants to know *when the answer
+//! changes*, not to re-ask every period. A [`Subscription`] registers a
+//! predicate over the aggregate lattice — "the count of hosts within
+//! radius R of my session offering ≥ D free degrees" — and the index
+//! evaluates it once per newscast cycle. A [`ThresholdDelta`] is emitted
+//! **only on crossings** (the count moving from at-or-above the threshold
+//! to below it, or back), so steady state costs zero extra wire bytes: the
+//! deltas that do fire piggyback on the newscast dissemination already
+//! flowing root→leaf each period (see [`somo::newscast`]), and
+//! [`SubscriptionSet::account_dissemination`] charges exactly that
+//! incremental cost.
+//!
+//! This is the query-layer rendering of the paper's "news broadcast"
+//! discipline: the tree already visits every member each cycle, so a delta
+//! rides for the marginal bytes of its payload rather than a dedicated
+//! round-trip.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use somo::traffic::TrafficLedger;
+
+use crate::index::QueryIndex;
+
+/// A standing threshold query over the pool.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Subscription {
+    /// Subscription id (unique per set).
+    pub id: u64,
+    /// Ring member that registered the subscription (deltas are delivered
+    /// to its canonical leaf).
+    pub member: u32,
+    /// Disk center in coordinate space (ms).
+    pub center: [f64; 2],
+    /// Disk radius (ms).
+    pub radius: f64,
+    /// Claim rank the availability filter applies to (0..=3).
+    pub rank: u8,
+    /// Minimum free degree for a host to count.
+    pub min_free: u32,
+    /// Fire when the count of qualifying hosts drops below this.
+    pub threshold: u64,
+}
+
+/// One emitted crossing notification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThresholdDelta {
+    /// The subscription that fired.
+    pub sub: u64,
+    /// Evaluation time.
+    pub at: SimTime,
+    /// `true` = the count just dropped below the threshold (alarm);
+    /// `false` = it recovered to at-or-above (all-clear).
+    pub below: bool,
+    /// The count observed at the crossing.
+    pub count: u64,
+}
+
+impl ThresholdDelta {
+    /// Fixed wire size of a delta riding in a newscast publication:
+    /// sub id (8) + stamp (8) + flag (1) + count (8).
+    pub const WIRE_BYTES: usize = 25;
+}
+
+/// A set of standing queries evaluated against one [`QueryIndex`].
+#[derive(Default)]
+pub struct SubscriptionSet {
+    subs: Vec<Subscription>,
+    /// Last known below/above state per subscription (index-aligned with
+    /// `subs`); `None` until first evaluated.
+    state: Vec<Option<bool>>,
+    next_id: u64,
+    /// Incremental dissemination traffic charged for emitted deltas.
+    traffic: TrafficLedger,
+}
+
+impl SubscriptionSet {
+    /// An empty set.
+    pub fn new() -> SubscriptionSet {
+        SubscriptionSet::default()
+    }
+
+    /// Register a standing query; returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn subscribe(
+        &mut self,
+        member: u32,
+        center: [f64; 2],
+        radius: f64,
+        rank: u8,
+        min_free: u32,
+        threshold: u64,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.subs.push(Subscription {
+            id,
+            member,
+            center,
+            radius,
+            rank,
+            min_free,
+            threshold,
+        });
+        self.state.push(None);
+        id
+    }
+
+    /// Drop a subscription by id.
+    pub fn unsubscribe(&mut self, id: u64) {
+        if let Some(i) = self.subs.iter().position(|s| s.id == id) {
+            self.subs.remove(i);
+            self.state.remove(i);
+        }
+    }
+
+    /// Registered subscriptions.
+    pub fn subscriptions(&self) -> &[Subscription] {
+        &self.subs
+    }
+
+    /// Evaluate every subscription against the index's current aggregates
+    /// and emit deltas for the predicates that *crossed* their threshold
+    /// since the last evaluation (first evaluation emits only alarms, so a
+    /// healthy pool starts silent).
+    pub fn evaluate(&mut self, index: &mut QueryIndex, now: SimTime) -> Vec<ThresholdDelta> {
+        let mut deltas = Vec::new();
+        for i in 0..self.subs.len() {
+            let sub = self.subs[i].clone();
+            let ans = index.range(sub.center, sub.radius, sub.rank as usize, sub.min_free);
+            let count = ans.hosts.len() as u64;
+            let below = count < sub.threshold;
+            let fire = match self.state[i] {
+                None => below, // initial alarm only
+                Some(prev) => prev != below,
+            };
+            self.state[i] = Some(below);
+            if fire {
+                let d = ThresholdDelta {
+                    sub: sub.id,
+                    at: now,
+                    below,
+                    count,
+                };
+                self.account_dissemination(index, sub.member, &d);
+                deltas.push(d);
+            }
+        }
+        deltas
+    }
+
+    /// Charge a delta's piggyback ride on the newscast dissemination path:
+    /// the marginal payload bytes across the inter-host edges from the root
+    /// down to the subscriber's canonical leaf. No extra messages — the
+    /// publication is flowing anyway.
+    fn account_dissemination(&mut self, index: &QueryIndex, member: u32, _d: &ThresholdDelta) {
+        let leaf = index.leaf_of(member as usize);
+        let mut cur = leaf;
+        let mut edges = 0u64;
+        while let Some(p) = index.tree().nodes()[cur as usize].parent {
+            if index.tree().nodes()[p as usize].host != index.tree().nodes()[cur as usize].host {
+                edges += 1;
+            }
+            cur = p;
+        }
+        self.traffic.bytes += edges * ThresholdDelta::WIRE_BYTES as u64;
+    }
+
+    /// Incremental dissemination traffic charged so far.
+    pub fn traffic(&self) -> TrafficLedger {
+        self.traffic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{HostSample, RegionBounds};
+    use dht::Ring;
+    use netsim::HostId;
+
+    fn sample(m: usize, free3: u32) -> HostSample {
+        HostSample {
+            host: HostId(m as u32),
+            free: [free3 + 3, free3 + 2, free3 + 1, free3],
+            pos: [0.0, 0.0],
+            bw_class: 0,
+            sampled_at: SimTime::from_secs(1),
+        }
+    }
+
+    fn build(n: u32) -> QueryIndex {
+        let ring = Ring::with_random_ids((0..n).map(HostId), 77);
+        QueryIndex::build(
+            &ring,
+            4,
+            SimTime::from_secs(5),
+            RegionBounds::default(),
+            |m| Some(sample(m, 5)),
+        )
+    }
+
+    #[test]
+    fn deltas_fire_only_on_crossings() {
+        let mut idx = build(50);
+        let mut subs = SubscriptionSet::new();
+        let id = subs.subscribe(0, [0.0, 0.0], 100.0, 3, 1, 30);
+        // 50 hosts with free 5 ≥ threshold 30: silent.
+        assert!(subs.evaluate(&mut idx, SimTime::from_secs(10)).is_empty());
+        // Re-evaluating an unchanged pool stays silent (no repeat spam).
+        assert!(subs.evaluate(&mut idx, SimTime::from_secs(15)).is_empty());
+        // Drain 25 hosts to zero free: count 25 < 30 → one alarm.
+        for m in 0..25 {
+            idx.update_member(m, Some(sample(m, 0)));
+        }
+        let fired = subs.evaluate(&mut idx, SimTime::from_secs(20));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].sub, id);
+        assert!(fired[0].below);
+        assert_eq!(fired[0].count, 25);
+        // Still below: silent again.
+        assert!(subs.evaluate(&mut idx, SimTime::from_secs(25)).is_empty());
+        // Recover → one all-clear.
+        for m in 0..25 {
+            idx.update_member(m, Some(sample(m, 5)));
+        }
+        let clear = subs.evaluate(&mut idx, SimTime::from_secs(30));
+        assert_eq!(clear.len(), 1);
+        assert!(!clear[0].below);
+    }
+
+    #[test]
+    fn initial_evaluation_alarms_an_already_starved_pool() {
+        let mut idx = build(10);
+        let mut subs = SubscriptionSet::new();
+        subs.subscribe(0, [0.0, 0.0], 100.0, 3, 1, 50);
+        let fired = subs.evaluate(&mut idx, SimTime::from_secs(1));
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].below);
+    }
+
+    #[test]
+    fn dissemination_traffic_charged_per_delta() {
+        let mut idx = build(60);
+        let mut subs = SubscriptionSet::new();
+        subs.subscribe(3, [0.0, 0.0], 100.0, 3, 1, 200);
+        let before = subs.traffic().bytes;
+        let fired = subs.evaluate(&mut idx, SimTime::from_secs(5));
+        assert_eq!(fired.len(), 1);
+        assert!(subs.traffic().bytes >= before, "bytes must not regress");
+        // Steady state: no further deltas, no further bytes.
+        let t = subs.traffic().bytes;
+        subs.evaluate(&mut idx, SimTime::from_secs(10));
+        assert_eq!(subs.traffic().bytes, t);
+    }
+
+    #[test]
+    fn unsubscribe_stops_evaluation() {
+        let mut idx = build(10);
+        let mut subs = SubscriptionSet::new();
+        let id = subs.subscribe(0, [0.0, 0.0], 100.0, 3, 1, 50);
+        subs.unsubscribe(id);
+        assert!(subs.subscriptions().is_empty());
+        assert!(subs.evaluate(&mut idx, SimTime::from_secs(1)).is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Serde roundtrips for every wire type the query subsystem ships:
+//! aggregates (gather path), requests/answers (query path) and
+//! subscription deltas (newscast path). A type that cannot survive
+//! serialize→deserialize intact cannot cross a process boundary.
+
+use netsim::HostId;
+use query::{
+    Aggregate, Freshness, HostSample, QueryAnswer, QueryIndex, QueryRequest, QueryStats,
+    RegionBounds, Scope, Subscription, ThresholdDelta,
+};
+use simcore::SimTime;
+use somo::Report;
+
+fn roundtrip<T>(v: &T) -> T
+where
+    T: serde::Serialize + serde::Deserialize,
+{
+    let json = serde_json::to_string(v).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+fn sample(m: u32, free3: u32) -> HostSample {
+    HostSample {
+        host: HostId(m),
+        free: [free3 + 3, free3 + 2, free3 + 1, free3],
+        pos: [m as f64 * 3.5 - 50.0, m as f64 * -2.25 + 40.0],
+        bw_class: (m % 5) as u8,
+        sampled_at: SimTime::from_millis(1000 + m as u64),
+    }
+}
+
+#[test]
+fn host_sample_roundtrips() {
+    let s = sample(7, 4);
+    assert_eq!(roundtrip(&s), s);
+}
+
+#[test]
+fn aggregate_roundtrips() {
+    let bounds = RegionBounds::default();
+    let mut a = Aggregate::empty();
+    for m in 0..40 {
+        a.merge(&Aggregate::of_sample(&sample(m, m % 11), &bounds));
+    }
+    assert_eq!(roundtrip(&a), a);
+    // The identity element survives too (SimTime::MAX stamp included).
+    assert_eq!(roundtrip(&Aggregate::empty()), Aggregate::empty());
+}
+
+#[test]
+fn region_bounds_roundtrip() {
+    let b = RegionBounds {
+        min: [-123.0, -45.5],
+        max: [67.25, 89.0],
+    };
+    assert_eq!(roundtrip(&b), b);
+}
+
+#[test]
+fn query_requests_roundtrip() {
+    let reqs = [
+        QueryRequest::Point { host: HostId(9) },
+        QueryRequest::Range {
+            center: [12.5, -8.0],
+            radius: 55.0,
+            rank: 3,
+            min_free: 2,
+        },
+        QueryRequest::TopK {
+            k: 12,
+            rank: 1,
+            min_free: 1,
+            exclude: vec![HostId(1), HostId(4)],
+            scope: Scope::Nearest { member: 33 },
+        },
+        QueryRequest::TopK {
+            k: 3,
+            rank: 3,
+            min_free: 0,
+            exclude: vec![],
+            scope: Scope::Global,
+        },
+    ];
+    for r in &reqs {
+        assert_eq!(&roundtrip(r), r);
+    }
+}
+
+#[test]
+fn full_query_answer_roundtrips() {
+    // A real answer produced by the engine, not a hand-built one.
+    let ring = dht::Ring::with_random_ids((0..80u32).map(HostId), 5);
+    let mut idx = QueryIndex::build(
+        &ring,
+        4,
+        SimTime::from_secs(5),
+        RegionBounds::default(),
+        |m| Some(sample(m as u32, (m % 9) as u32)),
+    );
+    let ans = idx.top_k(6, 3, 1, &[HostId(2)], Scope::Global);
+    assert!(!ans.hosts.is_empty());
+    assert_eq!(roundtrip(&ans), ans);
+
+    let range = idx.range([0.0, 0.0], 80.0, 3, 1);
+    assert_eq!(roundtrip(&range), range);
+}
+
+#[test]
+fn freshness_and_stats_roundtrip() {
+    let f = Freshness {
+        oldest: SimTime::from_millis(750),
+        bound: SimTime::from_secs(20),
+    };
+    assert_eq!(roundtrip(&f), f);
+    let s = QueryStats {
+        nodes_visited: 10,
+        leaves_scanned: 4,
+        subtrees_pruned: 17,
+        messages: 12,
+        bytes: 2048,
+    };
+    assert_eq!(roundtrip(&s), s);
+}
+
+#[test]
+fn subscription_types_roundtrip() {
+    let sub = Subscription {
+        id: 3,
+        member: 14,
+        center: [5.0, -5.0],
+        radius: 60.0,
+        rank: 3,
+        min_free: 2,
+        threshold: 10,
+    };
+    assert_eq!(roundtrip(&sub), sub);
+    let d = ThresholdDelta {
+        sub: 3,
+        at: SimTime::from_secs(42),
+        below: true,
+        count: 7,
+    };
+    assert_eq!(roundtrip(&d), d);
+}
+
+#[test]
+fn answer_json_is_self_describing() {
+    // Field names survive in the JSON (a renamed field would silently break
+    // cross-version compatibility).
+    let f = Freshness {
+        oldest: SimTime::ZERO,
+        bound: SimTime::from_secs(1),
+    };
+    let json = serde_json::to_string(&f).unwrap();
+    assert!(json.contains("oldest"), "{json}");
+    assert!(json.contains("bound"), "{json}");
+}
+
+#[test]
+fn answer_roundtrip_preserves_order() {
+    // Host order is part of the answer's contract (free desc, host asc) —
+    // make sure deserialization does not reshuffle.
+    let ring = dht::Ring::with_random_ids((0..60u32).map(HostId), 6);
+    let mut idx = QueryIndex::build(
+        &ring,
+        8,
+        SimTime::from_secs(5),
+        RegionBounds::default(),
+        |m| Some(sample(m as u32, (m % 6) as u32)),
+    );
+    let ans = idx.top_k(10, 3, 0, &[], Scope::Global);
+    let back: QueryAnswer = roundtrip(&ans);
+    let hosts: Vec<HostId> = back.hosts.iter().map(|s| s.host).collect();
+    let orig: Vec<HostId> = ans.hosts.iter().map(|s| s.host).collect();
+    assert_eq!(hosts, orig);
+}

@@ -12,10 +12,35 @@
 //! tree snapshot and accounts the bytes each level ships per gather round —
 //! the number you size an overlay's background bandwidth with.
 
-use bytes::{BufMut, Bytes, BytesMut};
+pub use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::report::{CapabilityReport, CensusReport, Report};
 use crate::tree::SomoTree;
+
+/// Running message/byte counters for one traffic source (gather rounds,
+/// query descents, subscription deltas, …). Downstream crates hold one
+/// ledger per source so benches can compare them on equal terms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficLedger {
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+}
+
+impl TrafficLedger {
+    /// Account one message of `bytes` payload.
+    pub fn record(&mut self, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Fold another ledger in.
+    pub fn absorb(&mut self, other: &TrafficLedger) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+    }
+}
 
 /// A report that knows its wire encoding.
 pub trait Encodable: Report {

@@ -14,6 +14,7 @@
 //! | [`coords`] | GNP + leafset network coordinates (downhill simplex) |
 //! | [`bwest`] | packet-pair bottleneck-bandwidth estimation |
 //! | [`somo`] | self-organized metadata overlay (gather/disseminate) |
+//! | [`query`] | hierarchical aggregates + O(log N) scoped pool queries |
 //! | [`alm`] | DB-MHT trees: AMCast, adjust, critical-node helpers |
 //! | [`pool`] | the resource pool + market-driven multi-session scheduling |
 //!
@@ -26,6 +27,7 @@ pub use coords;
 pub use dht;
 pub use netsim;
 pub use pool;
+pub use query;
 pub use simcore;
 pub use somo;
 
@@ -37,8 +39,13 @@ pub mod prelude {
     pub use dht::{NodeId, Ring};
     pub use netsim::{HostId, LatencyModel, Network, NetworkConfig};
     pub use pool::{
-        plan_and_reserve, plan_and_reserve_leased, MarketConfig, MarketSim, PlanConfig, PlanModel,
-        PoolConfig, Rank, ResourcePool, SessionId, SessionSpec,
+        plan_and_reserve, plan_and_reserve_from_query, plan_and_reserve_leased, DiscoveryMode,
+        MarketConfig, MarketSim, PlanConfig, PlanModel, PoolConfig, Rank, ResourcePool, SessionId,
+        SessionSpec,
+    };
+    pub use query::{
+        Aggregate, HostSample, QueryAnswer, QueryIndex, RegionBounds, Scope, Subscription,
+        SubscriptionSet, ThresholdDelta,
     };
     pub use simcore::{AuditReport, Auditor, EventQueue, FaultPlan, InvariantSet, SimTime};
     pub use somo::{Report, SomoTree};

@@ -245,6 +245,62 @@ fn faulted_market_trajectory_is_bit_identical_across_runs() {
     assert!(activity > 0, "fault plan never touched a session");
 }
 
+/// One faulted query trajectory: kill hosts mid-stream, refresh the
+/// aggregate index, and interleave scoped queries. Captures the complete
+/// answers — hosts, summaries, freshness, traffic stats — plus both
+/// ledgers; every byte must be reproducible.
+fn faulted_query_trajectory(seed: u64) -> (Vec<QueryAnswer>, u64, u64) {
+    let mut pool = build(seed);
+    let t0 = SimTime::from_secs(10);
+    let mut index = pool.build_query_index(SimTime::from_secs(60), t0);
+    let mut answers = Vec::new();
+    answers.push(index.top_k(12, 3, 2, &[], Scope::Global));
+    answers.push(index.top_k(6, 1, 1, &[HostId(5)], Scope::Nearest { member: 17 }));
+    // A crash wave: every 13th host dies, then the next gather round
+    // notices (dead hosts stop publishing samples).
+    for h in (0..200u32).step_by(13) {
+        pool.kill_host(HostId(h));
+    }
+    let t1 = SimTime::from_secs(70);
+    pool.refresh_query_index(&mut index, t1);
+    answers.push(index.top_k(12, 3, 2, &[], Scope::Global));
+    answers.push(index.range([0.0, 0.0], 120.0, 2, 1));
+    answers.push(index.point(HostId(13))); // a dead host: empty answer
+                                           // Partial recovery, another gather, more queries.
+    pool.revive_host(HostId(13));
+    pool.revive_host(HostId(26));
+    let t2 = SimTime::from_secs(130);
+    pool.refresh_query_index(&mut index, t2);
+    answers.push(index.top_k(20, 2, 1, &[], Scope::Nearest { member: 3 }));
+    answers.push(index.point(HostId(13)));
+    let q = index.query_traffic();
+    let m = index.maintenance_traffic();
+    (answers, q.bytes, m.bytes)
+}
+
+#[test]
+fn faulted_query_trajectory_is_bit_identical_across_runs() {
+    let a = faulted_query_trajectory(51);
+    let b = faulted_query_trajectory(51);
+    assert_eq!(a, b);
+    // The crash wave actually changed the answers: the post-kill global
+    // top-k must not contain any dead host.
+    let post_kill = &a.0[2];
+    assert!(
+        !post_kill.hosts.is_empty(),
+        "post-kill answer came up empty"
+    );
+    for s in &post_kill.hosts {
+        assert!(
+            s.host.0 % 13 != 0,
+            "dead host {:?} survived in a refreshed answer",
+            s.host
+        );
+    }
+    assert!(a.1 > 0, "queries charged no traffic");
+    assert!(a.2 > 0, "gathers charged no traffic");
+}
+
 #[test]
 fn somo_tree_is_a_pure_function_of_the_ring() {
     let a = build(11);
