@@ -26,7 +26,7 @@ use std::collections::HashSet;
 
 use netsim::{HostId, LatencyModel};
 
-use crate::amcast::{greedy_engine, HelperFinder};
+use crate::amcast::{greedy_engine, greedy_engine_reference, HelperFinder};
 use crate::problem::Problem;
 use crate::tree::MulticastTree;
 
@@ -142,6 +142,23 @@ pub fn critical<L: LatencyModel, D: Fn(HostId) -> u32>(
         taken: HashSet::new(),
     };
     greedy_engine(p, &mut finder)
+}
+
+/// [`critical`] driven by the retained reference engine: same helper
+/// recruitment, naive O(N³) greedy loop. Produces trees bit-identical to
+/// [`critical`]; exists for the equivalence proptests and the
+/// `perf_planner` A/B sweep.
+pub fn critical_reference<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    pool: &HelperPool,
+) -> MulticastTree {
+    let mut finder = PoolFinder {
+        pool,
+        dbound: &p.dbound,
+        members: p.members.iter().copied().collect(),
+        taken: HashSet::new(),
+    };
+    greedy_engine_reference(p, &mut finder)
 }
 
 /// The helpers a planning run actually recruited: tree nodes outside the

@@ -39,9 +39,9 @@ pub mod staged;
 pub mod tree;
 
 pub use adjust::adjust;
-pub use amcast::amcast;
+pub use amcast::{amcast, amcast_reference};
 pub use bound::improvement_upper_bound;
-pub use critical::{critical, HelperPool, HelperStrategy};
+pub use critical::{critical, critical_reference, HelperPool, HelperStrategy};
 pub use problem::{improvement, Problem};
 pub use staged::staged_plan;
 pub use tree::MulticastTree;

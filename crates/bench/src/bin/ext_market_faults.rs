@@ -7,15 +7,27 @@
 //! subtree reattachment, task-manager failover — has to keep the market's
 //! books balanced.
 //!
-//! Two properties are asserted, not just measured:
+//! Every crash rate is swept in **both** replan modes — the default
+//! incremental holdings re-sync and the legacy forced full replan
+//! (`MarketConfig::full_crash_replan`) — as the A/B pair for the planner
+//! hot-path work. Two properties are asserted, not just measured:
 //!
 //! * **Zero-fault anchor** — at crash rate 0 the fault path must be a true
-//!   no-op: the sessions=20 row reproduces `fig10_multi_session.json`
-//!   bit-identically (same seed, same trajectory, same floats).
-//! * **No leaks** — at every crash rate, every crashed session either
-//!   failed over or had its leases lapse by the horizon: the final audit
-//!   reports zero degree-conservation violations and the leak census finds
-//!   zero helper degrees still booked to inactive sessions.
+//!   no-op in *either* mode: the sessions=20 row reproduces
+//!   `fig10_multi_session.json` bit-identically (same seed, same
+//!   trajectory, same floats).
+//! * **No leaks** — at every crash rate, in both modes, every crashed
+//!   session either failed over or had its leases lapse by the horizon:
+//!   the final audit reports zero degree-conservation violations and the
+//!   leak census finds zero helper degrees still booked to inactive
+//!   sessions.
+//!
+//! The two modes' trajectories legitimately diverge after the first crash
+//! (the incremental path schedules fewer replans, so subsequent plans see
+//! different pool states); the recorded rows keep both so the divergence
+//! is measured rather than assumed away. The controlled equivalence claim
+//! — a lone session's final degree tables converge across modes — is a
+//! unit test in `pool::market`.
 //!
 //! Run with: `cargo run --release -p bench --bin ext_market_faults`
 
@@ -38,86 +50,118 @@ fn main() {
 
     let mut rows = Vec::new();
     println!(
-        "\nmarket under host crashes — {SESSIONS} sessions, crash rate swept:\n{:>6} | {:>8} {:>8} {:>8} | {:>7} {:>9} {:>9} {:>5} | {:>7}",
-        "rate", "imp p1", "imp p2", "imp p3", "crashes", "failovers", "lost", "lapse", "leaked"
+        "\nmarket under host crashes — {SESSIONS} sessions, crash rate × replan mode swept:\n{:>6} {:>12} | {:>8} {:>8} {:>8} | {:>7} {:>9} {:>9} {:>5} | {:>7} {:>7}",
+        "rate", "mode", "imp p1", "imp p2", "imp p3", "crashes", "failovers", "lost", "lapse", "leaked", "incsync"
     );
     for (k, &rate) in CRASH_RATES.iter().enumerate() {
-        let pool = pristine.clone();
-        let cfg = MarketConfig {
-            sessions: SESSIONS,
-            member_size: MEMBER_SIZE,
-            horizon: SimTime::from_secs(3600),
-            warmup: SimTime::from_secs(600),
-            plan: PlanConfig::default(),
-            faults: crash_plan(rate, num_hosts, seed + k as u64),
-            ..MarketConfig::default()
-        };
-        // Same sim seed as the fig10 sessions=20 sweep point, so the
-        // rate-0 trajectory is the committed one.
-        let out = MarketSim::new(pool, cfg, seed + SESSIONS as u64).run();
+        let faults = crash_plan(rate, num_hosts, seed + k as u64);
+        for full_crash_replan in [false, true] {
+            let mode = if full_crash_replan {
+                "full_replan"
+            } else {
+                "incremental"
+            };
+            let pool = pristine.clone();
+            let cfg = MarketConfig {
+                sessions: SESSIONS,
+                member_size: MEMBER_SIZE,
+                horizon: SimTime::from_secs(3600),
+                warmup: SimTime::from_secs(600),
+                plan: PlanConfig::default(),
+                faults: faults.clone(),
+                full_crash_replan,
+                ..MarketConfig::default()
+            };
+            // Same sim seed as the fig10 sessions=20 sweep point, so the
+            // rate-0 trajectory is the committed one.
+            let out = MarketSim::new(pool, cfg, seed + SESSIONS as u64).run();
 
-        let imp: Vec<f64> = (1..=3).map(|p| out.class(p).improvement.mean()).collect();
-        let help: Vec<f64> = (1..=3).map(|p| out.class(p).helpers.mean()).collect();
-        let crashes: Vec<u64> = (1..=3).map(|p| out.class(p).helper_crashes).collect();
-        let conservation = out.audit.count_of("degree-conservation");
-        println!(
-            "{:>5.0}% | {:>7.1}% {:>7.1}% {:>7.1}% | {:>7} {:>9} {:>9} {:>5} | {:>7}",
-            rate * 100.0,
-            imp[0] * 100.0,
-            imp[1] * 100.0,
-            imp[2] * 100.0,
-            crashes.iter().sum::<u64>(),
-            out.failovers(),
-            out.sessions_lost(),
-            out.lapsed_lease_degrees,
-            out.leaked_degrees,
-        );
+            let imp: Vec<f64> = (1..=3).map(|p| out.class(p).improvement.mean()).collect();
+            let help: Vec<f64> = (1..=3).map(|p| out.class(p).helpers.mean()).collect();
+            let crashes: Vec<u64> = (1..=3).map(|p| out.class(p).helper_crashes).collect();
+            let conservation = out.audit.count_of("degree-conservation");
+            println!(
+                "{:>5.0}% {:>12} | {:>7.1}% {:>7.1}% {:>7.1}% | {:>7} {:>9} {:>9} {:>5} | {:>7} {:>7}",
+                rate * 100.0,
+                mode,
+                imp[0] * 100.0,
+                imp[1] * 100.0,
+                imp[2] * 100.0,
+                crashes.iter().sum::<u64>(),
+                out.failovers(),
+                out.sessions_lost(),
+                out.lapsed_lease_degrees,
+                out.leaked_degrees,
+                out.incremental_replans,
+            );
 
-        // The hard acceptance gates, at every rate.
-        assert_eq!(
-            out.leaked_degrees, 0,
-            "rate {rate}: helper degrees leaked past the horizon"
-        );
-        assert_eq!(
-            conservation, 0,
-            "rate {rate}: degree conservation violated: {:?}",
-            out.audit.violations
-        );
-        assert!(
-            out.audit.is_clean(),
-            "rate {rate}: audit violations: {:?}",
-            out.audit.violations
-        );
-        if rate == 0.0 {
-            anchor_against_fig10(&imp, &help, out.plans);
-            assert_eq!(out.crash_repairs, 0, "phantom repairs at zero faults");
-            assert_eq!(out.lapsed_lease_degrees, 0, "phantom lapses at zero faults");
+            // The hard acceptance gates, at every rate, in both modes.
+            assert_eq!(
+                out.leaked_degrees, 0,
+                "rate {rate} ({mode}): helper degrees leaked past the horizon"
+            );
+            assert_eq!(
+                conservation, 0,
+                "rate {rate} ({mode}): degree conservation violated: {:?}",
+                out.audit.violations
+            );
+            assert!(
+                out.audit.is_clean(),
+                "rate {rate} ({mode}): audit violations: {:?}",
+                out.audit.violations
+            );
+            if full_crash_replan {
+                assert_eq!(
+                    out.incremental_replans, 0,
+                    "rate {rate}: forced full replan still ran a re-sync"
+                );
+            } else {
+                assert_eq!(
+                    out.incremental_replans + out.resync_fallbacks,
+                    out.crash_repairs,
+                    "rate {rate}: a repair neither re-synced nor fell back"
+                );
+            }
+            if rate == 0.0 {
+                anchor_against_fig10(&imp, &help, out.plans);
+                assert_eq!(
+                    out.crash_repairs, 0,
+                    "({mode}) phantom repairs at zero faults"
+                );
+                assert_eq!(
+                    out.lapsed_lease_degrees, 0,
+                    "({mode}) phantom lapses at zero faults"
+                );
+            }
+
+            rows.push(json!({
+                "crash_rate": rate,
+                "mode": mode,
+                "improvement": {"p1": imp[0], "p2": imp[1], "p3": imp[2]},
+                "helpers": {"p1": help[0], "p2": help[1], "p3": help[2]},
+                "helper_crashes": {"p1": crashes[0], "p2": crashes[1], "p3": crashes[2]},
+                "preemptions": {
+                    "p1": out.class(1).preemptions,
+                    "p2": out.class(2).preemptions,
+                    "p3": out.class(3).preemptions,
+                },
+                "failovers": out.failovers(),
+                "sessions_lost": out.sessions_lost(),
+                "crash_repairs": out.crash_repairs,
+                "crash_repair_retries": out.crash_repair_retries,
+                "crash_repair_gave_up": out.crash_repair_gave_up,
+                "incremental_replans": out.incremental_replans,
+                "resync_fallbacks": out.resync_fallbacks,
+                "lapsed_lease_degrees": out.lapsed_lease_degrees,
+                "leaked_degrees": out.leaked_degrees,
+                "plans": out.plans,
+                "audit": {
+                    "samples": out.audit.samples,
+                    "checks": out.audit.checks,
+                    "violations": out.audit.violations.len(),
+                },
+            }));
         }
-
-        rows.push(json!({
-            "crash_rate": rate,
-            "improvement": {"p1": imp[0], "p2": imp[1], "p3": imp[2]},
-            "helpers": {"p1": help[0], "p2": help[1], "p3": help[2]},
-            "helper_crashes": {"p1": crashes[0], "p2": crashes[1], "p3": crashes[2]},
-            "preemptions": {
-                "p1": out.class(1).preemptions,
-                "p2": out.class(2).preemptions,
-                "p3": out.class(3).preemptions,
-            },
-            "failovers": out.failovers(),
-            "sessions_lost": out.sessions_lost(),
-            "crash_repairs": out.crash_repairs,
-            "crash_repair_retries": out.crash_repair_retries,
-            "crash_repair_gave_up": out.crash_repair_gave_up,
-            "lapsed_lease_degrees": out.lapsed_lease_degrees,
-            "leaked_degrees": out.leaked_degrees,
-            "plans": out.plans,
-            "audit": {
-                "samples": out.audit.samples,
-                "checks": out.audit.checks,
-                "violations": out.audit.violations.len(),
-            },
-        }));
     }
 
     dump_json(
@@ -127,7 +171,8 @@ fn main() {
             "sessions": SESSIONS,
             "member_size": MEMBER_SIZE,
             "crash_rates": CRASH_RATES,
-            "anchor": "fig10_multi_session sessions=20 row, bit-identical at rate 0",
+            "modes": ["incremental", "full_replan"],
+            "anchor": "fig10_multi_session sessions=20 row, bit-identical at rate 0 in both modes",
             "rows": rows,
         }),
     );

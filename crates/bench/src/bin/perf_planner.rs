@@ -1,0 +1,387 @@
+//! Perf-regression harness for the planner hot paths.
+//!
+//! Sweeps session size N (hosts = N, members = N/2) over the two greedy
+//! engines — the incremental best-parent engine behind [`alm::amcast`] /
+//! [`alm::critical`] and the O(N³)-ish reference loop they replaced
+//! ([`alm::amcast_reference`] / [`alm::critical_reference`]) — plus the
+//! adjustment pass, the coordinate-kernel fast path and the market's
+//! crash-replan A/B. For every cell it records wall-clock, oracle
+//! `latency_ms` evaluations (via [`netsim::latency::Counted`]) and
+//! candidate-parent relaxations (via [`alm::metrics`]), and asserts the
+//! two engines return **bit-identical** trees wherever both run.
+//!
+//! Results land in `results/BENCH_planner.json`. When a committed
+//! `results/BENCH_planner_baseline.json` exists, each cell's wall-clock is
+//! compared against it; a cell slower than `2×` baseline is a regression.
+//! Regressions fail the run only when `PERF_PLANNER_ENFORCE` is set (CI),
+//! so a local run on a slower machine just prints the table.
+//!
+//! Env knobs:
+//! * `PERF_PLANNER_SMOKE` — cap the sweep at N ≤ 1024 (the CI slice);
+//! * `PERF_PLANNER_ENFORCE` — fail on >2× wall-clock regressions vs the
+//!   committed baseline.
+//!
+//! Run with: `cargo run --release -p bench --bin perf_planner`
+
+use std::time::Instant;
+
+use alm::metrics::{relaxations, reset_relaxations};
+use alm::{
+    adjust, amcast, amcast_reference, critical, critical_reference, HelperPool, MulticastTree,
+    Problem,
+};
+use bench::{dump_json, results_dir};
+use coords::{Coord, CoordStore, DenseCoords};
+use netsim::latency::{latency_calls, reset_latency_calls, Counted};
+use netsim::{CachedLatency, HostId, Network, NetworkConfig};
+use pool::{MarketConfig, MarketSim, PoolConfig, ResourcePool};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use simcore::{FaultPlan, SimTime};
+
+const SIZES: [usize; 7] = [256, 512, 1024, 2048, 4096, 8192, 16384];
+const SMOKE_CAP: usize = 1024;
+/// Largest N the reference engines are run at — beyond this only the
+/// incremental engine is timed (the reference would dominate the harness).
+const REF_CAP: usize = 4096;
+const SEED: u64 = 2024;
+
+/// One timed engine invocation: wall-clock plus both hot-path counters.
+struct Cell {
+    wall_ms: f64,
+    latency_calls: u64,
+    relaxations: u64,
+    tree: MulticastTree,
+}
+
+fn timed(run: impl FnOnce() -> MulticastTree) -> Cell {
+    reset_latency_calls();
+    reset_relaxations();
+    let t0 = Instant::now();
+    let tree = run();
+    Cell {
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        latency_calls: latency_calls(),
+        relaxations: relaxations(),
+        tree,
+    }
+}
+
+fn cell_json(c: &Cell) -> serde_json::Value {
+    json!({
+        "wall_ms": c.wall_ms,
+        "latency_calls": c.latency_calls,
+        "relaxations": c.relaxations,
+        "height_ms": c.tree.max_height(),
+    })
+}
+
+/// Bit-level tree equality: same host order, same parents, same height
+/// bits — the equivalence contract of the incremental engine.
+fn assert_identical(label: &str, inc: &MulticastTree, reference: &MulticastTree) {
+    assert_eq!(
+        inc.hosts(),
+        reference.hosts(),
+        "{label}: host order differs"
+    );
+    for &h in inc.hosts() {
+        assert_eq!(
+            inc.parent_of(h),
+            reference.parent_of(h),
+            "{label}: parent of {h:?} differs"
+        );
+        assert_eq!(
+            inc.height_of(h).to_bits(),
+            reference.height_of(h).to_bits(),
+            "{label}: height of {h:?} differs"
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("PERF_PLANNER_SMOKE").is_ok();
+    let enforce = std::env::var("PERF_PLANNER_ENFORCE").is_ok();
+    let sizes: Vec<usize> = SIZES
+        .iter()
+        .copied()
+        .filter(|&n| !smoke || n <= SMOKE_CAP)
+        .collect();
+
+    println!(
+        "planner perf sweep (smoke={smoke}): N = {sizes:?}, reference engines up to N = {REF_CAP}\n\
+         {:>6} {:>9} | {:>10} {:>10} {:>8} | {:>12} {:>12} | {:>12} {:>12}",
+        "N", "engine", "inc ms", "ref ms", "speedup", "inc relax", "ref relax", "inc lat", "ref lat"
+    );
+
+    let mut rows = Vec::new();
+    let mut speedup_4096_critical = None;
+    for &n in &sizes {
+        // A transit–stub underlay scaled to N end hosts. The router core
+        // stays at the paper's 600 routers; only host attachment grows, so
+        // the restricted-Dijkstra matrix build stays cheap.
+        let net = Network::generate(
+            &NetworkConfig {
+                num_hosts: n,
+                ..NetworkConfig::default()
+            },
+            SEED,
+        );
+        let oracle = Counted(CachedLatency::from_matrix(&net.latency));
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(SEED ^ n as u64);
+        let mut all: Vec<u32> = (0..n as u32).collect();
+        all.shuffle(&mut rng);
+        let members: Vec<HostId> = all[..n / 2].iter().copied().map(HostId).collect();
+        let root = members[0];
+        let candidates: Vec<HostId> = all[n / 2..].iter().copied().map(HostId).collect();
+        let dbound = |h: HostId| net.hosts.degree_bound(h);
+        let p = Problem::new(root, members.clone(), &oracle, dbound);
+        let mut hp = HelperPool::new(candidates);
+        hp.min_degree = 4;
+        hp.radius_ms = 100.0;
+
+        let mut engine_cells = Vec::new();
+        for engine in ["amcast", "critical"] {
+            let inc = timed(|| match engine {
+                "amcast" => amcast(&p),
+                _ => critical(&p, &hp),
+            });
+            let reference = (n <= REF_CAP).then(|| {
+                let c = timed(|| match engine {
+                    "amcast" => amcast_reference(&p),
+                    _ => critical_reference(&p, &hp),
+                });
+                assert_identical(&format!("N={n} {engine}"), &inc.tree, &c.tree);
+                // Never more work than the reference; strictly fewer is
+                // asserted (under richer degree bounds) by the alm crate's
+                // equivalence tests — with the paper's degree distribution
+                // most nodes are leaves, so at small N the prunes can have
+                // nothing to skip and the counts legitimately tie.
+                assert!(
+                    inc.relaxations <= c.relaxations,
+                    "N={n} {engine}: incremental did {} relaxations, reference {}",
+                    inc.relaxations,
+                    c.relaxations
+                );
+                c
+            });
+            let speedup = reference
+                .as_ref()
+                .map(|r| r.wall_ms / inc.wall_ms.max(1e-9));
+            if n == 4096 && engine == "critical" {
+                speedup_4096_critical = speedup;
+            }
+            println!(
+                "{:>6} {:>9} | {:>10.2} {:>10} {:>8} | {:>12} {:>12} | {:>12} {:>12}",
+                n,
+                engine,
+                inc.wall_ms,
+                reference
+                    .as_ref()
+                    .map_or("-".into(), |r| format!("{:.2}", r.wall_ms)),
+                speedup.map_or("-".into(), |s| format!("{s:.1}x")),
+                inc.relaxations,
+                reference
+                    .as_ref()
+                    .map_or("-".into(), |r| r.relaxations.to_string()),
+                inc.latency_calls,
+                reference
+                    .as_ref()
+                    .map_or("-".into(), |r| r.latency_calls.to_string()),
+            );
+            engine_cells.push(json!({
+                "incremental": cell_json(&inc),
+                "reference": reference.as_ref().map(cell_json),
+                "speedup": speedup,
+                "identical": reference.is_some(),
+            }));
+        }
+
+        // The adjustment pass over the incremental amcast tree.
+        let mut t = amcast(&p);
+        reset_latency_calls();
+        let t0 = Instant::now();
+        adjust(&p, &mut t);
+        let adjust_cell = json!({
+            "wall_ms": t0.elapsed().as_secs_f64() * 1e3,
+            "latency_calls": latency_calls(),
+        });
+
+        // The coordinate kernel: the same amcast plan driven by the
+        // AoS CoordStore vs its SoA snapshot (DenseCoords). Not
+        // bit-compared — DenseCoords rounds to f32 by design.
+        let mut coords_cell = serde_json::Value::Null;
+        if n <= REF_CAP {
+            let dim = coords::space::DEFAULT_DIM;
+            let store = CoordStore::from_coords(
+                (0..n)
+                    .map(|i| {
+                        let mut r = rand::rngs::StdRng::seed_from_u64(SEED ^ (i as u64) << 17);
+                        Coord::from_slice(
+                            &(0..dim)
+                                .map(|_| r.random_range(-150.0..150.0))
+                                .collect::<Vec<f64>>(),
+                        )
+                    })
+                    .collect(),
+            );
+            let dense = DenseCoords::from_store(&store);
+            let pc = Problem::new(root, members.clone(), &store, dbound);
+            let t0 = Instant::now();
+            let th_aos = amcast(&pc).max_height();
+            let aos_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let pd = Problem::new(root, members.clone(), &dense, dbound);
+            let t0 = Instant::now();
+            let th_soa = amcast(&pd).max_height();
+            let soa_ms = t0.elapsed().as_secs_f64() * 1e3;
+            coords_cell = json!({
+                "aos_ms": aos_ms,
+                "soa_ms": soa_ms,
+                "aos_height_ms": th_aos,
+                "soa_height_ms": th_soa,
+            });
+        }
+        rows.push(json!({
+            "n": n,
+            "members": n / 2,
+            "amcast": engine_cells[0],
+            "critical": engine_cells[1],
+            "adjust": adjust_cell,
+            "coords_kernel": coords_cell,
+        }));
+    }
+
+    if let Some(s) = speedup_4096_critical {
+        println!("\ncritical-node planning speedup at N=4096: {s:.1}x");
+        assert!(
+            s >= 5.0,
+            "acceptance: critical planning at N=4096 must be ≥5x over the reference (got {s:.2}x)"
+        );
+    }
+
+    // Market crash-replan A/B: the fig-10 pool under a 10% crash plan,
+    // timed end-to-end in both replan modes.
+    println!("\nmarket crash-replan A/B (1200-host pool, 10% crashes):");
+    let pristine = ResourcePool::build(&PoolConfig::default(), 2010);
+    let faults = crash_plan(0.10, pristine.net.num_hosts(), 2010);
+    let mut market_cells = Vec::new();
+    for full in [false, true] {
+        let mode = if full { "full_replan" } else { "incremental" };
+        let cfg = MarketConfig {
+            faults: faults.clone(),
+            full_crash_replan: full,
+            ..MarketConfig::default()
+        };
+        let t0 = Instant::now();
+        let out = MarketSim::new(pristine.clone(), cfg, 2010 + 20).run();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.leaked_degrees, 0, "{mode}: leaked degrees");
+        assert!(out.audit.is_clean(), "{mode}: {:?}", out.audit.violations);
+        println!(
+            "  {mode:>12}: {wall_ms:>8.1} ms, {} plans, {} repairs, {} re-syncs",
+            out.plans, out.crash_repairs, out.incremental_replans
+        );
+        market_cells.push(json!({
+            "wall_ms": wall_ms,
+            "plans": out.plans,
+            "crash_repairs": out.crash_repairs,
+            "incremental_replans": out.incremental_replans,
+            "resync_fallbacks": out.resync_fallbacks,
+        }));
+    }
+
+    let result = json!({
+        "bench": "perf_planner",
+        "smoke": smoke,
+        "sizes": sizes,
+        "ref_cap": REF_CAP,
+        "rows": rows,
+        "market_replan": {
+            "incremental": market_cells[0],
+            "full_replan": market_cells[1],
+        },
+    });
+    dump_json("BENCH_planner", &result);
+    compare_to_baseline(&result, enforce);
+}
+
+/// Crash `rate` of the hosts permanently at staggered mid-run times
+/// (mirrors `ext_market_faults`).
+fn crash_plan(rate: f64, num_hosts: usize, seed: u64) -> FaultPlan {
+    let n = (num_hosts as f64 * rate).round() as usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut hosts: Vec<usize> = (0..num_hosts).collect();
+    hosts.shuffle(&mut rng);
+    let mut plan = FaultPlan::none();
+    for &h in hosts.iter().take(n) {
+        let at = rng.random_range(600..2700u64);
+        plan = plan.crash_forever(h as u64, SimTime::from_secs(at));
+    }
+    plan
+}
+
+/// Compare every incremental-engine cell's wall-clock against the
+/// committed baseline; >2× is a regression. Cells absent from either side
+/// (e.g. smoke runs only cover N ≤ 1024) are skipped.
+fn compare_to_baseline(current: &serde_json::Value, enforce: bool) {
+    let path = results_dir().join("BENCH_planner_baseline.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        println!(
+            "[no committed baseline at {} — skipping comparison]",
+            path.display()
+        );
+        assert!(
+            !enforce,
+            "PERF_PLANNER_ENFORCE set but no baseline committed"
+        );
+        return;
+    };
+    let baseline: serde_json::Value = serde_json::from_str(&text).expect("baseline parse");
+    let wall = |v: &serde_json::Value, n: u64, path: &[&str]| -> Option<f64> {
+        let row = v
+            .get("rows")?
+            .as_array()?
+            .iter()
+            .find(|r| r.get("n").and_then(|x| x.as_u64()) == Some(n))?;
+        let mut cur = row;
+        for k in path {
+            cur = cur.get(k)?;
+        }
+        cur.as_f64()
+    };
+    let mut regressions = Vec::new();
+    let mut compared = 0;
+    for row in current.get("rows").and_then(|r| r.as_array()).unwrap() {
+        let n = row.get("n").and_then(|x| x.as_u64()).unwrap();
+        for engine in ["amcast", "critical"] {
+            let path = [engine, "incremental", "wall_ms"];
+            let Some(cur) = wall(current, n, &path) else {
+                continue;
+            };
+            let Some(base) = wall(&baseline, n, &path) else {
+                continue;
+            };
+            compared += 1;
+            let ratio = cur / base.max(1e-9);
+            if ratio > 2.0 {
+                regressions.push(format!(
+                    "N={n} {engine}: {cur:.2} ms vs baseline {base:.2} ms ({ratio:.2}x)"
+                ));
+            }
+        }
+    }
+    if regressions.is_empty() {
+        println!("[baseline comparison: {compared} cells within 2x]");
+    } else {
+        println!("[baseline comparison: REGRESSIONS]");
+        for r in &regressions {
+            println!("  {r}");
+        }
+        assert!(
+            !enforce,
+            "wall-clock regressions vs committed baseline:\n{}",
+            regressions.join("\n")
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! `f32` structure-of-arrays fast path for coordinate distance evaluation.
+//!
+//! [`CoordStore`] keeps full-precision `f64` coordinates in an
+//! array-of-structs layout (each [`Coord`](crate::Coord) carries a fixed
+//! 8-wide buffer regardless of the embedding dimension). That is the right
+//! representation while coordinates are being *solved*, but planner inner
+//! loops only ever evaluate distances, and there the layout wastes memory
+//! bandwidth: a 5-dimensional store streams 128 bytes per coordinate instead
+//! of 20.
+//!
+//! [`DenseCoords`] snapshots a store into `dim` contiguous `f32` component
+//! planes. Distance evaluation reads `dim` lanes per host and runs entirely
+//! in `f32`.
+//!
+//! **Precision:** this is an opt-in approximation, *not* value-identical to
+//! the source store — components are rounded to `f32` once and the
+//! arithmetic is `f32` (see the [`LatencyModel`] precision contract). The
+//! determinism-anchored pipelines (`staged_plan`, the fig8/fig10 benches)
+//! must keep using [`CoordStore`] directly; `DenseCoords` exists for
+//! throughput studies such as the `perf_planner` sweep.
+
+use netsim::{HostId, LatencyModel};
+
+use crate::space::CoordStore;
+
+/// An `f32` SoA snapshot of a [`CoordStore`], usable as a [`LatencyModel`].
+#[derive(Clone, Debug)]
+pub struct DenseCoords {
+    n: usize,
+    dim: usize,
+    /// Component plane `k` holds host `i`'s `k`-th component at `k * n + i`.
+    comps: Vec<f32>,
+}
+
+impl DenseCoords {
+    /// Snapshot `store` (rounds every component to `f32` once).
+    pub fn from_store(store: &CoordStore) -> DenseCoords {
+        let n = store.num_hosts();
+        let dim = store.coords().first().map_or(0, |c| c.dim());
+        let mut comps = vec![0f32; dim * n];
+        for (i, c) in store.coords().iter().enumerate() {
+            assert_eq!(c.dim(), dim, "mixed embedding dimensions");
+            for (k, &x) in c.as_slice().iter().enumerate() {
+                comps[k * n + i] = x as f32;
+            }
+        }
+        DenseCoords { n, dim, comps }
+    }
+
+    /// Embedding dimension of the snapshot.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl LatencyModel for DenseCoords {
+    #[inline]
+    fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        debug_assert!(a.idx() < self.n && b.idx() < self.n, "host out of range");
+        let mut s = 0f32;
+        for k in 0..self.dim {
+            let base = k * self.n;
+            // SAFETY: `base + idx < dim * n`, the length of `comps`; ids are
+            // below `num_hosts` by the model contract (debug-asserted above).
+            let d = unsafe {
+                self.comps.get_unchecked(base + a.idx()) - self.comps.get_unchecked(base + b.idx())
+            };
+            s += d * d;
+        }
+        f64::from(s.sqrt())
+    }
+
+    #[inline]
+    fn num_hosts(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Coord;
+
+    #[test]
+    fn matches_store_within_f32_rounding() {
+        let mut store = CoordStore::zeros(8, 5);
+        for i in 0..8u32 {
+            let v: Vec<f64> = (0..5)
+                .map(|k| (i as f64 + 0.1) * (k as f64 - 2.0))
+                .collect();
+            store.set(HostId(i), Coord::from_slice(&v));
+        }
+        let dense = DenseCoords::from_store(&store);
+        assert_eq!(dense.num_hosts(), 8);
+        assert_eq!(dense.dim(), 5);
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let exact = store.latency_ms(HostId(a), HostId(b));
+                let fast = dense.latency_ms(HostId(a), HostId(b));
+                let tol = 1e-5 * exact.abs().max(1.0);
+                assert!((exact - fast).abs() <= tol, "{exact} vs {fast}");
+            }
+        }
+        assert_eq!(dense.latency_ms(HostId(3), HostId(3)), 0.0);
+    }
+
+    #[test]
+    fn empty_store_is_fine() {
+        let dense = DenseCoords::from_store(&CoordStore::zeros(0, 1));
+        assert_eq!(dense.num_hosts(), 0);
+    }
+}

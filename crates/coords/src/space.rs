@@ -44,8 +44,12 @@ impl Coord {
     }
 
     /// The coordinate components.
+    #[inline]
     pub fn as_slice(&self) -> &[f64] {
-        &self.v[..self.dim as usize]
+        let d = (self.dim as usize).min(MAX_DIM);
+        debug_assert_eq!(d, self.dim as usize, "dim exceeds MAX_DIM");
+        // SAFETY: `d <= MAX_DIM`, the fixed length of `v`.
+        unsafe { self.v.get_unchecked(..d) }
     }
 
     /// Mutable components.
@@ -55,12 +59,16 @@ impl Coord {
 
     /// Euclidean distance to another coordinate (this *is* the latency
     /// prediction, in ms).
+    #[inline]
     pub fn distance(&self, other: &Coord) -> f64 {
         debug_assert_eq!(self.dim, other.dim);
+        let d = (self.dim as usize).min(MAX_DIM);
+        debug_assert_eq!(d, self.dim as usize, "dim exceeds MAX_DIM");
         let mut s = 0.0;
-        for i in 0..self.dim as usize {
-            let d = self.v[i] - other.v[i];
-            s += d * d;
+        for i in 0..d {
+            // SAFETY: `i < d <= MAX_DIM`, the fixed length of `v`.
+            let diff = unsafe { self.v.get_unchecked(i) - other.v.get_unchecked(i) };
+            s += diff * diff;
         }
         s.sqrt()
     }
@@ -104,6 +112,7 @@ impl CoordStore {
 }
 
 impl LatencyModel for CoordStore {
+    #[inline]
     fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
         if a == b {
             0.0
@@ -112,6 +121,7 @@ impl LatencyModel for CoordStore {
         }
     }
 
+    #[inline]
     fn num_hosts(&self) -> usize {
         self.coords.len()
     }

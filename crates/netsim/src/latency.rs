@@ -8,13 +8,33 @@
 //! * *Leafset* — latency predicted from network coordinates (the `coords`
 //!   crate implements `LatencyModel` for its coordinate store).
 
+use std::sync::Arc;
+
 use crate::hosts::{HostId, HostSet};
 use crate::topology::RouterNet;
 
 /// Anything that can estimate the latency between two end hosts.
 ///
-/// Implementations must be symmetric (`latency(a, b) == latency(b, a)`) and
-/// return `0` for `a == b`; the provided algorithms rely on both.
+/// Implementations must be symmetric (`latency(a, b) == latency(b, a)`),
+/// return `0` for `a == b`, and never return a negative or NaN value; the
+/// provided algorithms rely on all three (the planners' relaxation pruning
+/// in particular assumes `latency >= 0`, so a negative estimate would
+/// silently change results rather than error).
+///
+/// # Precision contract
+///
+/// Implementations may carry either `f32`- or `f64`-precision values:
+///
+/// * [`LatencyMatrix`] quantizes once, at build time, to `f32`. Its
+///   `latency_ms` widens `f32 → f64`, which is exact (every `f32` is
+///   representable as an `f64`), so snapshotting a matrix-backed model into
+///   another `f32` store ([`CachedLatency::from_matrix`]) is value-identical
+///   and zero-copy — there is no repeated `f64 → f32 → f64` round-trip per
+///   call site.
+/// * Genuine `f64` models (e.g. coordinate stores) keep full precision.
+///   Snapshotting one with [`CachedLatency::snapshot`] rounds each pair to
+///   `f32` exactly once; callers that require bit-identical outputs against
+///   the original model must keep using the original model.
 pub trait LatencyModel {
     /// Latency estimate between hosts `a` and `b`, in milliseconds.
     fn latency_ms(&self, a: HostId, b: HostId) -> f64;
@@ -34,35 +54,48 @@ impl<T: LatencyModel + ?Sized> LatencyModel for &T {
 
 /// Exact all-pairs host latencies: last-hop + shortest router path +
 /// last-hop. Stored as a dense `n × n` matrix of `f32` ms (1200 hosts → 5.8
-/// MB), built from one Dijkstra per router.
+/// MB), built from one Dijkstra per *host-attached* router. The storage is
+/// shared (`Arc`), so cloning a matrix — or a whole network/pool that embeds
+/// one — is O(1).
 #[derive(Clone)]
 pub struct LatencyMatrix {
     n: usize,
     /// Row-major `n*n` distances in ms.
-    dist: Vec<f32>,
+    dist: Arc<[f32]>,
 }
 
 impl LatencyMatrix {
     /// Build the oracle for all hosts of a network.
+    ///
+    /// Only routers that actually host endpoints are Dijkstra sources:
+    /// hosts attach to stub routers, so transit routers (and any stub router
+    /// without endpoints) never need a distance row of their own.
     pub fn build(net: &RouterNet, hosts: &HostSet) -> LatencyMatrix {
         let n = hosts.len();
-        // All-pairs router distances — only rows for routers that actually
-        // host endpoints would suffice, but the full matrix is cheap (600²)
-        // and reusable.
-        let rd = net.graph.all_pairs();
+        let mut srcs: Vec<u32> = hosts.iter().map(|(_, h)| h.router.0).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        let mut row_of = vec![usize::MAX; net.graph.len()];
+        for (i, &r) in srcs.iter().enumerate() {
+            row_of[r as usize] = i;
+        }
+        let rd: Vec<Vec<f32>> = srcs.iter().map(|&r| net.graph.dijkstra(r)).collect();
         let mut dist = vec![0f32; n * n];
         for (a, ha) in hosts.iter() {
             for (b, hb) in hosts.iter() {
                 if a == b {
                     continue;
                 }
-                let router_d = rd[ha.router.0 as usize][hb.router.0 as usize];
+                let router_d = rd[row_of[ha.router.0 as usize]][hb.router.0 as usize];
                 debug_assert!(router_d.is_finite(), "disconnected routers");
                 dist[a.idx() * n + b.idx()] =
                     (ha.last_hop_ms + router_d as f64 + hb.last_hop_ms) as f32;
             }
         }
-        LatencyMatrix { n, dist }
+        LatencyMatrix {
+            n,
+            dist: dist.into(),
+        }
     }
 
     /// The largest pairwise latency in the matrix (diameter), ms.
@@ -72,12 +105,121 @@ impl LatencyMatrix {
 }
 
 impl LatencyModel for LatencyMatrix {
+    #[inline]
     fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
-        self.dist[a.idx() * self.n + b.idx()] as f64
+        let i = a.idx() * self.n + b.idx();
+        debug_assert!(i < self.dist.len(), "host id out of matrix range");
+        // SAFETY: ids come from the host set the matrix was built over
+        // (`idx() < n`); debug builds assert the bound.
+        f64::from(unsafe { *self.dist.get_unchecked(i) })
     }
 
+    #[inline]
     fn num_hosts(&self) -> usize {
         self.n
+    }
+}
+
+/// A dense, monomorphized latency kernel: any [`LatencyModel`] snapshotted
+/// into a row-major `f32` matrix so planner inner loops pay one array load
+/// per pair instead of whatever the source model computes.
+///
+/// Two constructions with different precision guarantees (see the
+/// [`LatencyModel`] precision contract):
+///
+/// * [`CachedLatency::from_matrix`] shares a [`LatencyMatrix`]'s storage —
+///   zero-copy, value-identical, safe wherever bit-reproducibility matters.
+/// * [`CachedLatency::snapshot`] evaluates an arbitrary model once per pair
+///   and rounds to `f32` — a fast approximation of `f64` models, *not*
+///   value-identical to them.
+#[derive(Clone)]
+pub struct CachedLatency {
+    n: usize,
+    dist: Arc<[f32]>,
+}
+
+impl CachedLatency {
+    /// Share a matrix's storage without copying. Value-identical to the
+    /// source: the matrix already stores `f32`, and widening is exact.
+    pub fn from_matrix(m: &LatencyMatrix) -> CachedLatency {
+        CachedLatency {
+            n: m.n,
+            dist: Arc::clone(&m.dist),
+        }
+    }
+
+    /// Evaluate `model` for every ordered pair and store the results as
+    /// `f32`. O(n²) calls, done once; quantizes genuine `f64` models.
+    pub fn snapshot<L: LatencyModel + ?Sized>(model: &L) -> CachedLatency {
+        let n = model.num_hosts();
+        let mut dist = vec![0f32; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    dist[a * n + b] = model.latency_ms(HostId(a as u32), HostId(b as u32)) as f32;
+                }
+            }
+        }
+        CachedLatency {
+            n,
+            dist: dist.into(),
+        }
+    }
+}
+
+impl From<&LatencyMatrix> for CachedLatency {
+    fn from(m: &LatencyMatrix) -> CachedLatency {
+        CachedLatency::from_matrix(m)
+    }
+}
+
+impl LatencyModel for CachedLatency {
+    #[inline]
+    fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+        let i = a.idx() * self.n + b.idx();
+        debug_assert!(i < self.dist.len(), "host id out of matrix range");
+        // SAFETY: ids are below `num_hosts` by the model contract; debug
+        // builds assert the bound.
+        f64::from(unsafe { *self.dist.get_unchecked(i) })
+    }
+
+    #[inline]
+    fn num_hosts(&self) -> usize {
+        self.n
+    }
+}
+
+thread_local! {
+    static LATENCY_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Zero the current thread's [`Counted`] call counter.
+pub fn reset_latency_calls() {
+    LATENCY_CALLS.with(|c| c.set(0));
+}
+
+/// `latency_ms` evaluations made through [`Counted`] on this thread since
+/// the last [`reset_latency_calls`].
+pub fn latency_calls() -> u64 {
+    LATENCY_CALLS.with(|c| c.get())
+}
+
+/// Instrumentation wrapper: forwards to the inner model and counts every
+/// `latency_ms` evaluation in a thread-local tally (the perf harness's
+/// "latency calls" column). Not meant for production paths — the counter
+/// bump is cheap but not free.
+pub struct Counted<L>(pub L);
+
+impl<L: LatencyModel> LatencyModel for Counted<L> {
+    #[inline]
+    fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+        LATENCY_CALLS.with(|c| c.set(c.get() + 1));
+        self.0.latency_ms(a, b)
+    }
+
+    #[inline]
+    fn num_hosts(&self) -> usize {
+        self.0.num_hosts()
     }
 }
 
@@ -228,6 +370,80 @@ mod tests {
         assert_eq!(m.latency_ms(HostId(0), HostId(5)), 7.0);
         assert_eq!(m.latency_ms(HostId(5), HostId(6)), 7.0);
         assert_eq!(m.num_hosts(), 10);
+    }
+
+    #[test]
+    fn restricted_dijkstra_matches_full_all_pairs_build() {
+        // Satellite check: sourcing Dijkstra only from host-attached routers
+        // must produce exactly the matrix the old every-router build did.
+        let (net, hosts) = small();
+        let m = LatencyMatrix::build(&net, &hosts);
+        let rd = net.graph.all_pairs();
+        let n = hosts.len();
+        let mut full = vec![0f32; n * n];
+        for (a, ha) in hosts.iter() {
+            for (b, hb) in hosts.iter() {
+                if a == b {
+                    continue;
+                }
+                let router_d = rd[ha.router.0 as usize][hb.router.0 as usize];
+                full[a.idx() * n + b.idx()] =
+                    (ha.last_hop_ms + router_d as f64 + hb.last_hop_ms) as f32;
+            }
+        }
+        for a in hosts.ids() {
+            for b in hosts.ids() {
+                assert_eq!(m.latency_ms(a, b), f64::from(full[a.idx() * n + b.idx()]));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_from_matrix_is_value_identical_and_zero_copy() {
+        let (net, hosts) = small();
+        let m = LatencyMatrix::build(&net, &hosts);
+        let c = CachedLatency::from_matrix(&m);
+        assert_eq!(c.num_hosts(), m.num_hosts());
+        for a in hosts.ids() {
+            for b in hosts.ids() {
+                // Bit-identical, not merely close: the storage is shared.
+                assert_eq!(c.latency_ms(a, b).to_bits(), m.latency_ms(a, b).to_bits());
+            }
+        }
+        assert!(Arc::ptr_eq(&c.dist, &m.dist));
+    }
+
+    #[test]
+    fn snapshot_quantizes_f64_models_once() {
+        struct Pi;
+        impl LatencyModel for Pi {
+            fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+                if a == b {
+                    0.0
+                } else {
+                    std::f64::consts::PI
+                }
+            }
+            fn num_hosts(&self) -> usize {
+                4
+            }
+        }
+        let c = CachedLatency::snapshot(&Pi);
+        let want = f64::from(std::f64::consts::PI as f32);
+        assert_eq!(c.latency_ms(HostId(0), HostId(3)), want);
+        assert_eq!(c.latency_ms(HostId(2), HostId(2)), 0.0);
+    }
+
+    #[test]
+    fn counted_wrapper_tallies_calls() {
+        let (net, hosts) = small();
+        let m = Counted(LatencyMatrix::build(&net, &hosts));
+        reset_latency_calls();
+        let _ = m.latency_ms(HostId(0), HostId(1));
+        let _ = m.latency_ms(HostId(1), HostId(2));
+        assert_eq!(latency_calls(), 2);
+        reset_latency_calls();
+        assert_eq!(latency_calls(), 0);
     }
 
     #[test]

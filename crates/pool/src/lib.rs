@@ -176,6 +176,18 @@ impl ResourcePool {
         self.net.num_hosts()
     }
 
+    /// The oracle latency kernel as a dense [`netsim::CachedLatency`]
+    /// snapshot. Built with [`netsim::CachedLatency::from_matrix`], it
+    /// shares the pool's [`netsim::LatencyMatrix`] storage — the call is
+    /// O(1) and the returned model is **value-identical** to
+    /// `self.net.latency` (bit-for-bit, see the `netsim::latency`
+    /// precision contract), so planners may use either interchangeably.
+    /// The task manager and the market's crash repair plan against this
+    /// handle to stay on the inlined fast path without borrowing the pool.
+    pub fn cached_latency(&self) -> netsim::CachedLatency {
+        netsim::CachedLatency::from_matrix(&self.net.latency)
+    }
+
     /// The degree table of a host.
     pub fn table(&self, h: HostId) -> &DegreeTable {
         &self.tables[h.idx()]

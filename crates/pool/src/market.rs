@@ -32,10 +32,18 @@
 //!   horizon;
 //! * a crashed **helper** is detected by its owning task manager (the
 //!   missed renewal ack, modeled as [`MarketConfig::detect_delay`]), which
-//!   releases the stranded claim, patches the tree with the bounded-retry
-//!   capped-backoff repair from [`alm::dynamic::reattach_orphans`], and
-//!   then replans fully once the repair's backoff-dominated duration has
-//!   elapsed;
+//!   releases the stranded claim and patches the tree with the
+//!   bounded-retry capped-backoff repair from
+//!   [`alm::dynamic::reattach_orphans`]. By default the repair is the
+//!   whole response: the manager re-syncs its reservations to the repaired
+//!   tree **incrementally** (only the orphaned subtrees moved, so only
+//!   their attachment degrees change) and keeps running. Setting
+//!   [`MarketConfig::full_crash_replan`] restores the legacy behaviour —
+//!   schedule a *full* replan once the repair's backoff-dominated duration
+//!   has elapsed — as the A/B baseline the incremental path is measured
+//!   against. If the incremental re-sync cannot reserve the repaired tree
+//!   (capacity moved while the repair ran), it falls back to exactly that
+//!   full replan;
 //! * a crashed **root** triggers deterministic task-manager failover: the
 //!   lowest-ID surviving member becomes the deputy, reconstructs the
 //!   session's holdings from the SOMO-published degree tables (the pool's
@@ -131,6 +139,11 @@ pub struct MarketConfig {
     /// Bounded-retry/capped-backoff tuning for the mid-session crash
     /// repair.
     pub reattach: ReattachConfig,
+    /// Force the legacy full replan after every crash repair instead of
+    /// the incremental holdings re-sync. The zero-fault trajectory is
+    /// identical either way (no crash ever fires the repair); under
+    /// faults this is the A/B switch `ext_market_faults` sweeps.
+    pub full_crash_replan: bool,
     /// Sampling period of the invariant auditor; `None` disables auditing.
     pub audit_period: Option<SimTime>,
 }
@@ -154,6 +167,7 @@ impl Default for MarketConfig {
             failover_delay: SimTime::from_secs(30),
             failover: true,
             reattach: ReattachConfig::default(),
+            full_crash_replan: false,
             audit_period: Some(SimTime::from_secs(60)),
         }
     }
@@ -196,6 +210,13 @@ pub struct MarketOutcome {
     pub crash_repair_retries: u64,
     /// Orphan subtrees abandoned after the retry budget.
     pub crash_repair_gave_up: u64,
+    /// Crash repairs resolved by the incremental holdings re-sync — no
+    /// full replan ran (always 0 with
+    /// [`MarketConfig::full_crash_replan`]).
+    pub incremental_replans: u64,
+    /// Incremental re-syncs that could not reserve the repaired tree and
+    /// fell back to the legacy full replan.
+    pub resync_fallbacks: u64,
     /// Degrees returned to the pool by lease expiry — the leakage a dead
     /// task manager would otherwise have caused.
     pub lapsed_lease_degrees: u64,
@@ -568,22 +589,81 @@ impl MarketSim {
         }
         // Patch the broken tree in place: each orphaned subtree re-attaches
         // with bounded retries and capped exponential backoff (the PR 1
-        // recovery machinery), so the session keeps flowing while the full
-        // replan waits for the repair to settle.
+        // recovery machinery), so the session keeps flowing.
+        let oracle = self.pool.cached_latency();
         let net = &self.pool.net;
-        let p = Problem::new(spec.root, spec.members.clone(), &net.latency, |x| {
+        let p = Problem::new(spec.root, spec.members.clone(), &oracle, |x| {
             net.hosts.degree_bound(x)
         });
         let (repaired, report) = reattach_orphans(&p, &tree, &dead, &self.cfg.reattach);
         self.outcome.crash_repairs += 1;
         self.outcome.crash_repair_retries += report.retries;
         self.outcome.crash_repair_gave_up += report.gave_up as u64;
-        self.slots[i].tree = Some(repaired);
+        self.slots[i].tree = Some(repaired.clone());
+        // Incremental mode: the repaired tree *is* the new plan — only the
+        // orphaned subtrees moved, so re-syncing the reservations to it is
+        // the whole response; no full replan runs. A repair that abandoned
+        // a subtree, or a re-sync refused because capacity moved while the
+        // repair ran, falls back to the legacy full-replan schedule.
+        if !self.cfg.full_crash_replan {
+            if report.gave_up == 0 && self.resync_holdings(i, &repaired, now) {
+                self.outcome.incremental_replans += 1;
+                return;
+            }
+            self.outcome.resync_fallbacks += 1;
+        }
         if !self.slots[i].replan_pending {
             self.slots[i].replan_pending = true;
             let settle = report.duration.max(SimTime::from_secs(1));
             self.queue.schedule(now + settle, Ev::PreemptReplan(i));
         }
+    }
+
+    /// Re-reserve a session's holdings to mirror `tree` exactly: members
+    /// at member rank, everything else at the session's priority rank,
+    /// leased one TTL out (re-syncing IS renewing, like [`Self::plan`]).
+    /// Returns `false` — with the session's claims released, so the
+    /// fallback full replan starts clean — if any host refuses. Preemption
+    /// victims are notified exactly as [`Self::plan`] notifies them.
+    fn resync_holdings(&mut self, i: usize, tree: &MulticastTree, now: SimTime) -> bool {
+        let spec = self.slots[i].spec.clone();
+        let helper_rank = crate::Rank::helper(spec.priority);
+        let lease = Some(now + self.cfg.lease_ttl);
+        self.pool.release_session(spec.id);
+        let mut preempted: Vec<SessionId> = Vec::new();
+        for &h in tree.hosts() {
+            let rank = if spec.members.contains(&h) {
+                crate::Rank::MEMBER
+            } else {
+                helper_rank
+            };
+            match self
+                .pool
+                .reserve_leased(h, spec.id, rank, tree.degree(h), lease)
+            {
+                Ok(victims) => preempted.extend(victims.into_iter().map(|(s, _)| s)),
+                Err(_) => {
+                    self.pool.release_session(spec.id);
+                    return false;
+                }
+            }
+        }
+        preempted.sort_unstable();
+        preempted.dedup();
+        preempted.retain(|&s| s != spec.id);
+        for victim in preempted {
+            let vi = victim.0 as usize;
+            if self.slots[vi].active && !self.slots[vi].replan_pending {
+                self.slots[vi].replan_pending = true;
+                if now >= self.cfg.warmup {
+                    self.outcome.per_priority[(self.slots[vi].spec.priority - 1) as usize]
+                        .preemptions += 1;
+                }
+                self.queue
+                    .schedule(now + SimTime::from_secs(1), Ev::PreemptReplan(vi));
+            }
+        }
+        true
     }
 
     /// Deputy takeover: the lowest-ID surviving member reconstructs the
@@ -1118,6 +1198,135 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn incremental_resync_handles_crashes_without_full_replans() {
+        // Same workload as the test above, explicitly in the (default)
+        // incremental mode: the repairs must be absorbed by holdings
+        // re-syncs, and the books must still balance at the horizon.
+        let pool = small_pool(21);
+        let seed = 21;
+        let sessions = 9;
+        let member_hosts: std::collections::HashSet<netsim::HostId> = pool
+            .partition_members(sessions, 12, seed)
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut faults = simcore::FaultPlan::none();
+        for h in pool.net.hosts.ids() {
+            if !member_hosts.contains(&h) && h.0 % 4 == 0 {
+                faults = faults.crash_forever(h.0 as u64, SimTime::from_secs(700 + h.0 as u64));
+            }
+        }
+        let cfg = MarketConfig {
+            faults,
+            full_crash_replan: false,
+            ..faulty_cfg(sessions)
+        };
+        let (out, _) = MarketSim::new(pool, cfg, seed).run_full();
+        assert!(out.crash_repairs > 0, "detections never ran the repair");
+        assert!(
+            out.incremental_replans > 0,
+            "no repair was absorbed incrementally"
+        );
+        assert_eq!(
+            out.incremental_replans + out.resync_fallbacks,
+            out.crash_repairs,
+            "every repair must either re-sync or fall back"
+        );
+        assert_eq!(out.leaked_degrees, 0);
+        assert!(out.audit.is_clean(), "audit: {:?}", out.audit.violations);
+    }
+
+    #[test]
+    fn full_crash_replan_flag_disables_the_incremental_path() {
+        let pool = small_pool(21);
+        let seed = 21;
+        let sessions = 9;
+        let member_hosts: std::collections::HashSet<netsim::HostId> = pool
+            .partition_members(sessions, 12, seed)
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut faults = simcore::FaultPlan::none();
+        for h in pool.net.hosts.ids() {
+            if !member_hosts.contains(&h) && h.0 % 4 == 0 {
+                faults = faults.crash_forever(h.0 as u64, SimTime::from_secs(700 + h.0 as u64));
+            }
+        }
+        let cfg = MarketConfig {
+            faults,
+            full_crash_replan: true,
+            ..faulty_cfg(sessions)
+        };
+        let (out, _) = MarketSim::new(pool, cfg, seed).run_full();
+        assert!(out.crash_repairs > 0);
+        assert_eq!(out.incremental_replans, 0, "legacy mode ran a re-sync");
+        assert_eq!(out.resync_fallbacks, 0);
+        assert_eq!(out.leaked_degrees, 0);
+        assert!(out.audit.is_clean(), "audit: {:?}", out.audit.violations);
+    }
+
+    #[test]
+    fn incremental_and_full_replan_converge_for_a_lone_session() {
+        // With a single session there is no contention, and every periodic
+        // replan starts by releasing the session's own holdings — so the
+        // plan depends only on pool liveness, which both modes share. After
+        // the last periodic replan the two trajectories must therefore land
+        // on identical final degree tables, even though the incremental
+        // mode skipped every post-crash full replan in between.
+        let seed = 25;
+        let run = |full: bool| {
+            let pool = small_pool(25);
+            let member_hosts: std::collections::HashSet<netsim::HostId> = pool
+                .partition_members(1, 12, seed)
+                .into_iter()
+                .flatten()
+                .collect();
+            let mut faults = simcore::FaultPlan::none();
+            for h in pool.net.hosts.ids() {
+                if !member_hosts.contains(&h) && h.0 % 3 == 0 {
+                    faults = faults.crash_forever(h.0 as u64, SimTime::from_secs(700 + h.0 as u64));
+                }
+            }
+            let cfg = MarketConfig {
+                faults,
+                full_crash_replan: full,
+                // Keep the lone session active across the whole crash
+                // window, so detections land while it still holds a tree.
+                mean_active: SimTime::from_secs(3600),
+                ..faulty_cfg(1)
+            };
+            MarketSim::new(pool, cfg, seed).run_full()
+        };
+        let (out_inc, pool_inc) = run(false);
+        let (out_full, pool_full) = run(true);
+        assert!(
+            out_inc.incremental_replans > 0,
+            "incremental path never exercised"
+        );
+        assert_eq!(out_full.incremental_replans, 0);
+        for h in pool_inc.net.hosts.ids() {
+            assert_eq!(
+                pool_inc.table(h).held_by(SessionId(0)),
+                pool_full.table(h).held_by(SessionId(0)),
+                "final degree tables diverge on {h:?}"
+            );
+        }
+        assert_eq!(pool_inc.total_used(), pool_full.total_used());
+        assert_eq!(out_inc.leaked_degrees, 0);
+        assert_eq!(out_full.leaked_degrees, 0);
+        assert!(
+            out_inc.audit.is_clean(),
+            "audit: {:?}",
+            out_inc.audit.violations
+        );
+        assert!(
+            out_full.audit.is_clean(),
+            "audit: {:?}",
+            out_full.audit.violations
+        );
     }
 
     #[test]

@@ -283,6 +283,10 @@ fn plan_with_candidates(
     let stale: std::collections::HashMap<HostId, u32> = stale_avail.iter().copied().collect();
     let baseline_height = members_only_baseline(pool, spec);
     let mut helper_failures = 0u32;
+    // Zero-copy snapshot of the oracle kernel: value-identical to
+    // `pool.net.latency`, but owned, so the planning calls below don't
+    // hold a borrow across the mutable reservation loop.
+    let oracle = pool.cached_latency();
 
     const MAX_RETRIES: usize = 5;
     for attempt in 0.. {
@@ -298,7 +302,7 @@ fn plan_with_candidates(
         let avail = |h: HostId| -> u32 { avail_map.get(&h).copied().unwrap_or(0) };
 
         let tree = match cfg.model {
-            PlanModel::Oracle => plan_tree(spec, &pool.net.latency, &avail, &candidates, cfg),
+            PlanModel::Oracle => plan_tree(spec, &oracle, &avail, &candidates, cfg),
             PlanModel::Coords => {
                 // The practical loop: shortlist helpers through
                 // coordinates, measure the contacted ones, replan on
@@ -310,7 +314,7 @@ fn plan_with_candidates(
                 alm::staged_plan(
                     spec.root,
                     &spec.members,
-                    &pool.net.latency,
+                    &oracle,
                     &pool.coords,
                     avail,
                     &hp,
@@ -361,7 +365,7 @@ fn plan_with_candidates(
         preempted.dedup();
         preempted.retain(|&s| s != spec.id);
 
-        let oracle_height = oracle_height(&tree, &pool.net.latency);
+        let oracle_height = oracle_height(&tree, &oracle);
         let helpers = helpers_used(&tree, &spec.members);
         return PlanOutcome {
             improvement: alm::problem::improvement(baseline_height, oracle_height),
@@ -379,8 +383,9 @@ fn plan_with_candidates(
 /// The members-only AMCast baseline: physical degree bounds, oracle
 /// latencies — the denominator of every improvement figure in the paper.
 pub fn members_only_baseline(pool: &ResourcePool, spec: &SessionSpec) -> f64 {
+    let oracle = pool.cached_latency();
     let dbound = |h: HostId| pool.net.hosts.degree_bound(h);
-    let p = Problem::new(spec.root, spec.members.clone(), &pool.net.latency, dbound);
+    let p = Problem::new(spec.root, spec.members.clone(), &oracle, dbound);
     amcast(&p).max_height()
 }
 
