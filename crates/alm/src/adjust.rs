@@ -32,7 +32,7 @@ pub fn adjust<L: LatencyModel, D: Fn(HostId) -> u32>(
 ) -> usize {
     let mut applied = 0;
     for _ in 0..MAX_PASSES {
-        if !try_one_move(p, tree) {
+        if !improve_once(p, tree) {
             break;
         }
         applied += 1;
@@ -40,10 +40,26 @@ pub fn adjust<L: LatencyModel, D: Fn(HostId) -> u32>(
     applied
 }
 
-/// Evaluate all three move families; apply the best improving one.
-fn try_one_move<L: LatencyModel, D: Fn(HostId) -> u32>(
+/// Evaluate all three move families; apply the best improving one. Returns
+/// whether a move was applied. One iteration of [`adjust`]'s loop.
+pub fn improve_once<L: LatencyModel, D: Fn(HostId) -> u32>(
     p: &Problem<L, D>,
     tree: &mut MulticastTree,
+) -> bool {
+    // `total_cmp` orders the candidate heights: identical to `partial_cmp`
+    // for the non-NaN, non-negative sums produced here (the proptest below
+    // pins that), and well-defined instead of panicking if a poisoned
+    // latency model ever leaks a NaN through.
+    improve_once_by(p, tree, f64::total_cmp)
+}
+
+/// [`improve_once`] with the final-pick comparator injected — lets the
+/// proptest run the `total_cmp` path against the historical `partial_cmp`
+/// path on the same inputs.
+fn improve_once_by<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    tree: &mut MulticastTree,
+    cmp: impl Fn(&f64, &f64) -> std::cmp::Ordering,
 ) -> bool {
     let before = tree.max_height();
     if tree.len() < 3 || before <= 0.0 {
@@ -118,7 +134,7 @@ fn try_one_move<L: LatencyModel, D: Fn(HostId) -> u32>(
     ]
     .into_iter()
     .flatten()
-    .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    .min_by(|a, b| cmp(&a.0, &b.0).then(a.1.cmp(&b.1)));
 
     match pick {
         None => false,
@@ -198,6 +214,68 @@ mod tests {
             improved >= runs / 2,
             "adjust improved only {improved}/{runs} trees"
         );
+    }
+
+    /// Symmetric latency matrix over `n` hosts, for the proptest below.
+    struct MatrixModel {
+        n: usize,
+        m: Vec<f64>,
+    }
+    impl LatencyModel for MatrixModel {
+        fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+            if a == b {
+                0.0
+            } else {
+                self.m[a.0 as usize * self.n + b.0 as usize]
+            }
+        }
+        fn num_hosts(&self) -> usize {
+            self.n
+        }
+    }
+
+    fn fingerprint(t: &MulticastTree) -> Vec<(u32, Option<u32>, u64)> {
+        t.hosts()
+            .iter()
+            .map(|&h| (h.0, t.parent_of(h).map(|p| p.0), t.height_of(h).to_bits()))
+            .collect()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        // On NaN-free random problems, the `total_cmp`-based
+        // `improve_once` applies bit-identical moves to the historical
+        // `partial_cmp` path, all the way to convergence.
+        #[test]
+        fn improve_once_matches_partial_cmp_on_nan_free_problems(
+            raw in proptest::collection::vec(1u32..2000, 144..145),
+            dbound in 2u32..5,
+        ) {
+            let n = 12usize;
+            let mut m = vec![0.0; n * n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    // Quantized weights make equal-height ties common.
+                    let v = (raw[i * n + j] as f64) * 0.5;
+                    m[i * n + j] = v;
+                    m[j * n + i] = v;
+                }
+            }
+            let model = MatrixModel { n, m };
+            let members: Vec<HostId> = (0..n as u32).map(HostId).collect();
+            let p = Problem::new(members[0], members, &model, |_| dbound);
+            let mut t_new = amcast(&p);
+            let mut t_old = t_new.clone();
+            for _ in 0..MAX_PASSES {
+                let a = improve_once_by(&p, &mut t_new, f64::total_cmp);
+                let b = improve_once_by(&p, &mut t_old, |x, y| x.partial_cmp(y).unwrap());
+                proptest::prop_assert_eq!(a, b, "one path stopped early");
+                proptest::prop_assert_eq!(fingerprint(&t_new), fingerprint(&t_old));
+                if !a {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

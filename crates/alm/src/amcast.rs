@@ -81,9 +81,9 @@ pub fn amcast_reference<L: LatencyModel, D: Fn(HostId) -> u32>(p: &Problem<L, D>
     greedy_engine_reference(p, &mut NoHelper)
 }
 
-/// Total order on tentative heights (no NaNs — the latency models forbid
-/// them, and the reference engine's `partial_cmp().unwrap()` has always
-/// enforced it).
+/// Total order on tentative heights. `total_cmp` matches `partial_cmp` on
+/// the non-NaN, non-negative heights the engines produce, and stays a valid
+/// total order (instead of panicking) should a poisoned model leak a NaN.
 #[derive(Clone, Copy, PartialEq)]
 struct OrdF64(f64);
 impl Eq for OrdF64 {}
@@ -94,7 +94,7 @@ impl PartialOrd for OrdF64 {
 }
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN height")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -368,7 +368,7 @@ pub(crate) fn greedy_engine_reference<L: LatencyModel, D: Fn(HostId) -> u32>(
             .min_by(|a, b| {
                 let ha = best[a.1].0;
                 let hb = best[b.1].0;
-                ha.partial_cmp(&hb).unwrap().then(a.1.cmp(b.1))
+                ha.total_cmp(&hb).then(a.1.cmp(b.1))
             })
             .expect("pending non-empty");
         let (_, pu) = best[&u];
@@ -451,7 +451,7 @@ fn best_attachment_counted<L: LatencyModel, D: Fn(HostId) -> u32>(
             *scored += 1;
             (tree.height_of(w) + p.latency.latency_ms(w, v), w)
         })
-        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+        .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
 }
 
 #[cfg(test)]

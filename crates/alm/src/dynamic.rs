@@ -102,7 +102,7 @@ pub fn remove_member<L: LatencyModel, D: Fn(HostId) -> u32>(
             .copied()
             .filter(|w| residual.get(w).copied().unwrap_or(0) > 0)
             .map(|w| (rebuilt.height_of(w) + p.latency.latency_ms(w, orphan), w))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
             .ok_or(NoCapacity)?;
         *residual.get_mut(&w).expect("candidate accounted") -= 1;
         rebuilt.attach(orphan, w, p.latency.latency_ms(w, orphan));
@@ -306,7 +306,7 @@ pub fn reattach_orphans<L: LatencyModel, D: Fn(HostId) -> u32>(
                     .copied()
                     .filter(|w| !st.excluded.contains(w) && !soft.contains(w))
                     .map(|w| (p.latency.latency_ms(w, st.orphan), w))
-                    .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+                    .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
                     .map(|(_, w)| w);
                 let Some(w) = pick else {
                     if soft.is_empty() {

@@ -105,13 +105,22 @@ impl MulticastTree {
         self.height.iter().copied().fold(0.0, f64::max)
     }
 
-    /// The host at maximum height (the root for a root-only tree).
+    /// The host at maximum height (the root for a root-only tree). Ties
+    /// pick the last-attached node; `total_cmp` keeps that exact order for
+    /// the non-NaN heights the tree maintains while staying well-defined
+    /// (instead of panicking) if a NaN latency ever poisons a height.
     pub fn highest(&self) -> HostId {
+        self.highest_by(f64::total_cmp)
+    }
+
+    /// [`MulticastTree::highest`] with the comparator injected — lets the
+    /// proptest below pin `total_cmp` against the historical `partial_cmp`.
+    fn highest_by(&self, cmp: impl Fn(&f64, &f64) -> std::cmp::Ordering) -> HostId {
         let (i, _) = self
             .height
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| cmp(a.1, b.1))
             .unwrap();
         self.nodes[i]
     }
@@ -356,6 +365,29 @@ mod tests {
     fn duplicate_attach_panics() {
         let mut t = chain();
         t.attach(HostId(2), HostId(0), 10.0);
+    }
+
+    proptest::proptest! {
+        // For the NaN-free heights a tree actually maintains, the
+        // `total_cmp`-based `highest` picks the exact node the historical
+        // `partial_cmp` path picked (ties included: both take the last
+        // maximal entry).
+        #[test]
+        fn highest_matches_partial_cmp_on_nan_free_trees(
+            spec in proptest::collection::vec((0usize..1000, 0u32..5000), 1..40)
+        ) {
+            let mut t = MulticastTree::new(HostId(0));
+            for (k, (pick, w)) in spec.iter().enumerate() {
+                // Parent chosen among the nodes attached so far; quantized
+                // weights make equal-height ties common.
+                let parent = t.hosts()[pick % t.len()];
+                let child = HostId(k as u32 + 1);
+                t.attach(child, parent, (*w as f64) * 0.5);
+            }
+            let new = t.highest_by(f64::total_cmp);
+            let old = t.highest_by(|a, b| a.partial_cmp(b).unwrap());
+            proptest::prop_assert_eq!(new, old);
+        }
     }
 
     #[test]

@@ -29,9 +29,14 @@
 //! — a lone session's final degree tables converge across modes — is a
 //! unit test in `pool::market`.
 //!
+//! With `--trace-out`, the rate-0.10 incremental run carries a ring tracer
+//! and its structured event trace lands in
+//! `results/ext_market_faults_trace.jsonl` (observation only — all the
+//! asserted gates above are unchanged).
+//!
 //! Run with: `cargo run --release -p bench --bin ext_market_faults`
 
-use bench::{dump_json, results_dir};
+use bench::{dump_json, dump_jsonl, results_dir, trace_out_requested};
 use pool::{MarketConfig, MarketSim, PlanConfig, PoolConfig, ResourcePool};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -74,7 +79,18 @@ fn main() {
             };
             // Same sim seed as the fig10 sessions=20 sweep point, so the
             // rate-0 trajectory is the committed one.
-            let out = MarketSim::new(pool, cfg, seed + SESSIONS as u64).run();
+            let traced = trace_out_requested() && rate == 0.10 && !full_crash_replan;
+            let mut sim = MarketSim::new(pool, cfg, seed + SESSIONS as u64);
+            if traced {
+                sim.set_tracer(simcore::Tracer::ring(1 << 16));
+            }
+            let out = sim.run();
+            if traced {
+                dump_jsonl(
+                    "ext_market_faults_trace",
+                    &simcore::trace::to_json_lines(&out.trace),
+                );
+            }
 
             let imp: Vec<f64> = (1..=3).map(|p| out.class(p).improvement.mean()).collect();
             let help: Vec<f64> = (1..=3).map(|p| out.class(p).helpers.mean()).collect();

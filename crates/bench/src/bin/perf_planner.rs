@@ -21,6 +21,12 @@
 //! * `PERF_PLANNER_ENFORCE` — fail on >2× wall-clock regressions vs the
 //!   committed baseline.
 //!
+//! Flags:
+//! * `--trace-out` — attach a ring tracer to the incremental market A/B
+//!   run and dump its JSON-lines trace to
+//!   `results/BENCH_planner_trace.jsonl` (observation only: the asserted
+//!   results are unchanged).
+//!
 //! Run with: `cargo run --release -p bench --bin perf_planner`
 
 use std::time::Instant;
@@ -30,7 +36,7 @@ use alm::{
     adjust, amcast, amcast_reference, critical, critical_reference, HelperPool, MulticastTree,
     Problem,
 };
-use bench::{dump_json, results_dir};
+use bench::{dump_json, dump_jsonl, results_dir, trace_out_requested};
 use coords::{Coord, CoordStore, DenseCoords};
 use netsim::latency::{latency_calls, reset_latency_calls, Counted};
 use netsim::{CachedLatency, HostId, Network, NetworkConfig};
@@ -102,6 +108,7 @@ fn assert_identical(label: &str, inc: &MulticastTree, reference: &MulticastTree)
 fn main() {
     let smoke = std::env::var("PERF_PLANNER_SMOKE").is_ok();
     let enforce = std::env::var("PERF_PLANNER_ENFORCE").is_ok();
+    let trace_out = trace_out_requested();
     let sizes: Vec<usize> = SIZES
         .iter()
         .copied()
@@ -273,9 +280,19 @@ fn main() {
             full_crash_replan: full,
             ..MarketConfig::default()
         };
+        let mut sim = MarketSim::new(pristine.clone(), cfg, 2010 + 20);
+        if trace_out && !full {
+            sim.set_tracer(simcore::Tracer::ring(1 << 16));
+        }
         let t0 = Instant::now();
-        let out = MarketSim::new(pristine.clone(), cfg, 2010 + 20).run();
+        let out = sim.run();
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if trace_out && !full {
+            dump_jsonl(
+                "BENCH_planner_trace",
+                &simcore::trace::to_json_lines(&out.trace),
+            );
+        }
         assert_eq!(out.leaked_degrees, 0, "{mode}: leaked degrees");
         assert!(out.audit.is_clean(), "{mode}: {:?}", out.audit.violations);
         println!(

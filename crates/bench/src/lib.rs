@@ -25,6 +25,21 @@ pub fn dump_json(name: &str, value: &serde_json::Value) {
     println!("\n[results written to {}]", path.display());
 }
 
+/// Write pre-rendered JSON-lines text (one object per line, e.g. a
+/// `simcore::trace` export) to `results/<name>.jsonl`.
+pub fn dump_jsonl(name: &str, text: &str) {
+    let path = results_dir().join(format!("{name}.jsonl"));
+    fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("[trace written to {}]", path.display());
+}
+
+/// Whether `--trace-out` was passed on the command line: figure binaries
+/// that support it attach a ring tracer to one designated run and dump the
+/// JSON-lines trace next to their JSON results.
+pub fn trace_out_requested() -> bool {
+    std::env::args().any(|a| a == "--trace-out")
+}
+
 /// Mean of a slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

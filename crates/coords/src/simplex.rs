@@ -65,7 +65,7 @@ pub fn minimize(
     while evals < opts.max_evals {
         // Order vertices best → worst.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("NaN objective"));
+        order.sort_by(|&a, &b| vals[a].total_cmp(&vals[b]));
         let best = order[0];
         let worst = order[n];
         let second_worst = order[n - 1];
@@ -130,7 +130,7 @@ pub fn minimize(
     let (bi, _) = vals
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
     SimplexResult {
         point: pts[bi].clone(),

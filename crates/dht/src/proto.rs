@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 
 use netsim::HostId;
 use simcore::audit::{AuditCtx, Auditor, InvariantSet};
+use simcore::trace::{TraceEvent, TraceRecord, Tracer};
 use simcore::{EventQueue, FaultPlan, FaultyLink, SimTime};
 
 use crate::id::NodeId;
@@ -118,6 +119,7 @@ pub struct DhtSim<D: Fn(HostId, HostId) -> SimTime> {
     delay: D,
     faults: FaultyLink,
     messages: u64,
+    tracer: Tracer,
 }
 
 impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
@@ -162,7 +164,20 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
             delay,
             faults: FaultyLink::new(plan),
             messages: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer: heartbeat fan-outs ([`TraceEvent::DhtHeartbeat`])
+    /// and view expulsions ([`TraceEvent::DhtExpel`]) are recorded on the
+    /// simulated clock. The default is [`Tracer::disabled`] (zero cost).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Drain the attached tracer's ring buffer (empty when untraced).
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.tracer.take_records()
     }
 
     /// Kill a node (it stops heartbeating and acking immediately).
@@ -313,6 +328,11 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
                 }
                 let my_id = self.nodes[node].member.id;
                 let my_host = self.nodes[node].member.host;
+                let fanout = targets.len() as u32;
+                self.tracer.emit(now, || TraceEvent::DhtHeartbeat {
+                    node: node as u32,
+                    targets: fanout,
+                });
                 let mut gossip: Vec<NodeId> = targets.clone();
                 gossip.push(my_id);
                 for target_id in targets {
@@ -395,10 +415,16 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
             }
             alive
         });
-        for id in dead {
-            n.tombstones.insert(id, now + timeout);
+        for id in &dead {
+            n.tombstones.insert(*id, now + timeout);
         }
         n.tombstones.retain(|_, &mut until| until > now);
+        for id in dead {
+            self.tracer.emit(now, || TraceEvent::DhtExpel {
+                node: node as u32,
+                peer: id.0,
+            });
+        }
     }
 
     fn index_of(&self, id: NodeId) -> Option<usize> {

@@ -138,6 +138,13 @@ pub struct CachedLatency {
     dist: Arc<[f32]>,
 }
 
+impl std::fmt::Debug for CachedLatency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The matrix itself is n² entries — print its shape, not its body.
+        f.debug_struct("CachedLatency").field("n", &self.n).finish()
+    }
+}
+
 impl CachedLatency {
     /// Share a matrix's storage without copying. Value-identical to the
     /// source: the matrix already stores `f32`, and widening is exact.
@@ -150,22 +157,57 @@ impl CachedLatency {
 
     /// Evaluate `model` for every ordered pair and store the results as
     /// `f32`. O(n²) calls, done once; quantizes genuine `f64` models.
-    pub fn snapshot<L: LatencyModel + ?Sized>(model: &L) -> CachedLatency {
+    ///
+    /// A NaN from `model` (a corrupted coordinate store, an uninitialized
+    /// estimate) is rejected here with [`NanLatency`] — the quantization
+    /// boundary is the one place every estimated pair flows through, so
+    /// catching it here means the planners downstream never see a NaN.
+    pub fn snapshot<L: LatencyModel + ?Sized>(model: &L) -> Result<CachedLatency, NanLatency> {
         let n = model.num_hosts();
         let mut dist = vec![0f32; n * n];
         for a in 0..n {
             for b in 0..n {
                 if a != b {
-                    dist[a * n + b] = model.latency_ms(HostId(a as u32), HostId(b as u32)) as f32;
+                    let d = model.latency_ms(HostId(a as u32), HostId(b as u32));
+                    if d.is_nan() {
+                        return Err(NanLatency {
+                            a: HostId(a as u32),
+                            b: HostId(b as u32),
+                        });
+                    }
+                    dist[a * n + b] = d as f32;
                 }
             }
         }
-        CachedLatency {
+        Ok(CachedLatency {
             n,
             dist: dist.into(),
-        }
+        })
     }
 }
+
+/// A latency model produced NaN for the given host pair — returned by
+/// [`CachedLatency::snapshot`] instead of letting the poisoned value leak
+/// into planner orderings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NanLatency {
+    /// First host of the offending pair.
+    pub a: HostId,
+    /// Second host of the offending pair.
+    pub b: HostId,
+}
+
+impl std::fmt::Display for NanLatency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "latency model returned NaN for hosts {} and {}",
+            self.a.0, self.b.0
+        )
+    }
+}
+
+impl std::error::Error for NanLatency {}
 
 impl From<&LatencyMatrix> for CachedLatency {
     fn from(m: &LatencyMatrix) -> CachedLatency {
@@ -428,10 +470,36 @@ mod tests {
                 4
             }
         }
-        let c = CachedLatency::snapshot(&Pi);
+        let c = CachedLatency::snapshot(&Pi).unwrap();
         let want = f64::from(std::f64::consts::PI as f32);
         assert_eq!(c.latency_ms(HostId(0), HostId(3)), want);
         assert_eq!(c.latency_ms(HostId(2), HostId(2)), 0.0);
+    }
+
+    #[test]
+    fn snapshot_rejects_nan_model_with_typed_error() {
+        struct Poisoned;
+        impl LatencyModel for Poisoned {
+            fn latency_ms(&self, a: HostId, b: HostId) -> f64 {
+                if a == HostId(1) && b == HostId(2) {
+                    f64::NAN
+                } else {
+                    1.0
+                }
+            }
+            fn num_hosts(&self) -> usize {
+                4
+            }
+        }
+        let err = CachedLatency::snapshot(&Poisoned).unwrap_err();
+        assert_eq!(
+            err,
+            NanLatency {
+                a: HostId(1),
+                b: HostId(2)
+            }
+        );
+        assert!(err.to_string().contains("NaN"));
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub mod task_manager;
 
 pub use degree_table::{DegreeTable, Rank, SessionId};
 pub use market::{DiscoveryMode, MarketConfig, MarketOutcome, MarketSim};
-pub use recovery::{run_pipeline, RecoveryConfig, RecoveryOutcome, RecoveryTimeline};
+pub use recovery::{
+    run_pipeline, run_pipeline_traced, RecoveryConfig, RecoveryOutcome, RecoveryTimeline,
+};
 pub use report::{CandidateEntry, ResourceReport};
 pub use task_manager::{
     plan_and_reserve, plan_and_reserve_from_query, plan_and_reserve_from_query_leased,

@@ -64,7 +64,8 @@ use rand::Rng;
 use simcore::audit::{AuditCtx, AuditReport, Auditor, InvariantSet};
 use simcore::rng::derive_rng2;
 use simcore::stats::OnlineStats;
-use simcore::{EventQueue, FaultPlan, SimTime};
+use simcore::trace::{TraceEvent, TraceRecord, Tracer};
+use simcore::{EventQueue, FaultPlan, MetricsRegistry, SimTime};
 
 use crate::degree_table::SessionId;
 use crate::task_manager::{
@@ -232,6 +233,10 @@ pub struct MarketOutcome {
     /// Wire cost of the periodic aggregate gathers that keep the query
     /// index fresh (Query discovery mode only).
     pub query_maintenance: TrafficLedger,
+    /// Structured trace of the run (empty unless a tracer was attached via
+    /// [`MarketSim::set_tracer`] — the default run is untraced and
+    /// bit-identical to the pre-trace simulator).
+    pub trace: Vec<TraceRecord>,
 }
 
 impl MarketOutcome {
@@ -248,6 +253,36 @@ impl MarketOutcome {
     /// Total lost sessions across classes.
     pub fn sessions_lost(&self) -> u64 {
         self.per_priority.iter().map(|p| p.sessions_lost).sum()
+    }
+
+    /// Publish the run's accounting into a [`MetricsRegistry`] under the
+    /// `market.` prefix (per-class stats under `market.p<N>.`).
+    pub fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.add("market.plans", self.plans);
+        reg.add("market.crash_repairs", self.crash_repairs);
+        reg.add("market.crash_repair_retries", self.crash_repair_retries);
+        reg.add("market.crash_repair_gave_up", self.crash_repair_gave_up);
+        reg.add("market.incremental_replans", self.incremental_replans);
+        reg.add("market.resync_fallbacks", self.resync_fallbacks);
+        reg.add("market.lapsed_lease_degrees", self.lapsed_lease_degrees);
+        reg.add("market.leaked_degrees", self.leaked_degrees as u64);
+        reg.set_gauge("market.utilization_mean", self.utilization.mean());
+        for (k, p) in self.per_priority.iter().enumerate() {
+            let n = k + 1;
+            reg.add(&format!("market.p{n}.preemptions"), p.preemptions);
+            reg.add(&format!("market.p{n}.helper_failures"), p.helper_failures);
+            reg.add(&format!("market.p{n}.helper_crashes"), p.helper_crashes);
+            reg.add(&format!("market.p{n}.failovers"), p.failovers);
+            reg.add(&format!("market.p{n}.sessions_lost"), p.sessions_lost);
+            reg.set_gauge(
+                &format!("market.p{n}.improvement_mean"),
+                p.improvement.mean(),
+            );
+            reg.set_gauge(&format!("market.p{n}.helpers_mean"), p.helpers.mean());
+        }
+        self.query_traffic.publish(reg, "market.query_traffic");
+        self.query_maintenance
+            .publish(reg, "market.query_maintenance");
     }
 }
 
@@ -300,6 +335,7 @@ pub struct MarketSim {
     /// Crash schedules present — the fault-aware paths are live.
     has_faults: bool,
     auditor: Option<Auditor>,
+    tracer: Tracer,
 }
 
 impl MarketSim {
@@ -364,7 +400,15 @@ impl MarketSim {
             qindex: None,
             has_faults,
             auditor,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer; its records land in [`MarketOutcome::trace`]. The
+    /// default is [`Tracer::disabled`], which costs one branch per
+    /// instrumentation site and leaves the trajectory untouched.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Run to the configured horizon and return the aggregated outcome.
@@ -401,6 +445,7 @@ impl MarketSim {
                 .query_maintenance
                 .absorb(&idx.maintenance_traffic());
         }
+        self.outcome.trace = self.tracer.take_records();
         (self.outcome, self.pool)
     }
 
@@ -443,12 +488,20 @@ impl MarketSim {
                 self.slots[i].active = false;
                 self.slots[i].tree = None;
                 self.pool.release_session(self.slots[i].spec.id);
+                let session = self.slots[i].spec.id.0;
+                self.tracer
+                    .emit(now, || TraceEvent::MarketRelease { session });
                 let mut rng = derive_rng2(self.seed, 0x0E00 + i as u64, cycle);
                 let gap = jittered(self.cfg.mean_gap, &mut rng);
                 self.queue.schedule(now + gap, Ev::Start(i));
             }
             Ev::Replan(i) => {
                 if self.slots[i].active {
+                    let session = self.slots[i].spec.id.0;
+                    self.tracer.emit(now, || TraceEvent::MarketReplan {
+                        session,
+                        preempt: false,
+                    });
                     self.plan(i, now);
                     self.queue
                         .schedule(now + self.cfg.replan_period, Ev::Replan(i));
@@ -457,6 +510,11 @@ impl MarketSim {
             Ev::PreemptReplan(i) => {
                 self.slots[i].replan_pending = false;
                 if self.slots[i].active {
+                    let session = self.slots[i].spec.id.0;
+                    self.tracer.emit(now, || TraceEvent::MarketReplan {
+                        session,
+                        preempt: true,
+                    });
                     self.plan(i, now);
                 }
             }
@@ -482,6 +540,8 @@ impl MarketSim {
                 }
             }
             Ev::HostFault(h, down) => {
+                self.tracer
+                    .emit(now, || TraceEvent::MarketHostFault { host: h.0, down });
                 if down {
                     self.pool.kill_host(h);
                     self.on_host_down(h, now);
@@ -492,8 +552,14 @@ impl MarketSim {
             Ev::DetectCrash(i, cycle) => self.detect_crash(i, cycle, now),
             Ev::Failover(i, cycle) => self.failover(i, cycle, now),
             Ev::ExpireLeases => {
+                let mut lapsed = 0u64;
                 for (_, degrees) in self.pool.expire_leases(now) {
-                    self.outcome.lapsed_lease_degrees += degrees as u64;
+                    lapsed += degrees as u64;
+                }
+                self.outcome.lapsed_lease_degrees += lapsed;
+                if lapsed > 0 {
+                    self.tracer
+                        .emit(now, || TraceEvent::MarketLeasesLapsed { degrees: lapsed });
                 }
                 self.queue
                     .schedule(now + self.cfg.replan_period, Ev::ExpireLeases);
@@ -582,6 +648,15 @@ impl MarketSim {
         if dead.is_empty() {
             return;
         }
+        {
+            let (session, stranded_n, dead_n) =
+                (spec.id.0, stranded.len() as u32, dead.len() as u32);
+            self.tracer.emit(now, || TraceEvent::MarketCrashDetect {
+                session,
+                stranded: stranded_n,
+                dead_in_tree: dead_n,
+            });
+        }
         if now >= self.cfg.warmup {
             let crashed_helpers = dead.iter().filter(|x| !spec.members.contains(x)).count();
             self.outcome.per_priority[(spec.priority - 1) as usize].helper_crashes +=
@@ -605,13 +680,21 @@ impl MarketSim {
         // the whole response; no full replan runs. A repair that abandoned
         // a subtree, or a re-sync refused because capacity moved while the
         // repair ran, falls back to the legacy full-replan schedule.
+        let repair_ev = |incremental: bool| TraceEvent::MarketCrashRepair {
+            session: spec.id.0,
+            incremental,
+            retries: report.retries,
+            gave_up: report.gave_up as u64,
+        };
         if !self.cfg.full_crash_replan {
             if report.gave_up == 0 && self.resync_holdings(i, &repaired, now) {
                 self.outcome.incremental_replans += 1;
+                self.tracer.emit(now, || repair_ev(true));
                 return;
             }
             self.outcome.resync_fallbacks += 1;
         }
+        self.tracer.emit(now, || repair_ev(false));
         if !self.slots[i].replan_pending {
             self.slots[i].replan_pending = true;
             let settle = report.duration.max(SimTime::from_secs(1));
@@ -686,6 +769,10 @@ impl MarketSim {
                 if now >= self.cfg.warmup {
                     self.outcome.per_priority[pidx].failovers += 1;
                 }
+                self.tracer.emit(now, || TraceEvent::MarketFailover {
+                    session: spec.id.0,
+                    deputy: deputy.0,
+                });
                 self.slots[i].spec.root = deputy;
                 // The deputy's first replan releases the dead root's
                 // holdings (reconstructed from the published tables) and
@@ -696,6 +783,8 @@ impl MarketSim {
                 if now >= self.cfg.warmup {
                     self.outcome.per_priority[pidx].sessions_lost += 1;
                 }
+                self.tracer
+                    .emit(now, || TraceEvent::MarketSessionLost { session: spec.id.0 });
                 self.slots[i].active = false;
                 self.slots[i].tree = None;
                 self.slots[i].defers += 1;
@@ -744,12 +833,27 @@ impl MarketSim {
                 // Nobody to multicast to: hold no degrees while dormant.
                 self.pool.release_session(spec.id);
                 self.slots[i].tree = None;
+                let session = spec.id.0;
+                self.tracer
+                    .emit(now, || TraceEvent::MarketRelease { session });
                 return;
             }
             // Reserving IS renewing: each replan re-reserves the whole
             // session under a fresh lease one TTL out.
             lease = Some(now + self.cfg.lease_ttl);
         }
+        // Planner-work deltas are only gathered when tracing: the
+        // thread-local counters are read before/after (never reset — the
+        // perf harness owns the resets).
+        let trace_on = self.tracer.is_enabled();
+        let (rel0, lat0) = if trace_on {
+            (
+                alm::metrics::relaxations(),
+                netsim::latency::latency_calls(),
+            )
+        } else {
+            (0, 0)
+        };
         let out = if let Some(qindex) = &mut self.qindex {
             plan_and_reserve_from_query_leased(&mut self.pool, &spec, &self.cfg.plan, qindex, lease)
         } else if let Some(view) = &self.view {
@@ -759,6 +863,23 @@ impl MarketSim {
         };
         self.slots[i].tree = Some(out.tree.clone());
         self.outcome.plans += 1;
+        if trace_on {
+            let (session, hosts) = (spec.id.0, out.tree.len() as u32);
+            let degrees = self.pool.held_total(spec.id);
+            let relaxations = alm::metrics::relaxations() - rel0;
+            let latency_calls = netsim::latency::latency_calls() - lat0;
+            self.tracer.emit(now, || TraceEvent::MarketReserve {
+                session,
+                hosts,
+                degrees,
+                relaxations,
+                latency_calls,
+            });
+            if lease.is_some() {
+                self.tracer
+                    .emit(now, || TraceEvent::MarketLeaseRenew { session });
+            }
+        }
         if now >= self.cfg.warmup {
             let stats = &mut self.outcome.per_priority[(spec.priority - 1) as usize];
             stats.improvement.push(out.improvement);

@@ -23,6 +23,12 @@
 //!   invariants ([`audit::InvariantSet`]) sampled on the event clock by an
 //!   [`Auditor`], hard-failing under `debug-assertions` and reporting
 //!   violations ([`audit::AuditReport`]) in release sweeps.
+//! * [`trace`] — deterministic structured event tracing: typed
+//!   [`TraceEvent`]s stamped on the simulated clock, bounded ring-buffer
+//!   sink, zero-cost no-op sink by default, JSON-lines export.
+//! * [`metrics`] — a counters/gauges/histograms registry
+//!   ([`MetricsRegistry`]) unifying per-subsystem accounting behind one
+//!   name-keyed interface with deterministic JSON-lines export.
 //!
 //! ## Example
 //!
@@ -48,12 +54,16 @@
 
 pub mod audit;
 pub mod faults;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use audit::{AuditReport, Auditor, InvariantSet};
 pub use faults::{FaultPlan, FaultyLink};
+pub use metrics::MetricsRegistry;
 pub use queue::EventQueue;
 pub use time::SimTime;
+pub use trace::{CloseReason, TraceEvent, TraceRecord, TraceSink, Tracer};

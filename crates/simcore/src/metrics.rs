@@ -1,0 +1,214 @@
+//! A counters / gauges / histograms registry with deterministic export.
+//!
+//! The workspace grew several disjoint accounting mechanisms — the ALM
+//! relaxation counters, the SOMO `TrafficLedger`, the market's leak census,
+//! the recovery timeline. [`MetricsRegistry`] unifies them behind one
+//! name-keyed interface so a run's accounting can be collected in one place
+//! and exported as JSON lines next to the event trace.
+//!
+//! Names are dot-separated paths (`"gather.rounds_completed"`,
+//! `"market.leaked_degrees"`). Storage is `BTreeMap`-backed, so export
+//! order is the sorted name order — deterministic regardless of insertion
+//! order, which keeps same-seed runs byte-identical.
+
+use std::collections::BTreeMap;
+
+use crate::stats::Histogram;
+
+/// Name-keyed counters, gauges, and histograms. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increment counter `name` by 1 (creating it at 0 first if absent).
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Add `delta` to counter `name` (creating it at 0 first if absent).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Create (or replace) histogram `name` with `n` buckets over
+    /// `[lo, hi)`.
+    pub fn register_histogram(&mut self, name: &str, lo: f64, hi: f64, n: usize) {
+        self.histograms
+            .insert(name.to_owned(), Histogram::new(lo, hi, n));
+    }
+
+    /// Record `value` into histogram `name`.
+    ///
+    /// # Panics
+    /// If the histogram was never registered — observation sites and
+    /// registration sites must agree, and a silent drop would corrupt the
+    /// export.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("histogram `{name}` not registered"))
+            .push(value);
+    }
+
+    /// The histogram registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Fold every entry of `other` into `self`: counters add, gauges
+    /// overwrite, histograms merge bucket-wise when shapes match (and are
+    /// otherwise replaced).
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.insert(k.clone(), h.clone());
+        }
+    }
+
+    /// Export every metric as JSON lines, one object per line, sorted by
+    /// kind then name. Byte-identical across same-seed runs.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"kind\":\"counter\",\"name\":{},\"value\":{}}}\n",
+                json_str(name),
+                v
+            ));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"kind\":\"gauge\",\"name\":{},\"value\":{}}}\n",
+                json_str(name),
+                fmt_f64(*v)
+            ));
+        }
+        for (name, h) in &self.histograms {
+            let buckets: Vec<String> = h.buckets().iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!(
+                "{{\"kind\":\"histogram\",\"name\":{},\"total\":{},\"buckets\":[{}]}}\n",
+                json_str(name),
+                h.total(),
+                buckets.join(",")
+            ));
+        }
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.inc("x");
+        m.add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn export_order_is_independent_of_insertion_order() {
+        let mut a = MetricsRegistry::new();
+        a.inc("b.second");
+        a.inc("a.first");
+        a.set_gauge("z", 1.5);
+        let mut b = MetricsRegistry::new();
+        b.set_gauge("z", 1.5);
+        b.inc("a.first");
+        b.inc("b.second");
+        assert_eq!(a.to_json_lines(), b.to_json_lines());
+        let text = a.to_json_lines();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("a.first"), "sorted order: {first}");
+    }
+
+    #[test]
+    fn histograms_register_observe_and_export() {
+        let mut m = MetricsRegistry::new();
+        m.register_histogram("lat", 0.0, 10.0, 5);
+        m.observe("lat", 1.0);
+        m.observe("lat", 9.0);
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.total(), 2);
+        assert!(m.to_json_lines().contains("\"histogram\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn observing_an_unregistered_histogram_panics() {
+        let mut m = MetricsRegistry::new();
+        m.observe("missing", 1.0);
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_overwrites_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.add("n", 2);
+        a.set_gauge("g", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.add("n", 3);
+        b.set_gauge("g", 7.0);
+        a.absorb(&b);
+        assert_eq!(a.counter("n"), 5);
+        assert_eq!(a.gauge("g"), Some(7.0));
+    }
+}

@@ -1,0 +1,433 @@
+//! Deterministic structured event tracing.
+//!
+//! Every simulator in the workspace runs on the seed-deterministic event
+//! clock, yet until this layer existed the only way to see *inside* a run
+//! was ad-hoc printouts. [`Tracer`] is the shared observability spine: a
+//! simulator emits typed [`TraceEvent`]s stamped with the simulated instant
+//! and a monotonic sequence number, and a pluggable [`TraceSink`] decides
+//! what happens to them.
+//!
+//! Three properties are contractual:
+//!
+//! * **Determinism** — records carry only simulated time and event payload,
+//!   never wall-clock or addresses, so two same-seed runs emit bit-identical
+//!   traces (`tests/trace_determinism.rs` pins this).
+//! * **Zero-cost when off** — the default tracer is [`Tracer::disabled`]:
+//!   [`Tracer::emit`] takes the event as a closure and returns after one
+//!   branch without constructing it, so instrumented hot paths cost nothing
+//!   on untraced runs (the figure anchors regenerate bit-identically with
+//!   tracing compiled in).
+//! * **Bounded memory** — the built-in sink is a ring buffer
+//!   ([`Tracer::ring`]): once full, the oldest records are evicted, so a
+//!   long simulation can stay traced without unbounded growth.
+//!
+//! Records export as JSON lines ([`to_json_lines`]) — one object per line,
+//! deterministic field order — for diffing, artifact upload, or offline
+//! analysis.
+
+use std::collections::VecDeque;
+
+use serde::Serialize;
+
+use crate::time::SimTime;
+
+/// Why a synchronized gather round ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum CloseReason {
+    /// Every live child answered; the round closed on the last partial.
+    Completed,
+    /// The per-round child timeout fired with answers still missing.
+    Timeout,
+}
+
+/// One typed event on the simulated clock.
+///
+/// Variants use raw integer ids (`simcore` sits below the crates that own
+/// `HostId`/`NodeId`); the emitting layer documents the mapping. The enum is
+/// deliberately closed — a shared taxonomy is what makes traces from
+/// different subsystems mergeable and diffable.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum TraceEvent {
+    /// DHT: a node's heartbeat timer fired toward `targets` leafset peers.
+    DhtHeartbeat {
+        /// Simulator node index.
+        node: u32,
+        /// How many peers were heartbeated.
+        targets: u32,
+    },
+    /// DHT: `node` expired `peer` from its view and planted a tombstone.
+    DhtExpel {
+        /// Simulator node index doing the expelling.
+        node: u32,
+        /// Expelled peer's ring id.
+        peer: u64,
+    },
+    /// Gather: an internal node opened a synchronized round.
+    GatherOpen {
+        /// Logical tree node index.
+        node: u32,
+        /// Round counter.
+        round: u64,
+        /// Live children expected to answer at open time.
+        expected: u32,
+    },
+    /// Gather: a child's partial was folded into an open round.
+    GatherPartial {
+        /// Logical tree node index receiving the partial.
+        node: u32,
+        /// Round counter.
+        round: u64,
+        /// Logical index of the child that sent it.
+        from: u32,
+    },
+    /// Gather: a duplicate partial from the same child was ignored.
+    GatherDuplicate {
+        /// Logical tree node index receiving the duplicate.
+        node: u32,
+        /// Round counter.
+        round: u64,
+        /// Logical index of the repeating child.
+        from: u32,
+    },
+    /// Gather: a synchronized round closed.
+    GatherClose {
+        /// Logical tree node index.
+        node: u32,
+        /// Round counter.
+        round: u64,
+        /// Distinct child partials folded in.
+        received: u32,
+        /// Live children expected at close time.
+        expected: u32,
+        /// Whether the round completed or timed out.
+        reason: CloseReason,
+    },
+    /// Gather: a timeout fired for a round that had already closed (no-op).
+    GatherTimeoutSuppressed {
+        /// Logical tree node index.
+        node: u32,
+        /// Round counter.
+        round: u64,
+    },
+    /// Gather: the root recorded a fresh global view.
+    GatherRootView {
+        /// Round counter (0 in unsynchronized mode).
+        round: u64,
+    },
+    /// Market: a session planned and reserved its tree.
+    MarketReserve {
+        /// Session slot index.
+        session: u32,
+        /// Hosts in the reserved tree.
+        hosts: u32,
+        /// Total degrees booked for the session after the plan.
+        degrees: u32,
+        /// Candidate-parent relaxations the plan performed.
+        relaxations: u64,
+        /// Latency-oracle calls the plan performed (0 unless the model is
+        /// wrapped in a counting adapter).
+        latency_calls: u64,
+    },
+    /// Market: a session released all of its holdings.
+    MarketRelease {
+        /// Session slot index.
+        session: u32,
+    },
+    /// Market: a leased plan renewed the session's leases one TTL out.
+    MarketLeaseRenew {
+        /// Session slot index.
+        session: u32,
+    },
+    /// Market: a replan ran (periodic or preemption-triggered).
+    MarketReplan {
+        /// Session slot index.
+        session: u32,
+        /// Whether a preemption (not the periodic timer) triggered it.
+        preempt: bool,
+    },
+    /// Market: a task manager noticed dead hosts in its session.
+    MarketCrashDetect {
+        /// Session slot index.
+        session: u32,
+        /// Stranded holdings released (hosts).
+        stranded: u32,
+        /// Dead hosts found in the session's tree.
+        dead_in_tree: u32,
+    },
+    /// Market: a mid-session crash repair finished.
+    MarketCrashRepair {
+        /// Session slot index.
+        session: u32,
+        /// Whether the incremental holdings re-sync resolved it (no full
+        /// replan scheduled).
+        incremental: bool,
+        /// Failed reattach attempts.
+        retries: u64,
+        /// Orphan subtrees abandoned.
+        gave_up: u64,
+    },
+    /// Market: a deputy took over a session whose root crashed.
+    MarketFailover {
+        /// Session slot index.
+        session: u32,
+        /// Host id of the deputy.
+        deputy: u32,
+    },
+    /// Market: a root crash left no survivor; the session is lost.
+    MarketSessionLost {
+        /// Session slot index.
+        session: u32,
+    },
+    /// Market: the lease-expiry sweep returned degrees to the pool.
+    MarketLeasesLapsed {
+        /// Degrees returned.
+        degrees: u64,
+    },
+    /// Market: a host went down or came back per the fault plan.
+    MarketHostFault {
+        /// Host id.
+        host: u32,
+        /// `true` = crash, `false` = revival.
+        down: bool,
+    },
+    /// Recovery pipeline phase transition: 1 = crash detected, 2 = victims
+    /// expelled from every live view, 3 = SOMO census rebuilt, 4 = ALM
+    /// orphans reattached.
+    RecoveryPhase {
+        /// Phase number (1–4).
+        phase: u32,
+    },
+}
+
+/// One trace record: a sequence number, the simulated instant, the event.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct TraceRecord {
+    /// Monotonic per-tracer sequence number (never reset by eviction).
+    pub seq: u64,
+    /// Simulated instant of the event, microseconds.
+    pub at_us: u64,
+    /// The event.
+    pub ev: TraceEvent,
+}
+
+impl TraceRecord {
+    /// The simulated instant as a [`SimTime`].
+    pub fn at(&self) -> SimTime {
+        SimTime::from_micros(self.at_us)
+    }
+}
+
+/// A pluggable destination for trace records.
+///
+/// The built-in ring buffer covers most uses; a custom sink (streaming to a
+/// file, filtering, forwarding) plugs in via [`Tracer::with_sink`].
+pub trait TraceSink {
+    /// Accept one record.
+    fn record(&mut self, rec: TraceRecord);
+}
+
+enum Sink {
+    /// Tracing off: `emit` is one branch, the event is never constructed.
+    Off,
+    /// Bounded in-memory ring: oldest records evicted at capacity.
+    Ring {
+        buf: VecDeque<TraceRecord>,
+        cap: usize,
+    },
+    /// Caller-supplied sink.
+    Custom(Box<dyn TraceSink>),
+}
+
+/// The event tracer simulators embed. See the module docs for the
+/// determinism / zero-cost / bounded-memory contract.
+pub struct Tracer {
+    sink: Sink,
+    seq: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.sink {
+            Sink::Off => "off",
+            Sink::Ring { .. } => "ring",
+            Sink::Custom(_) => "custom",
+        };
+        f.debug_struct("Tracer")
+            .field("sink", &kind)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer (the default everywhere).
+    pub fn disabled() -> Tracer {
+        Tracer {
+            sink: Sink::Off,
+            seq: 0,
+        }
+    }
+
+    /// A tracer backed by a ring buffer holding the last `cap` records.
+    ///
+    /// # Panics
+    /// If `cap` is 0.
+    pub fn ring(cap: usize) -> Tracer {
+        assert!(cap > 0, "ring capacity must be positive");
+        Tracer {
+            sink: Sink::Ring {
+                buf: VecDeque::with_capacity(cap.min(4096)),
+                cap,
+            },
+            seq: 0,
+        }
+    }
+
+    /// A tracer forwarding every record to a caller-supplied sink.
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Tracer {
+        Tracer {
+            sink: Sink::Custom(sink),
+            seq: 0,
+        }
+    }
+
+    /// Whether events are being recorded. Instrumented code may use this to
+    /// skip *gathering* expensive context; event construction itself is
+    /// already skipped by [`Tracer::emit`]'s closure argument.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self.sink, Sink::Off)
+    }
+
+    /// Emit one event at simulated instant `at`. The closure is only called
+    /// when a sink is attached, so a disabled tracer costs one branch.
+    #[inline]
+    pub fn emit(&mut self, at: SimTime, ev: impl FnOnce() -> TraceEvent) {
+        if matches!(self.sink, Sink::Off) {
+            return;
+        }
+        let rec = TraceRecord {
+            seq: self.seq,
+            at_us: at.as_micros(),
+            ev: ev(),
+        };
+        self.seq += 1;
+        match &mut self.sink {
+            Sink::Off => unreachable!("checked above"),
+            Sink::Ring { buf, cap } => {
+                if buf.len() == *cap {
+                    buf.pop_front();
+                }
+                buf.push_back(rec);
+            }
+            Sink::Custom(s) => s.record(rec),
+        }
+    }
+
+    /// Total events emitted since construction (including any the ring has
+    /// evicted).
+    pub fn emitted(&self) -> u64 {
+        self.seq
+    }
+
+    /// Drain and return the ring buffer's records, oldest first. Empty for
+    /// a disabled tracer or a custom sink (which already owns its records).
+    pub fn take_records(&mut self) -> Vec<TraceRecord> {
+        match &mut self.sink {
+            Sink::Ring { buf, .. } => buf.drain(..).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Render records as JSON lines: one compact object per record, one record
+/// per line, in order. Field order is fixed by the serializer, so two
+/// bit-identical traces render to byte-identical text.
+pub fn to_json_lines(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&serde_json::to_string(r).expect("trace records always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_never_constructs_events() {
+        let mut t = Tracer::disabled();
+        let mut built = false;
+        t.emit(SimTime::ZERO, || {
+            built = true;
+            TraceEvent::RecoveryPhase { phase: 1 }
+        });
+        assert!(!built, "no-op sink must not construct the event");
+        assert_eq!(t.emitted(), 0);
+        assert!(t.take_records().is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_newest_records() {
+        let mut t = Tracer::ring(3);
+        for i in 0..5u32 {
+            t.emit(SimTime::from_millis(i as u64), || {
+                TraceEvent::RecoveryPhase { phase: i }
+            });
+        }
+        assert_eq!(t.emitted(), 5);
+        let recs = t.take_records();
+        assert_eq!(recs.len(), 3);
+        // Oldest two evicted; sequence numbers stay monotonic.
+        assert_eq!(recs[0].seq, 2);
+        assert_eq!(recs[2].seq, 4);
+        assert_eq!(recs[2].at(), SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn custom_sinks_receive_every_record() {
+        struct CountSink(std::rc::Rc<std::cell::Cell<u64>>);
+        impl TraceSink for CountSink {
+            fn record(&mut self, _rec: TraceRecord) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let n = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut t = Tracer::with_sink(Box::new(CountSink(n.clone())));
+        assert!(t.is_enabled());
+        for _ in 0..7 {
+            t.emit(SimTime::ZERO, || TraceEvent::GatherRootView { round: 1 });
+        }
+        assert_eq!(n.get(), 7);
+        assert!(t.take_records().is_empty(), "custom sink owns its records");
+    }
+
+    #[test]
+    fn json_lines_are_deterministic_and_line_per_record() {
+        let mut t = Tracer::ring(16);
+        t.emit(SimTime::from_millis(1), || TraceEvent::GatherClose {
+            node: 0,
+            round: 1,
+            received: 3,
+            expected: 3,
+            reason: CloseReason::Completed,
+        });
+        t.emit(SimTime::from_millis(2), || TraceEvent::DhtExpel {
+            node: 4,
+            peer: 0xDEAD,
+        });
+        let recs = t.take_records();
+        let a = to_json_lines(&recs);
+        let b = to_json_lines(&recs);
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 2);
+        assert!(a.contains("Completed"));
+    }
+}

@@ -29,7 +29,8 @@
 
 use std::collections::HashMap;
 
-use simcore::{EventQueue, FaultPlan, FaultyLink, SimTime};
+use simcore::trace::{CloseReason, TraceEvent, TraceRecord, Tracer};
+use simcore::{EventQueue, FaultPlan, FaultyLink, MetricsRegistry, SimTime};
 
 use crate::report::Report;
 use crate::tree::SomoTree;
@@ -87,11 +88,26 @@ enum Ev<R> {
     /// Sync: a request arriving at a logical node.
     Request { node: u32, round: u64 },
     /// A child partial arriving at its parent logical node. `None` when the
-    /// child subtree had nothing to report (a non-canonical leaf).
-    Partial { node: u32, round: u64, r: Option<R> },
+    /// child subtree had nothing to report (a non-canonical leaf). `from`
+    /// is the sending child's logical index — sync mode dedups repeated
+    /// partials per sender, unsync mode keys its latest-partial cache by it.
+    Partial {
+        node: u32,
+        round: u64,
+        from: u32,
+        r: Option<R>,
+    },
     /// Sync: give up waiting for this round's remaining children and send
     /// what has been accumulated (self-healing under member failure).
     Timeout { node: u32, round: u64 },
+}
+
+/// Per-round aggregation buffer (sync mode): the running partial plus which
+/// children have already been folded in (dedup per sender).
+#[derive(Clone)]
+struct RoundBuf<R> {
+    acc: Option<R>,
+    seen: Vec<u32>,
 }
 
 /// The gather-flow simulator. Generic over the report type and the message
@@ -112,8 +128,8 @@ where
     /// stamped with its arrival time so stale entries (a crashed child)
     /// age out after a few periods.
     latest: Vec<HashMap<u32, (SimTime, R)>>,
-    /// Per-round aggregation buffers (sync mode): (partial, children seen).
-    rounds: Vec<HashMap<u64, (Option<R>, usize)>>,
+    /// Per-round aggregation buffers (sync mode).
+    rounds: Vec<HashMap<u64, RoundBuf<R>>>,
     /// Which leaf reports each member's data (leaf logical idx → member).
     reporting: HashMap<u32, usize>,
     views: Vec<RootView<R>>,
@@ -128,6 +144,10 @@ where
     /// Fault layer every inter-host message is threaded through. Endpoint
     /// labels are ring member indices. A no-op plan is zero-cost.
     faults: FaultyLink,
+    /// Structured event trace (disabled by default: zero cost).
+    tracer: Tracer,
+    /// Round/timeout accounting.
+    metrics: MetricsRegistry,
 }
 
 impl<'a, R, L, D> GatherSim<'a, R, L, D>
@@ -216,7 +236,43 @@ where
             dead: std::collections::HashSet::new(),
             child_timeout: period,
             faults: FaultyLink::new(plan),
+            tracer: Tracer::disabled(),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Attach a tracer; pass [`Tracer::ring`] to record events. The default
+    /// is a disabled tracer, which costs one branch per would-be event.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Drain the tracer's ring buffer (empty if tracing is disabled).
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.tracer.take_records()
+    }
+
+    /// Round/timeout accounting: `gather.rounds_completed`,
+    /// `gather.rounds_timeout`, `gather.partials_deduped`,
+    /// `gather.timeouts_suppressed`.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Events currently scheduled (timers, in-flight messages, pending
+    /// round timeouts).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Children of `node` whose hosting members are currently alive — the
+    /// number of partials a sync round can still expect.
+    fn live_children(&self, node: u32) -> usize {
+        self.tree.nodes()[node as usize]
+            .children
+            .iter()
+            .filter(|&&c| !self.dead.contains(&self.tree.nodes()[c as usize].host))
+            .count()
     }
 
     /// Crash the host behind ring member `m`: every logical node it hosts
@@ -358,10 +414,23 @@ where
                     };
                     self.emit_to_parent_after(node, round, r, fetch);
                 } else {
-                    // Forward to every child; remember how many partials to
-                    // expect this round. Children hosted by the same member
+                    // Forward to every child; remember who has answered so
+                    // far this round. Children hosted by the same member
                     // get the message instantly (delay 0).
-                    self.rounds[node as usize].insert(round, (None, 0));
+                    self.rounds[node as usize].insert(
+                        round,
+                        RoundBuf {
+                            acc: None,
+                            seen: Vec::new(),
+                        },
+                    );
+                    let expected = self.live_children(node) as u32;
+                    self.tracer.emit(now, || TraceEvent::GatherOpen {
+                        node,
+                        round,
+                        expected,
+                    });
+                    let n = &self.tree.nodes()[node as usize];
                     let children = n.children.clone();
                     let my_host = n.host;
                     for c in children {
@@ -388,36 +457,81 @@ where
                 }
             }
             Ev::Timeout { node, round } => {
+                // Fast path: the round usually closed on its last partial
+                // and the entry is gone — the stale timeout is a no-op.
+                let Some(buf) = self.rounds[node as usize].remove(&round) else {
+                    self.metrics.inc("gather.timeouts_suppressed");
+                    self.tracer
+                        .emit(now, || TraceEvent::GatherTimeoutSuppressed { node, round });
+                    return;
+                };
                 // Children that never answered are presumed crashed; send
                 // what we have so the round still completes.
-                if let Some((acc, _)) = self.rounds[node as usize].remove(&round) {
-                    self.emit_to_parent_after(node, round, acc, SimTime::ZERO);
-                }
+                self.metrics.inc("gather.rounds_timeout");
+                let received = buf.seen.len() as u32;
+                let expected = self.live_children(node) as u32;
+                self.tracer.emit(now, || TraceEvent::GatherClose {
+                    node,
+                    round,
+                    received,
+                    expected,
+                    reason: CloseReason::Timeout,
+                });
+                self.emit_to_parent_after(node, round, buf.acc, SimTime::ZERO);
             }
-            Ev::Partial { node, round, r } => match self.mode {
+            Ev::Partial {
+                node,
+                round,
+                from,
+                r,
+            } => match self.mode {
                 FlowMode::Unsynchronized => {
-                    // `round` carries the child index in unsync mode — the
-                    // sender recorded itself there.
+                    // Keyed by the sending child so a parent keeps one
+                    // latest partial per subtree.
                     if let Some(r) = r {
-                        self.latest[node as usize].insert(round as u32, (now, r));
+                        self.latest[node as usize].insert(from, (now, r));
                     }
                 }
                 FlowMode::Synchronized => {
-                    let expected = self.tree.nodes()[node as usize].children.len();
+                    // Live children only: a host that crashed mid-round
+                    // will never answer, so waiting for its partial would
+                    // stall the round all the way to the timeout.
+                    let expected = self.live_children(node);
                     // The round may already be closed by a timeout; late
                     // partials are then dropped.
                     let Some(entry) = self.rounds[node as usize].get_mut(&round) else {
                         return;
                     };
-                    match (&mut entry.0, r) {
+                    if entry.seen.contains(&from) {
+                        self.metrics.inc("gather.partials_deduped");
+                        self.tracer
+                            .emit(now, || TraceEvent::GatherDuplicate { node, round, from });
+                        return;
+                    }
+                    entry.seen.push(from);
+                    match (&mut entry.acc, r) {
                         (Some(acc), Some(r)) => acc.merge(&r),
                         (slot @ None, Some(r)) => *slot = Some(r),
                         (_, None) => {}
                     }
-                    entry.1 += 1;
-                    if entry.1 == expected {
-                        let (acc, _) = self.rounds[node as usize].remove(&round).unwrap();
-                        self.emit_to_parent_after(node, round, acc, SimTime::ZERO);
+                    let received = entry.seen.len();
+                    self.tracer
+                        .emit(now, || TraceEvent::GatherPartial { node, round, from });
+                    // `>=`, not `==`: if the live-child set shrank after
+                    // some children already answered, the count can step
+                    // past the target — the round must still close rather
+                    // than limp to its timeout.
+                    if received >= expected {
+                        let buf = self.rounds[node as usize].remove(&round).unwrap();
+                        self.metrics.inc("gather.rounds_completed");
+                        self.tracer.emit(now, || TraceEvent::GatherClose {
+                            node,
+                            round,
+                            received: received as u32,
+                            expected: expected as u32,
+                            reason: CloseReason::Completed,
+                        });
+                        self.emit_to_parent_after(node, round, buf.acc, SimTime::ZERO);
                     }
                 }
             },
@@ -456,10 +570,10 @@ where
             None => {
                 // Root: record the fresh global view.
                 if let Some(view) = r {
-                    self.views.push(RootView {
-                        at: self.queue.now() + extra,
-                        view,
-                    });
+                    let at = self.queue.now() + extra;
+                    self.tracer
+                        .emit(at, || TraceEvent::GatherRootView { round });
+                    self.views.push(RootView { at, view });
                 }
             }
             Some(p) => {
@@ -480,17 +594,12 @@ where
                 // simply keeps its previous latest entry.
                 let Some(hop) = hop else { return };
                 let d = extra + hop;
-                let tag = match self.mode {
-                    // In unsync mode the "round" slot carries the child id
-                    // so the parent can keep per-child latest partials.
-                    FlowMode::Unsynchronized => i as u64,
-                    FlowMode::Synchronized => round,
-                };
                 self.queue.schedule_after(
                     d,
                     Ev::Partial {
                         node: p,
-                        round: tag,
+                        round,
+                        from: i,
                         r,
                     },
                 );
@@ -833,6 +942,89 @@ mod tests {
         assert_eq!(plain.0, faulty.0);
         assert_eq!(plain.1, faulty.1);
         assert_eq!(faulty.2, 0);
+    }
+
+    #[test]
+    fn churn_mid_round_closes_by_completion_not_timeout() {
+        // Kill a remote root child after round 1's requests are in flight:
+        // the live-child count shrinks mid-round, and the root must close
+        // the round as soon as the survivors have answered (`>=` on a live
+        // count), not limp to the 5 s timeout as the old `==`-on-static
+        // count did.
+        let (ring, tree) = setup(12, 64);
+        let mut sim = GatherSim::new(
+            &tree,
+            &ring,
+            FlowMode::Synchronized,
+            T,
+            |_m, now| FreshnessReport::of_member(now),
+            |a, b| if a == b { SimTime::ZERO } else { HOP },
+        );
+        sim.set_tracer(simcore::Tracer::ring(4096));
+        // Process everything at t=0: round 1 opens and requests go out.
+        sim.run_until(SimTime::ZERO);
+        let root_host = tree.nodes()[0].host;
+        let victim = tree.nodes()[0]
+            .children
+            .iter()
+            .map(|&c| tree.nodes()[c as usize].host)
+            .find(|&h| h != root_host)
+            .expect("no remote root child to kill");
+        sim.kill_member(victim);
+        // Well before the 5 s child timeout could fire.
+        sim.run_until(SimTime::from_secs(4));
+        let trace = sim.take_trace();
+        let close = trace
+            .iter()
+            .find_map(|rec| match rec.ev {
+                simcore::TraceEvent::GatherClose {
+                    node: 0,
+                    round: 1,
+                    reason,
+                    ..
+                } => Some(reason),
+                _ => None,
+            })
+            .expect("root round 1 never closed before the timeout window");
+        assert_eq!(
+            close,
+            simcore::trace::CloseReason::Completed,
+            "round with churned child should complete, not time out"
+        );
+        let last = sim.views().last().expect("no views");
+        assert!(last.view.members < 12, "dead member still counted");
+    }
+
+    #[test]
+    fn queue_length_after_successful_round_is_period_independent() {
+        // After a fully successful gather round, stale per-round timeouts
+        // must be suppressed no-ops: the number of pending events mid-cycle
+        // is a property of the tree, not of the period.
+        let mut pendings = Vec::new();
+        for period_secs in [4u64, 10, 40] {
+            let (ring, tree) = setup(60, 8);
+            let period = SimTime::from_secs(period_secs);
+            let mut sim = GatherSim::new(
+                &tree,
+                &ring,
+                FlowMode::Synchronized,
+                period,
+                |_m, now| FreshnessReport::of_member(now),
+                |a, b| if a == b { SimTime::ZERO } else { HOP },
+            );
+            // 1.5 periods in: round 1 closed and its timeouts suppressed,
+            // round 2 closed with its timeouts still pending, round 3 not
+            // started.
+            sim.run_until(SimTime::from_micros(period.as_micros() * 3 / 2));
+            assert!(
+                sim.metrics().counter("gather.timeouts_suppressed") > 0,
+                "successful rounds should leave suppressed timeouts"
+            );
+            assert_eq!(sim.metrics().counter("gather.rounds_timeout"), 0);
+            pendings.push(sim.pending_events());
+        }
+        assert_eq!(pendings[0], pendings[1], "pending events depend on period");
+        assert_eq!(pendings[1], pendings[2], "pending events depend on period");
     }
 
     #[test]

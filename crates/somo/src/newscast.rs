@@ -35,10 +35,32 @@ pub struct Delivery<R> {
 
 enum Ev<R> {
     RootTimer,
-    Request { node: u32, round: u64 },
-    Partial { node: u32, round: u64, r: Option<R> },
-    Timeout { node: u32, round: u64 },
-    Publish { node: u32, r: R },
+    Request {
+        node: u32,
+        round: u64,
+    },
+    Partial {
+        node: u32,
+        round: u64,
+        from: u32,
+        r: Option<R>,
+    },
+    Timeout {
+        node: u32,
+        round: u64,
+    },
+    Publish {
+        node: u32,
+        r: R,
+    },
+}
+
+/// Per-round aggregation buffer: running partial + children already folded
+/// in (dedup per sender, mirroring [`crate::flow`]).
+#[derive(Clone)]
+struct RoundBuf<R> {
+    acc: Option<R>,
+    seen: Vec<u32>,
 }
 
 /// Simulator of the complete gather+disseminate newscast.
@@ -53,7 +75,7 @@ where
     leaf_sample: L,
     delay: D,
     queue: EventQueue<Ev<R>>,
-    rounds: Vec<HashMap<u64, (Option<R>, usize)>>,
+    rounds: Vec<HashMap<u64, RoundBuf<R>>>,
     reporting: HashMap<u32, usize>,
     deliveries: Vec<Delivery<R>>,
     messages: u64,
@@ -142,7 +164,13 @@ where
                         .map(|m| (self.leaf_sample)(m, now));
                     self.up(node, round, r);
                 } else {
-                    self.rounds[node as usize].insert(round, (None, 0));
+                    self.rounds[node as usize].insert(
+                        round,
+                        RoundBuf {
+                            acc: None,
+                            seen: Vec::new(),
+                        },
+                    );
                     let my = n.host;
                     for c in n.children.clone() {
                         let ch = self.tree.nodes()[c as usize].host;
@@ -153,25 +181,36 @@ where
                         .schedule_after(self.period, Ev::Timeout { node, round });
                 }
             }
-            Ev::Partial { node, round, r } => {
+            Ev::Partial {
+                node,
+                round,
+                from,
+                r,
+            } => {
                 let expected = self.tree.nodes()[node as usize].children.len();
                 let Some(entry) = self.rounds[node as usize].get_mut(&round) else {
                     return;
                 };
-                match (&mut entry.0, r) {
+                // A repeated partial from the same child must not advance
+                // the count past `expected` and strand the round.
+                if entry.seen.contains(&from) {
+                    return;
+                }
+                entry.seen.push(from);
+                match (&mut entry.acc, r) {
                     (Some(acc), Some(r)) => acc.merge(&r),
                     (slot @ None, Some(r)) => *slot = Some(r),
                     (_, None) => {}
                 }
-                entry.1 += 1;
-                if entry.1 == expected {
-                    let (acc, _) = self.rounds[node as usize].remove(&round).unwrap();
-                    self.up(node, round, acc);
+                // `>=`: close even if the count stepped past the target.
+                if entry.seen.len() >= expected {
+                    let buf = self.rounds[node as usize].remove(&round).unwrap();
+                    self.up(node, round, buf.acc);
                 }
             }
             Ev::Timeout { node, round } => {
-                if let Some((acc, _)) = self.rounds[node as usize].remove(&round) {
-                    self.up(node, round, acc);
+                if let Some(buf) = self.rounds[node as usize].remove(&round) {
+                    self.up(node, round, buf.acc);
                 }
             }
             Ev::Publish { node, r } => {
@@ -219,8 +258,15 @@ where
             Some(p) => {
                 let ph = self.tree.nodes()[p as usize].host;
                 let d = self.hop(n.host, ph);
-                self.queue
-                    .schedule_after(d, Ev::Partial { node: p, round, r });
+                self.queue.schedule_after(
+                    d,
+                    Ev::Partial {
+                        node: p,
+                        round,
+                        from: node,
+                        r,
+                    },
+                );
             }
         }
     }

@@ -47,6 +47,9 @@ pub mod prelude {
         Aggregate, HostSample, QueryAnswer, QueryIndex, RegionBounds, Scope, Subscription,
         SubscriptionSet, ThresholdDelta,
     };
-    pub use simcore::{AuditReport, Auditor, EventQueue, FaultPlan, InvariantSet, SimTime};
+    pub use simcore::{
+        AuditReport, Auditor, CloseReason, EventQueue, FaultPlan, InvariantSet, MetricsRegistry,
+        SimTime, TraceEvent, TraceRecord, Tracer,
+    };
     pub use somo::{Report, SomoTree};
 }

@@ -1,0 +1,217 @@
+//! Trace determinism: the observability layer's core contract. Two
+//! same-seed runs of a faulted simulation must emit bit-identical
+//! JSON-lines traces — simulated time and typed payloads only, no
+//! wall-clock, no addresses, no iteration-order leaks.
+
+use p2p_resource_pool::prelude::*;
+use p2p_resource_pool::simcore::trace::to_json_lines;
+
+/// A faulted market run with the tracer attached: helper and root crashes,
+/// leases, failover, crash repair — every market event family fires.
+fn traced_market(seed: u64) -> (String, u64) {
+    let pool = ResourcePool::build(
+        &PoolConfig {
+            net: NetworkConfig {
+                num_hosts: 300,
+                ..NetworkConfig::default()
+            },
+            coord_rounds: 4,
+            ..PoolConfig::default()
+        },
+        seed,
+    );
+    let mut faults = simcore::FaultPlan::none();
+    for h in (0..300u64).step_by(7) {
+        faults = faults.crash_forever(h, SimTime::from_secs(600 + h));
+    }
+    let cfg = MarketConfig {
+        sessions: 9,
+        member_size: 12,
+        horizon: SimTime::from_secs(1800),
+        warmup: SimTime::from_secs(300),
+        faults,
+        ..MarketConfig::default()
+    };
+    let mut sim = MarketSim::new(pool, cfg, seed);
+    sim.set_tracer(Tracer::ring(1 << 16));
+    let (out, _) = sim.run_full();
+    (to_json_lines(&out.trace), out.trace.len() as u64)
+}
+
+#[test]
+fn faulted_market_traces_are_bit_identical_across_runs() {
+    let (a, n) = traced_market(29);
+    let (b, _) = traced_market(29);
+    assert!(n > 0, "a faulted market run must emit trace records");
+    assert_eq!(a, b, "same-seed market traces diverged");
+    // The fault machinery actually showed up in the trace.
+    for needle in ["MarketReserve", "MarketHostFault", "MarketCrashDetect"] {
+        assert!(a.contains(needle), "no {needle} event in the trace");
+    }
+}
+
+/// A faulted synchronized gather with a mid-run member kill: rounds open,
+/// close (both reasons), and suppress stale timeouts.
+fn traced_gather(seed: u64) -> (String, String) {
+    use p2p_resource_pool::somo::flow::{FlowMode, FreshnessReport, GatherSim};
+    let ring = Ring::with_random_ids((0..96).map(HostId), seed);
+    let tree = SomoTree::build(&ring, 8);
+    let plan = simcore::FaultPlan::with_loss(seed ^ 0x51, 0.05).jitter(SimTime::from_millis(15));
+    let mut sim = GatherSim::with_faults(
+        &tree,
+        &ring,
+        FlowMode::Synchronized,
+        SimTime::from_secs(5),
+        |_m, now| FreshnessReport::of_member(now),
+        |a, b| {
+            if a == b {
+                SimTime::ZERO
+            } else {
+                SimTime::from_millis(150)
+            }
+        },
+        plan,
+    );
+    sim.set_tracer(Tracer::ring(1 << 16));
+    sim.run_until(SimTime::from_secs(30));
+    sim.kill_member(7);
+    sim.run_until(SimTime::from_secs(90));
+    let trace = to_json_lines(&sim.take_trace());
+    let metrics = sim.metrics().to_json_lines();
+    (trace, metrics)
+}
+
+#[test]
+fn faulted_gather_traces_and_metrics_are_bit_identical_across_runs() {
+    let a = traced_gather(33);
+    let b = traced_gather(33);
+    assert!(!a.0.is_empty(), "a faulted gather must emit trace records");
+    assert_eq!(a.0, b.0, "same-seed gather traces diverged");
+    assert_eq!(a.1, b.1, "same-seed gather metrics diverged");
+    for needle in ["GatherOpen", "GatherClose", "GatherRootView"] {
+        assert!(a.0.contains(needle), "no {needle} event in the trace");
+    }
+    assert!(
+        a.1.contains("gather.rounds_completed"),
+        "metrics export missing round counters: {}",
+        a.1
+    );
+}
+
+#[test]
+fn recovery_pipeline_phase_trace_is_bit_identical_across_runs() {
+    use p2p_resource_pool::pool::recovery::{run_pipeline_traced, RecoveryConfig};
+    let run = || {
+        let plan = simcore::FaultPlan::with_loss(17, 0.03).jitter(SimTime::from_millis(10));
+        let mut tracer = Tracer::ring(64);
+        let out = run_pipeline_traced(
+            &RecoveryConfig {
+                n: 48,
+                crashes: 3,
+                plan,
+                session_size: 16,
+                ..RecoveryConfig::default()
+            },
+            &mut tracer,
+        );
+        (to_json_lines(&tracer.take_records()), out)
+    };
+    let (a, out) = run();
+    let (b, _) = run();
+    assert_eq!(a, b);
+    // A fully recovered pipeline emits all four phases, in order.
+    assert!(out.timeline.reattached_at.is_some());
+    assert_eq!(a.matches("RecoveryPhase").count(), 4);
+}
+
+#[test]
+fn dht_heartbeat_trace_is_bit_identical_across_runs() {
+    use p2p_resource_pool::dht::proto::{DhtSim, ProtoConfig};
+    let run = || {
+        let ring = Ring::with_random_ids((0..48).map(HostId), 21);
+        let plan = simcore::FaultPlan::with_loss(0xFA17, 0.04).jitter(SimTime::from_millis(25));
+        let mut sim = DhtSim::with_faults(
+            &ring,
+            ProtoConfig::default(),
+            |a, b| {
+                if a == b {
+                    SimTime::ZERO
+                } else {
+                    SimTime::from_millis(40)
+                }
+            },
+            plan,
+        );
+        sim.set_tracer(Tracer::ring(1 << 15));
+        sim.run_until(SimTime::from_secs(30));
+        sim.kill(7);
+        sim.run_until(SimTime::from_secs(120));
+        to_json_lines(&sim.take_trace())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same-seed DHT traces diverged");
+    assert!(a.contains("DhtHeartbeat"));
+    assert!(
+        a.contains("DhtExpel"),
+        "killing a node must surface an expulsion event"
+    );
+}
+
+#[test]
+fn untraced_market_outcome_is_unaffected_by_the_instrumentation() {
+    // The zero-cost contract, end to end: a run with no tracer attached
+    // must produce exactly the stats of a traced run (the trace records
+    // are observation, never perturbation).
+    let run = |traced: bool| {
+        let pool = ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: 300,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 4,
+                ..PoolConfig::default()
+            },
+            31,
+        );
+        let mut faults = simcore::FaultPlan::none();
+        for h in (0..300u64).step_by(11) {
+            faults = faults.crash_forever(h, SimTime::from_secs(700 + h));
+        }
+        let cfg = MarketConfig {
+            sessions: 6,
+            member_size: 12,
+            horizon: SimTime::from_secs(1800),
+            warmup: SimTime::from_secs(300),
+            faults,
+            ..MarketConfig::default()
+        };
+        let mut sim = MarketSim::new(pool, cfg, 31);
+        if traced {
+            sim.set_tracer(Tracer::ring(1 << 16));
+        }
+        sim.run_full().0
+    };
+    let plain = run(false);
+    let traced = run(true);
+    assert!(plain.trace.is_empty());
+    assert!(!traced.trace.is_empty());
+    assert_eq!(plain.plans, traced.plans);
+    assert_eq!(plain.crash_repairs, traced.crash_repairs);
+    assert_eq!(plain.lapsed_lease_degrees, traced.lapsed_lease_degrees);
+    assert_eq!(plain.leaked_degrees, traced.leaked_degrees);
+    for p in 1..=3u8 {
+        assert_eq!(
+            plain.class(p).improvement.mean(),
+            traced.class(p).improvement.mean()
+        );
+        assert_eq!(plain.class(p).preemptions, traced.class(p).preemptions);
+    }
+    // And the metrics adapter sees the same numbers either way.
+    let mut ma = MetricsRegistry::new();
+    let mut mb = MetricsRegistry::new();
+    plain.publish_metrics(&mut ma);
+    traced.publish_metrics(&mut mb);
+    assert_eq!(ma.to_json_lines(), mb.to_json_lines());
+}
