@@ -74,6 +74,17 @@ pub fn amcast<L: LatencyModel, D: Fn(HostId) -> u32>(p: &Problem<L, D>) -> Multi
     greedy_engine(p, &mut NoHelper)
 }
 
+/// [`amcast`], but returns `None` instead of panicking when the members'
+/// degree bounds cannot host a spanning tree. This is the multipath
+/// planner's entry point: standby trees are planned over *residual*
+/// capacity (what the session's earlier trees left behind), where running
+/// out of degrees is an expected outcome, not a caller bug.
+pub fn try_amcast<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+) -> Option<MulticastTree> {
+    try_greedy_engine(p, &mut NoHelper)
+}
+
 /// Plain AMCast via the retained reference engine. Produces trees
 /// bit-identical to [`amcast`]; exists so the proptest equivalence suite and
 /// the `perf_planner` A/B sweep can exercise the naive path.
@@ -175,6 +186,17 @@ pub(crate) fn greedy_engine<L: LatencyModel, D: Fn(HostId) -> u32>(
     p: &Problem<L, D>,
     finder: &mut impl HelperFinder<L>,
 ) -> MulticastTree {
+    try_greedy_engine(p, finder).expect("tree out of capacity for remaining members")
+}
+
+/// Fallible core of [`greedy_engine`]: `None` when the tree runs out of
+/// child slots with members still pending. The success path is bit-identical
+/// to the historical panicking engine — same floats, same attachment order,
+/// same helper calls.
+pub(crate) fn try_greedy_engine<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    finder: &mut impl HelperFinder<L>,
+) -> Option<MulticastTree> {
     let mut relaxed: u64 = 0;
     let mut tree = MulticastTree::new(p.root);
     let mut st = EngineState::new(p.latency.num_hosts());
@@ -206,9 +228,11 @@ pub(crate) fn greedy_engine<L: LatencyModel, D: Fn(HostId) -> u32>(
     }
 
     while !pending.is_empty() {
-        // The pending member with minimum (tentative height, id).
+        // The pending member with minimum (tentative height, id). A drained
+        // heap with members still pending means an orphan recompute already
+        // failed — out of capacity.
         let u = loop {
-            let Reverse((OrdF64(h), v)) = heap.pop().expect("pending member lost its heap entry");
+            let Reverse((OrdF64(h), v)) = heap.pop()?;
             if st.pos[v.idx()] != usize::MAX && st.best_h[v.idx()] == h {
                 break v;
             }
@@ -329,7 +353,7 @@ pub(crate) fn greedy_engine<L: LatencyModel, D: Fn(HostId) -> u32>(
                         bw = Some(w);
                     }
                 }
-                let np = bw.expect("tree out of capacity for remaining members");
+                let np = bw?;
                 st.best_h[v.idx()] = bs;
                 st.best_p[v.idx()] = np;
                 st.by_parent[np.idx()].push(v);
@@ -338,7 +362,7 @@ pub(crate) fn greedy_engine<L: LatencyModel, D: Fn(HostId) -> u32>(
         }
     }
     add_relaxations(relaxed);
-    tree
+    Some(tree)
 }
 
 /// The reference greedy engine: the paper's relax-everything loop, O(N³)

@@ -26,7 +26,7 @@ use std::collections::HashSet;
 
 use netsim::{HostId, LatencyModel};
 
-use crate::amcast::{greedy_engine, greedy_engine_reference, HelperFinder};
+use crate::amcast::{greedy_engine, greedy_engine_reference, try_greedy_engine, HelperFinder};
 use crate::problem::Problem;
 use crate::tree::MulticastTree;
 
@@ -142,6 +142,22 @@ pub fn critical<L: LatencyModel, D: Fn(HostId) -> u32>(
         taken: HashSet::new(),
     };
     greedy_engine(p, &mut finder)
+}
+
+/// [`critical`], but returns `None` instead of panicking when the residual
+/// capacity cannot host a spanning tree — the multipath planner's entry
+/// point for standby trees (see [`crate::amcast::try_amcast`]).
+pub fn try_critical<L: LatencyModel, D: Fn(HostId) -> u32>(
+    p: &Problem<L, D>,
+    pool: &HelperPool,
+) -> Option<MulticastTree> {
+    let mut finder = PoolFinder {
+        pool,
+        dbound: &p.dbound,
+        members: p.members.iter().copied().collect(),
+        taken: HashSet::new(),
+    };
+    try_greedy_engine(p, &mut finder)
 }
 
 /// [`critical`] driven by the retained reference engine: same helper

@@ -34,14 +34,15 @@ pub mod bound;
 pub mod critical;
 pub mod dynamic;
 pub mod metrics;
+pub mod multipath;
 pub mod problem;
 pub mod staged;
 pub mod tree;
 
 pub use adjust::adjust;
-pub use amcast::{amcast, amcast_reference};
+pub use amcast::{amcast, amcast_reference, try_amcast};
 pub use bound::improvement_upper_bound;
-pub use critical::{critical, critical_reference, HelperPool, HelperStrategy};
+pub use critical::{critical, critical_reference, try_critical, HelperPool, HelperStrategy};
 pub use problem::{improvement, Problem};
-pub use staged::staged_plan;
+pub use staged::{staged_plan, try_staged_plan};
 pub use tree::MulticastTree;

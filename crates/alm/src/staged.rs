@@ -28,7 +28,7 @@ use netsim::latency::MeasuredSetLatency;
 use netsim::{HostId, LatencyModel};
 
 use crate::adjust::adjust;
-use crate::critical::{critical, helpers_used, HelperPool};
+use crate::critical::{critical, helpers_used, try_critical, HelperPool};
 use crate::problem::Problem;
 use crate::tree::MulticastTree;
 
@@ -81,6 +81,48 @@ where
         adjust(&p2, &mut tree);
     }
     tree
+}
+
+/// [`staged_plan`], but `None` instead of a panic when the degree bounds
+/// cannot host a spanning tree in either stage — for planning under a
+/// restricted availability view (e.g. a multipath session budgeting member
+/// degrees for its standby trees), where infeasibility is an expected
+/// outcome the caller absorbs.
+pub fn try_staged_plan<M, E, D>(
+    root: HostId,
+    members: &[HostId],
+    measure: &M,
+    estimate: &E,
+    dbound: D,
+    pool: &HelperPool,
+    use_adjust: bool,
+) -> Option<MulticastTree>
+where
+    M: LatencyModel,
+    E: LatencyModel,
+    D: Fn(HostId) -> u32,
+{
+    let hybrid1 = MeasuredSetLatency::new(members.iter().copied(), measure, estimate);
+    let p1 = Problem::new(root, members.to_vec(), &hybrid1, &dbound);
+    let mut pool1 = pool.clone();
+    pool1.radius_ms = pool.radius_ms * SHORTLIST_RADIUS_FACTOR;
+    let draft = try_critical(&p1, &pool1)?;
+    let shortlist = helpers_used(&draft, members);
+
+    let measured: Vec<HostId> = members
+        .iter()
+        .copied()
+        .chain(shortlist.iter().copied())
+        .collect();
+    let hybrid2 = MeasuredSetLatency::new(measured, measure, estimate);
+    let p2 = Problem::new(root, members.to_vec(), &hybrid2, &dbound);
+    let mut pool2 = pool.clone();
+    pool2.set_candidates(shortlist);
+    let mut tree = try_critical(&p2, &pool2)?;
+    if use_adjust {
+        adjust(&p2, &mut tree);
+    }
+    Some(tree)
 }
 
 #[cfg(test)]

@@ -12,9 +12,14 @@
 //! and report what fraction of the surviving members still reach the root.
 //! Post-repair completeness is verified to be 100% in every case.
 //!
+//! With `--trace-out`, the heaviest stale-tree gather (f = 32, trial 0)
+//! carries a ring tracer and its structured gather-round trace lands in
+//! `results/ext_churn_trace.jsonl` (observation only — the repaired-census
+//! assertion is unchanged).
+//!
 //! Run with: `cargo run --release -p bench --bin ext_churn`
 
-use bench::{dump_json, mean};
+use bench::{dump_json, dump_jsonl, mean, trace_out_requested};
 use dht::Ring;
 use netsim::HostId;
 use rand::seq::SliceRandom;
@@ -57,10 +62,20 @@ fn main() {
                 |_m, now| FreshnessReport::of_member(now),
                 |a, b| if a == b { SimTime::ZERO } else { HOP },
             );
+            let traced = trace_out_requested() && f == 32 && trial == 0;
+            if traced {
+                sim.set_tracer(simcore::Tracer::ring(1 << 16));
+            }
             for &v in victims {
                 sim.kill_member(v);
             }
             sim.run_until(SimTime::from_secs(60));
+            if traced {
+                dump_jsonl(
+                    "ext_churn_trace",
+                    &simcore::trace::to_json_lines(&sim.take_trace()),
+                );
+            }
             let alive = (N as usize - f) as f64;
             let reported = sim
                 .views()

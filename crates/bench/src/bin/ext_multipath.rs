@@ -1,0 +1,327 @@
+//! Extension: multipath redundancy — k degree-disjoint trees per session.
+//!
+//! The pool's robustness payoff for cheap capacity is redundancy: each
+//! session plans k degree-disjoint delivery trees (a standby tree may not
+//! consume the same reserved degree units as the primary on any shared
+//! host, and per-host fan-out across trees is capped by the `bwest`
+//! estimate). When a crash breaks the primary, the market promotes the
+//! best surviving standby within one detection round and lazily re-plans
+//! the lost tree in the background.
+//!
+//! This binary sweeps crash rate × k and reports the three costs/benefits
+//! of that redundancy:
+//!
+//! * **delivery ratio** — per-round fraction of live members whose root
+//!   path is intact in at least one tree;
+//! * **failover latency** — rounds-to-restore: detection rounds from a
+//!   primary break until a tree is serving again (standby promotion closes
+//!   the window in ~1 round, a full re-plan takes longer);
+//! * **degree cost** — pool utilization and helpers recruited, which grow
+//!   with k.
+//!
+//! Three properties are asserted, not just measured:
+//!
+//! * **Zero-fault anchor** — the k=1 / rate-0 cell reproduces
+//!   `fig10_multi_session.json`'s sessions=20 row bit-identically (the
+//!   multipath machinery is a strict no-op at k=1);
+//! * **No leaks, no double-counting** — at every swept cell the audit is
+//!   clean (including the `tree-disjointness` invariant) and the leak
+//!   census finds zero degrees still booked past the horizon;
+//! * **Redundancy pays** — at crash rate 10%, k=2 delivers strictly more
+//!   than k=1.
+//!
+//! With `--trace-out`, the rate-0.10 / k=2 run carries a ring tracer and
+//! its structured event trace (failovers, rebuilds included) lands in
+//! `results/ext_multipath_trace.jsonl` (observation only).
+//!
+//! Set `EXT_MULTIPATH_SMOKE=1` for the CI slice: the full-size anchor
+//! cell plus one small-pool k=2 crash cell.
+//!
+//! Run with: `cargo run --release -p bench --bin ext_multipath`
+
+use bench::{dump_json, dump_jsonl, parallel_runs, results_dir, trace_out_requested};
+use netsim::NetworkConfig;
+use pool::{MarketConfig, MarketOutcome, MarketSim, PlanConfig, PoolConfig, ResourcePool};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use simcore::{FaultPlan, SimTime};
+
+const SESSIONS: usize = 20;
+const MEMBER_SIZE: usize = 20;
+const CRASH_RATES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+const KS: [usize; 3] = [1, 2, 3];
+
+fn main() {
+    let seed = 2010;
+    let smoke = std::env::var("EXT_MULTIPATH_SMOKE").is_ok();
+    println!("building the 1200-host resource pool (coordinates + bandwidth)...");
+    let pristine = ResourcePool::build(&PoolConfig::default(), seed);
+    let num_hosts = pristine.net.num_hosts();
+
+    // Every k at a given rate shares one crash plan (seeded per rate, same
+    // derivation as ext_market_faults) so the k columns are comparable.
+    let cells: Vec<(usize, usize)> = if smoke {
+        vec![(0, 0)] // rate 0, k=1: the anchor cell, full size.
+    } else {
+        (0..CRASH_RATES.len())
+            .flat_map(|r| (0..KS.len()).map(move |k| (r, k)))
+            .collect()
+    };
+
+    println!(
+        "\nmultipath market — {SESSIONS} sessions, crash rate × k swept:\n{:>6} {:>3} | {:>9} {:>9} | {:>9} {:>8} {:>8} | {:>6} {:>8}",
+        "rate", "k", "delivery", "restore", "failover", "rebuilt", "lost", "util", "helpers"
+    );
+    let outs: Vec<MarketOutcome> = parallel_runs(cells.len(), |i| {
+        let (r, ki) = cells[i];
+        let (rate, k) = (CRASH_RATES[r], KS[ki]);
+        let faults = crash_plan(rate, num_hosts, seed + r as u64);
+        let cfg = MarketConfig {
+            sessions: SESSIONS,
+            member_size: MEMBER_SIZE,
+            horizon: SimTime::from_secs(3600),
+            warmup: SimTime::from_secs(600),
+            plan: PlanConfig {
+                k_trees: k,
+                ..PlanConfig::default()
+            },
+            faults,
+            ..MarketConfig::default()
+        };
+        // Same sim seed as the fig10 sessions=20 sweep point, so the
+        // k=1 / rate-0 trajectory is the committed one.
+        let mut sim = MarketSim::new(pristine.clone(), cfg, seed + SESSIONS as u64);
+        if trace_out_requested() && rate == 0.10 && k == 2 {
+            sim.set_tracer(simcore::Tracer::ring(1 << 16));
+        }
+        sim.run()
+    });
+
+    let mut rows = Vec::new();
+    let mut delivery_10 = [f64::NAN; 3]; // delivery mean at rate 0.10, per k.
+    for (&(r, ki), out) in cells.iter().zip(&outs) {
+        let (rate, k) = (CRASH_RATES[r], KS[ki]);
+        if !out.trace.is_empty() {
+            dump_jsonl(
+                "ext_multipath_trace",
+                &simcore::trace::to_json_lines(&out.trace),
+            );
+        }
+        let imp: Vec<f64> = (1..=3).map(|p| out.class(p).improvement.mean()).collect();
+        let help: Vec<f64> = (1..=3).map(|p| out.class(p).helpers.mean()).collect();
+        let helpers_mean = help.iter().sum::<f64>() / 3.0;
+        println!(
+            "{:>5.0}% {:>3} | {:>8.2}% {:>9.2} | {:>9} {:>8} {:>8} | {:>5.1}% {:>8.2}",
+            rate * 100.0,
+            k,
+            out.delivery.mean() * 100.0,
+            out.restore_rounds.mean(),
+            out.tree_failovers,
+            out.trees_rebuilt,
+            out.sessions_lost(),
+            out.utilization.mean() * 100.0,
+            helpers_mean,
+        );
+        assert_cell_clean(out, rate, k);
+        if rate == 0.0 && k == 1 {
+            anchor_against_fig10(&imp, &help, out.plans);
+            assert_eq!(out.tree_failovers + out.trees_rebuilt, 0);
+        }
+        if rate == 0.10 {
+            delivery_10[ki] = out.delivery.mean();
+        }
+        rows.push(cell_json(rate, k, out, &imp, &help));
+    }
+
+    if !smoke {
+        // The redundancy payoff, asserted: at 10% crashes a second
+        // degree-disjoint tree must strictly raise the delivery ratio.
+        assert!(
+            delivery_10[1] > delivery_10[0],
+            "k=2 delivery ({}) not above k=1 ({}) at 10% crashes",
+            delivery_10[1],
+            delivery_10[0]
+        );
+    }
+
+    if smoke {
+        // One small-pool crash cell so CI exercises the failover/rebuild
+        // machinery end to end without the full-size sweep.
+        let small = ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: 300,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 5,
+                ..PoolConfig::default()
+            },
+            seed,
+        );
+        let rate = 0.10;
+        let cfg = MarketConfig {
+            sessions: 9,
+            member_size: 12,
+            horizon: SimTime::from_secs(1800),
+            warmup: SimTime::from_secs(300),
+            plan: PlanConfig {
+                k_trees: 2,
+                ..PlanConfig::default()
+            },
+            faults: crash_plan(rate, 300, seed + 2),
+            ..MarketConfig::default()
+        };
+        let out = MarketSim::new(small, cfg, seed).run();
+        println!(
+            "\n[smoke] 300-host k=2 cell at 10% crashes: delivery {:.2}%, {} failovers, {} rebuilds",
+            out.delivery.mean() * 100.0,
+            out.tree_failovers,
+            out.trees_rebuilt
+        );
+        assert_cell_clean(&out, rate, 2);
+        assert!(
+            out.delivery.count() > 0,
+            "smoke cell never sampled delivery"
+        );
+        rows.push(cell_json(
+            rate,
+            2,
+            &out,
+            &(1..=3)
+                .map(|p| out.class(p).improvement.mean())
+                .collect::<Vec<_>>(),
+            &(1..=3)
+                .map(|p| out.class(p).helpers.mean())
+                .collect::<Vec<_>>(),
+        ));
+    }
+
+    println!(
+        "\n(delivery is the per-round fraction of live members with an intact root path\n in ≥1 tree; restore is detection rounds from a primary break to a serving\n tree — standby promotion closes it in about one round, a re-plan takes more;\n utilization and helpers are the degree cost of the redundancy)"
+    );
+    dump_json(
+        "ext_multipath",
+        &json!({
+            "extension": "multipath",
+            "smoke": smoke,
+            "sessions": SESSIONS,
+            "member_size": MEMBER_SIZE,
+            "crash_rates": CRASH_RATES,
+            "ks": KS,
+            "anchor": "fig10_multi_session sessions=20 row, bit-identical at k=1 / rate 0",
+            "rows": rows,
+        }),
+    );
+}
+
+/// The hard acceptance gates, at every swept cell.
+fn assert_cell_clean(out: &MarketOutcome, rate: f64, k: usize) {
+    assert_eq!(
+        out.leaked_degrees, 0,
+        "rate {rate} k={k}: degrees leaked past the horizon"
+    );
+    assert_eq!(
+        out.audit.count_of("tree-disjointness"),
+        0,
+        "rate {rate} k={k}: cross-tree disjointness violated: {:?}",
+        out.audit.violations
+    );
+    assert!(
+        out.audit.is_clean(),
+        "rate {rate} k={k}: audit violations: {:?}",
+        out.audit.violations
+    );
+}
+
+fn cell_json(
+    rate: f64,
+    k: usize,
+    out: &MarketOutcome,
+    imp: &[f64],
+    help: &[f64],
+) -> serde_json::Value {
+    json!({
+        "crash_rate": rate,
+        "k": k,
+        "delivery": {"mean": out.delivery.mean(), "samples": out.delivery.count()},
+        "restore_rounds": {"mean": out.restore_rounds.mean(), "samples": out.restore_rounds.count()},
+        "tree_failovers": out.tree_failovers,
+        "trees_rebuilt": out.trees_rebuilt,
+        "failovers": out.failovers(),
+        "sessions_lost": out.sessions_lost(),
+        "crash_repairs": out.crash_repairs,
+        "utilization_mean": out.utilization.mean(),
+        "improvement": {"p1": imp[0], "p2": imp[1], "p3": imp[2]},
+        "helpers": {"p1": help[0], "p2": help[1], "p3": help[2]},
+        "plans": out.plans,
+        "leaked_degrees": out.leaked_degrees,
+        "audit": {
+            "samples": out.audit.samples,
+            "checks": out.audit.checks,
+            "violations": out.audit.violations.len(),
+        },
+    })
+}
+
+/// Crash `rate` of the pool's hosts permanently, at deterministic times
+/// staggered across the middle of the run — the same derivation as
+/// `ext_market_faults`, so cells at equal rates share a plan.
+fn crash_plan(rate: f64, num_hosts: usize, seed: u64) -> FaultPlan {
+    let n = (num_hosts as f64 * rate).round() as usize;
+    if n == 0 {
+        return FaultPlan::none();
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut hosts: Vec<usize> = (0..num_hosts).collect();
+    hosts.shuffle(&mut rng);
+    let mut plan = FaultPlan::none();
+    for &h in hosts.iter().take(n) {
+        let at = rng.random_range(600..2700u64);
+        plan = plan.crash_forever(h as u64, SimTime::from_secs(at));
+    }
+    plan
+}
+
+/// Compare the k=1 / rate-0 cell against the committed Figure 10 results:
+/// the multipath machinery must not move a single bit of the trajectory.
+fn anchor_against_fig10(imp: &[f64], help: &[f64], plans: u64) {
+    let path = results_dir().join("fig10_multi_session.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "anchor requires {} (run fig10_multi_session first): {e}",
+            path.display()
+        )
+    });
+    let fig10: serde_json::Value = serde_json::from_str(&text).expect("fig10 results parse");
+    let row = fig10
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .expect("rows")
+        .iter()
+        .find(|r| r.get("sessions").and_then(|s| s.as_u64()) == Some(SESSIONS as u64))
+        .expect("fig10 sessions=20 row");
+    let field = |outer: &str, p: &str| -> f64 {
+        row.get(outer)
+            .and_then(|o| o.get(p))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("fig10 row missing {outer}.{p}"))
+    };
+    for (i, p) in ["p1", "p2", "p3"].iter().enumerate() {
+        let want_imp = field("improvement", p);
+        let want_help = field("helpers", p);
+        assert!(
+            imp[i] == want_imp && help[i] == want_help,
+            "k=1 / rate-0 run diverged from fig10 at {p}: \
+             improvement {} vs {want_imp}, helpers {} vs {want_help}",
+            imp[i],
+            help[i],
+        );
+    }
+    assert_eq!(
+        row.get("plans").and_then(|v| v.as_u64()),
+        Some(plans),
+        "plan count diverged"
+    );
+    println!("  [anchor] k=1 / rate 0 reproduces fig10 sessions={SESSIONS} bit-identically");
+}

@@ -19,12 +19,17 @@
 //! * at 5% loss with 8 crashes the pipeline still reaches a 100%
 //!   post-repair census.
 //!
+//! With `--trace-out`, the heaviest cell (5% loss, 8 crashes, trial 0) is
+//! re-run once with a ring tracer attached and its structured repair-phase
+//! trace lands in `results/ext_recovery_trace.jsonl` (observation only —
+//! the asserted gates above are unchanged).
+//!
 //! Run with: `cargo run --release -p bench --bin ext_recovery`
 
-use bench::{dump_json, mean, parallel_runs};
+use bench::{dump_json, dump_jsonl, mean, parallel_runs, trace_out_requested};
 use dht::Ring;
 use netsim::HostId;
-use pool::recovery::{run_pipeline, RecoveryConfig, RecoveryOutcome};
+use pool::recovery::{run_pipeline, run_pipeline_traced, RecoveryConfig, RecoveryOutcome};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde_json::json;
@@ -188,6 +193,18 @@ fn main() {
                 "remap_fraction": o.timeline.remap.remap_fraction(),
             })).collect::<Vec<_>>(),
         }));
+    }
+
+    if trace_out_requested() {
+        // Observation only: replay the heaviest cell once with a tracer and
+        // dump the phase timeline. Determinism makes the replay identical to
+        // the asserted run above.
+        let mut tracer = simcore::Tracer::ring(1 << 16);
+        let _ = run_pipeline_traced(&cfg_for(0.05, 8, 0), &mut tracer);
+        dump_jsonl(
+            "ext_recovery_trace",
+            &simcore::trace::to_json_lines(&tracer.take_records()),
+        );
     }
 
     println!(

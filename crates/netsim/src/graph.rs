@@ -128,7 +128,10 @@ impl Graph {
     }
 }
 
-/// f32 wrapper that is `Ord` (no NaNs allowed in the heap).
+/// f32 wrapper that is `Ord`. `total_cmp` matches `partial_cmp` on the
+/// non-NaN, non-negative distances Dijkstra produces (the proptest below
+/// pins that) and stays a valid total order — instead of panicking — should
+/// a poisoned weight ever leak a NaN into the heap.
 #[derive(PartialEq, Clone, Copy)]
 struct OrdF32(f32);
 impl Eq for OrdF32 {}
@@ -139,7 +142,7 @@ impl PartialOrd for OrdF32 {
 }
 impl Ord for OrdF32 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN distance")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -199,6 +202,55 @@ mod tests {
         g.add_edge(0, 1, 9.0);
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.dijkstra(0)[1], 1.0);
+    }
+
+    /// Naive single-source shortest paths selecting the next settled node
+    /// with the historical `partial_cmp().unwrap()` comparator — the
+    /// reference the `total_cmp` heap is pinned against.
+    fn dijkstra_ref(g: &Graph, src: u32) -> Vec<f32> {
+        let n = g.len();
+        let mut dist = vec![f32::INFINITY; n];
+        let mut done = vec![false; n];
+        dist[src as usize] = 0.0;
+        for _ in 0..n {
+            let Some(v) = (0..n)
+                .filter(|&v| !done[v] && dist[v].is_finite())
+                .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap())
+            else {
+                break;
+            };
+            done[v] = true;
+            for &(u, w) in g.neighbors(v as u32) {
+                let nd = dist[v] + w;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                }
+            }
+        }
+        dist
+    }
+
+    proptest::proptest! {
+        // On NaN-free random graphs (quantized weights make equal-distance
+        // ties common), the `total_cmp`-ordered heap computes bit-identical
+        // distances to the historical `partial_cmp` selection order.
+        #[test]
+        fn dijkstra_matches_partial_cmp_reference_on_nan_free_graphs(
+            edges in proptest::collection::vec((0u32..12, 0u32..12, 1u32..20), 1..40),
+        ) {
+            let mut g = Graph::with_nodes(12);
+            for &(a, b, w) in &edges {
+                if a != b {
+                    g.add_edge(a, b, w as f32 * 0.5);
+                }
+            }
+            for src in 0..12u32 {
+                let fast = g.dijkstra(src);
+                let slow = dijkstra_ref(&g, src);
+                let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                proptest::prop_assert_eq!(bits(&fast), bits(&slow));
+            }
+        }
     }
 
     #[test]

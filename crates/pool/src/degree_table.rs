@@ -218,6 +218,27 @@ impl DegreeTable {
         freed
     }
 
+    /// Release up to `count` degrees `session` holds at `rank` — the
+    /// partial-release primitive the multipath planner uses to roll back or
+    /// tear down **one** of a session's trees while the others keep their
+    /// units. Returns the degrees actually freed (0 if the session holds
+    /// nothing at that rank); idempotent like [`DegreeTable::release`].
+    pub fn release_count(&mut self, session: SessionId, rank: Rank, count: u32) -> u32 {
+        let Some(i) = self
+            .alloc
+            .iter()
+            .position(|a| a.session == session && a.rank == rank)
+        else {
+            return 0;
+        };
+        let take = count.min(self.alloc[i].count);
+        self.alloc[i].count -= take;
+        if self.alloc[i].count == 0 {
+            self.alloc.swap_remove(i);
+        }
+        take
+    }
+
     /// Extend every lease `session` holds on this host to `expires_at`
     /// (never shortening an existing lease, never demoting a permanent
     /// reservation). Returns the number of degrees renewed — 0 tells a task
@@ -356,6 +377,26 @@ mod tests {
         // Releasing a session that never reserved is equally harmless.
         assert_eq!(t.release(SessionId(1000)), 0);
         assert_eq!(t.free(), 3);
+    }
+
+    #[test]
+    fn release_count_frees_one_trees_worth_and_keeps_the_rest() {
+        // A multipath session holds 3 member-rank degrees (2 trees' worth on
+        // this host: 2 + 1) plus an unrelated helper claim. Tearing down one
+        // tree returns exactly its degree, leaving the other allocations.
+        let mut t = DegreeTable::new(6);
+        t.reserve(SessionId(7), Rank::MEMBER, 3).unwrap();
+        t.reserve(SessionId(7), Rank::helper(2), 2).unwrap();
+        assert_eq!(t.release_count(SessionId(7), Rank::MEMBER, 1), 1);
+        assert_eq!(t.held_by(SessionId(7)), 4);
+        assert_eq!(t.free(), 2);
+        // Over-asking is clamped to what the (session, rank) pair holds…
+        assert_eq!(t.release_count(SessionId(7), Rank::MEMBER, 99), 2);
+        // …and a drained allocation disappears: further releases are no-ops.
+        assert_eq!(t.release_count(SessionId(7), Rank::MEMBER, 1), 0);
+        assert_eq!(t.release_count(SessionId(8), Rank::helper(2), 1), 0);
+        assert_eq!(t.held_by(SessionId(7)), 2);
+        assert_eq!(t.free() + t.used(), t.dbound());
     }
 
     #[test]

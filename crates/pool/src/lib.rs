@@ -393,6 +393,30 @@ impl ResourcePool {
         freed
     }
 
+    /// Release up to `count` degrees a session holds on `h` at `rank` — the
+    /// per-tree teardown of the multipath planner: dropping one of a
+    /// session's k trees returns exactly that tree's units while the other
+    /// trees keep theirs. The holdings mirror stays exact: the host entry
+    /// survives while any units remain. Returns the degrees freed.
+    pub fn release_degrees(
+        &mut self,
+        h: HostId,
+        session: SessionId,
+        rank: Rank,
+        count: u32,
+    ) -> u32 {
+        let freed = self.tables[h.idx()].release_count(session, rank, count);
+        if freed > 0 && self.tables[h.idx()].held_by(session) == 0 {
+            if let Some(held) = self.holdings.get_mut(&session) {
+                held.retain(|x| *x != h);
+                if held.is_empty() {
+                    self.holdings.remove(&session);
+                }
+            }
+        }
+        freed
+    }
+
     /// Extend every lease a session holds pool-wide to `expires_at` — the
     /// task manager's periodic renewal. Returns the degrees renewed; a
     /// session whose claims have already lapsed gets 0 back.

@@ -49,15 +49,27 @@
 //!   session's holdings from the SOMO-published degree tables (the pool's
 //!   authoritative holdings) and replans; a session with no survivors is
 //!   lost and its leases lapse;
+//! * with [`PlanConfig::k_trees`] > 1 each session also reserves up to
+//!   `k_trees − 1` **degree-disjoint standby trees**
+//!   ([`crate::task_manager::plan_standby_trees`]); the source pushes the
+//!   stream down every tree at once, so a member keeps receiving while its
+//!   root path survives in *any* tree. A crash that breaks the primary
+//!   promotes the best intact standby within one detection round
+//!   ([`simcore::trace::TraceEvent::MarketTreeFailover`]) and the lost
+//!   trees are lazily re-planned in the background
+//!   ([`simcore::trace::TraceEvent::MarketTreeRebuilt`]); per-round
+//!   delivery ratios and rounds-to-restore land in
+//!   [`MarketOutcome::delivery`] / [`MarketOutcome::restore_rounds`];
 //! * a registerable invariant set ([`market_invariants`]) is sampled on the
 //!   event clock by a [`simcore::Auditor`] — degree conservation,
-//!   lease/holder consistency and tree degree bounds — hard-failing under
-//!   `debug-assertions`.
+//!   lease/holder consistency, tree degree bounds and cross-tree
+//!   disjointness — hard-failing under `debug-assertions`.
 //!
 //! With an empty fault plan none of the extra events are scheduled and the
 //! trajectory is bit-identical to the fault-oblivious market.
 
 use alm::dynamic::{reattach_orphans, ReattachConfig};
+use alm::multipath::{best_surviving, check_disjointness, delivery_ratio, tree_intact};
 use alm::{MulticastTree, Problem};
 use netsim::HostId;
 use rand::Rng;
@@ -69,8 +81,8 @@ use simcore::{EventQueue, FaultPlan, MetricsRegistry, SimTime};
 
 use crate::degree_table::SessionId;
 use crate::task_manager::{
-    plan_and_reserve_from_query_leased, plan_and_reserve_from_view_leased, plan_and_reserve_leased,
-    PlanConfig, SessionSpec,
+    fanout_cap, plan_and_reserve_from_query_leased, plan_and_reserve_from_view_leased,
+    plan_and_reserve_leased, plan_standby_trees, PlanConfig, SessionSpec,
 };
 use crate::ResourcePool;
 use somo::traffic::TrafficLedger;
@@ -225,6 +237,20 @@ pub struct MarketOutcome {
     /// active. The crash-tolerance contract is that this is 0: every
     /// crashed session either failed over or had its leases lapse.
     pub leaked_degrees: u32,
+    /// Per-round, per-session delivery ratio samples (fault runs only):
+    /// the fraction of a session's live members receiving through at least
+    /// one of its trees, sampled every detection round after warm-up.
+    pub delivery: OnlineStats,
+    /// Rounds-to-restore samples: for each outage (a crash hitting the
+    /// serving tree or its source), how many detection rounds passed until
+    /// the session had an intact serving tree again — standby promotion,
+    /// in-place repair, or full replan, whichever landed first.
+    pub restore_rounds: OnlineStats,
+    /// Multipath failovers: a broken primary replaced by an intact standby
+    /// tree within one detection round.
+    pub tree_failovers: u64,
+    /// Standby trees lazily re-planned after crashes broke them.
+    pub trees_rebuilt: u64,
     /// Invariant-audit results for the whole run (empty when auditing is
     /// disabled).
     pub audit: AuditReport,
@@ -266,7 +292,11 @@ impl MarketOutcome {
         reg.add("market.resync_fallbacks", self.resync_fallbacks);
         reg.add("market.lapsed_lease_degrees", self.lapsed_lease_degrees);
         reg.add("market.leaked_degrees", self.leaked_degrees as u64);
+        reg.add("market.tree_failovers", self.tree_failovers);
+        reg.add("market.trees_rebuilt", self.trees_rebuilt);
         reg.set_gauge("market.utilization_mean", self.utilization.mean());
+        reg.set_gauge("market.delivery_mean", self.delivery.mean());
+        reg.set_gauge("market.restore_rounds_mean", self.restore_rounds.mean());
         for (k, p) in self.per_priority.iter().enumerate() {
             let n = k + 1;
             reg.add(&format!("market.p{n}.preemptions"), p.preemptions);
@@ -301,6 +331,10 @@ enum Ev {
     DetectCrash(usize, u64),
     /// The deputy concludes the session root is dead and takes over.
     Failover(usize, u64),
+    /// Lazy background rebuild of a multipath session's lost standby trees.
+    RebuildTree(usize, u64),
+    /// Periodic read-only delivery-accounting sample (fault runs only).
+    DeliveryRound,
     /// Periodic lease-expiry sweep (scheduled only under a fault plan).
     ExpireLeases,
     /// Periodic invariant-audit sample.
@@ -316,6 +350,13 @@ struct Slot {
     defers: u64,
     /// The session's current reserved tree, kept for crash repair.
     tree: Option<MulticastTree>,
+    /// Reserved standby trees (trees 2..=k of a multipath plan; empty at
+    /// `k_trees = 1`).
+    standby: Vec<MulticastTree>,
+    /// When the current outage opened: a crash hit the serving tree (or
+    /// its source) and no repair, promotion or replan has landed yet.
+    /// Rounds-to-restore bookkeeping only.
+    broken_since: Option<SimTime>,
 }
 
 /// The market simulator.
@@ -361,6 +402,8 @@ impl MarketSim {
                     cycle: 0,
                     defers: 0,
                     tree: None,
+                    standby: Vec::new(),
+                    broken_since: None,
                 }
             })
             .collect();
@@ -384,6 +427,12 @@ impl MarketSim {
                 }
             }
             queue.schedule(cfg.replan_period, Ev::ExpireLeases);
+            // Delivery accounting samples once per detection round. The
+            // handler is strictly read-only (no pool, RNG or schedule
+            // mutation beyond its own re-arm), so the extra events cannot
+            // perturb the fault trajectory; zero-fault runs schedule none
+            // and stay bit-identical.
+            queue.schedule(cfg.detect_delay, Ev::DeliveryRound);
         }
         let auditor = cfg.audit_period.map(Auditor::every);
         if auditor.is_some() {
@@ -487,6 +536,8 @@ impl MarketSim {
                 }
                 self.slots[i].active = false;
                 self.slots[i].tree = None;
+                self.slots[i].standby.clear();
+                self.slots[i].broken_since = None;
                 self.pool.release_session(self.slots[i].spec.id);
                 let session = self.slots[i].spec.id.0;
                 self.tracer
@@ -551,6 +602,12 @@ impl MarketSim {
             }
             Ev::DetectCrash(i, cycle) => self.detect_crash(i, cycle, now),
             Ev::Failover(i, cycle) => self.failover(i, cycle, now),
+            Ev::RebuildTree(i, cycle) => self.rebuild_standby(i, cycle, now),
+            Ev::DeliveryRound => {
+                self.sample_delivery(now);
+                self.queue
+                    .schedule(now + self.cfg.detect_delay, Ev::DeliveryRound);
+            }
             Ev::ExpireLeases => {
                 let mut lapsed = 0u64;
                 for (_, degrees) in self.pool.expire_leases(now) {
@@ -593,7 +650,14 @@ impl MarketSim {
                 continue;
             }
             let cycle = slot.cycle;
-            if slot.spec.root == h {
+            let is_root = slot.spec.root == h;
+            let in_tree = slot.tree.as_ref().is_some_and(|t| t.contains(h));
+            if is_root {
+                // The serving tree lost its source: open the outage window
+                // the deputy's replan will close.
+                if slot.tree.is_some() && slot.broken_since.is_none() {
+                    self.slots[i].broken_since = Some(now);
+                }
                 if self.cfg.failover {
                     // The deputy notices the silent task manager after the
                     // failover delay (a missed renewal round).
@@ -602,9 +666,13 @@ impl MarketSim {
                 }
                 // Without failover the session dies in place; its leases
                 // lapse through the expiry sweep.
-            } else if slot.tree.as_ref().is_some_and(|t| t.contains(h))
-                || self.pool.holds_on(slot.spec.id, h)
-            {
+            } else if in_tree || self.pool.holds_on(slot.spec.id, h) {
+                // A standby-only loss (the host is held but not in the
+                // serving tree) does not open the outage window: the
+                // primary keeps delivering throughout.
+                if in_tree && slot.broken_since.is_none() {
+                    self.slots[i].broken_since = Some(now);
+                }
                 self.queue
                     .schedule(now + self.cfg.detect_delay, Ev::DetectCrash(i, cycle));
             }
@@ -645,7 +713,11 @@ impl MarketSim {
             .copied()
             .filter(|&x| !self.pool.is_alive(x))
             .collect();
-        if dead.is_empty() {
+        let standby_broken = self.slots[i]
+            .standby
+            .iter()
+            .any(|t| !tree_intact(t, |x| self.pool.is_alive(x)));
+        if dead.is_empty() && !standby_broken {
             return;
         }
         {
@@ -662,6 +734,17 @@ impl MarketSim {
             self.outcome.per_priority[(spec.priority - 1) as usize].helper_crashes +=
                 crashed_helpers as u64;
         }
+        // Multipath sessions respond by failover, not in-place repair: an
+        // intact tree (the primary, or the best standby promoted in its
+        // place) keeps serving while the lost trees are lazily re-planned
+        // in the background. Only when *no* tree survived does the legacy
+        // repair below patch the primary.
+        if !self.slots[i].standby.is_empty() && self.multipath_failover(i, cycle, now, &dead) {
+            return;
+        }
+        if dead.is_empty() {
+            return;
+        }
         // Patch the broken tree in place: each orphaned subtree re-attaches
         // with bounded retries and capped exponential backoff (the PR 1
         // recovery machinery), so the session keeps flowing.
@@ -675,6 +758,9 @@ impl MarketSim {
         self.outcome.crash_repair_retries += report.retries;
         self.outcome.crash_repair_gave_up += report.gave_up as u64;
         self.slots[i].tree = Some(repaired.clone());
+        // The repaired tree serves again (best-effort when subtrees were
+        // abandoned): the outage window closes here.
+        self.close_outage(i, now);
         // Incremental mode: the repaired tree *is* the new plan — only the
         // orphaned subtrees moved, so re-syncing the reservations to it is
         // the whole response; no full replan runs. A repair that abandoned
@@ -734,7 +820,15 @@ impl MarketSim {
         preempted.sort_unstable();
         preempted.dedup();
         preempted.retain(|&s| s != spec.id);
-        for victim in preempted {
+        self.notify_preempted(&preempted, now);
+        true
+    }
+
+    /// Notify preemption victims: each active, not-already-pending victim
+    /// replans after a 1 s revocation-notice delay. Duplicates are harmless
+    /// (the pending flag absorbs them).
+    fn notify_preempted(&mut self, victims: &[SessionId], now: SimTime) {
+        for &victim in victims {
             let vi = victim.0 as usize;
             if self.slots[vi].active && !self.slots[vi].replan_pending {
                 self.slots[vi].replan_pending = true;
@@ -746,7 +840,187 @@ impl MarketSim {
                     .schedule(now + SimTime::from_secs(1), Ev::PreemptReplan(vi));
             }
         }
+    }
+
+    /// Close a slot's outage window, if one is open: the session has an
+    /// intact serving tree again. Samples rounds-to-restore — outage
+    /// duration in units of the crash-detection period — after warm-up.
+    fn close_outage(&mut self, i: usize, now: SimTime) {
+        let Some(t0) = self.slots[i].broken_since.take() else {
+            return;
+        };
+        if now >= self.cfg.warmup {
+            let period = self.cfg.detect_delay.as_micros().max(1) as f64;
+            let rounds = now.as_micros().saturating_sub(t0.as_micros()) as f64 / period;
+            self.outcome.restore_rounds.push(rounds);
+        }
+    }
+
+    /// One detection round of a multipath session: promote the best intact
+    /// tree to primary if the primary broke, release every broken tree's
+    /// surviving claims degree-for-degree, and queue the lazy background
+    /// rebuild. Returns `true` when the session is left with an intact
+    /// primary — the caller's in-place repair is then unnecessary — and
+    /// `false` when every tree lost a host (the legacy repair takes over;
+    /// the broken standbys are already released and queued for rebuild).
+    fn multipath_failover(
+        &mut self,
+        i: usize,
+        cycle: u64,
+        now: SimTime,
+        dead_primary: &[HostId],
+    ) -> bool {
+        let session = self.slots[i].spec.id;
+        let mut all: Vec<MulticastTree> = Vec::with_capacity(1 + self.slots[i].standby.len());
+        all.push(
+            self.slots[i]
+                .tree
+                .clone()
+                .expect("caller cloned the primary"),
+        );
+        all.append(&mut self.slots[i].standby);
+        let best = if dead_primary.is_empty() {
+            Some(0)
+        } else {
+            best_surviving(&all, |x| self.pool.is_alive(x))
+        };
+        let Some(best) = best else {
+            // No tree survived intact. Release the broken standbys — the
+            // primary stays booked for the caller's in-place repair — and
+            // queue the rebuild.
+            for t in &all[1..] {
+                self.release_tree_degrees(i, t);
+            }
+            self.queue
+                .schedule(now + self.cfg.detect_delay, Ev::RebuildTree(i, cycle));
+            return false;
+        };
+        if best != 0 {
+            // Failover: an intact standby takes over as the serving tree
+            // within this detection round.
+            self.outcome.tree_failovers += 1;
+            let survivor = best as u32;
+            self.tracer.emit(now, || TraceEvent::MarketTreeFailover {
+                session: session.0,
+                survivor,
+            });
+        }
+        let mut rebuild = false;
+        for (j, t) in all.into_iter().enumerate() {
+            if j == best {
+                self.slots[i].tree = Some(t);
+            } else if j != 0 && tree_intact(&t, |x| self.pool.is_alive(x)) {
+                self.slots[i].standby.push(t);
+            } else {
+                // The broken old primary (when a standby took over) or a
+                // broken standby: hand its surviving claims back.
+                self.release_tree_degrees(i, &t);
+                rebuild = true;
+            }
+        }
+        self.close_outage(i, now);
+        if rebuild {
+            // Lazily re-plan the lost trees in the background, one
+            // detection round out.
+            self.queue
+                .schedule(now + self.cfg.detect_delay, Ev::RebuildTree(i, cycle));
+        }
         true
+    }
+
+    /// Return one broken tree's surviving claims to the pool: every live
+    /// host gives back exactly the tree's degree there (claims on dead
+    /// hosts were already swept by the stranded-claim release). Shared
+    /// hosts keep the degrees the session's other trees booked —
+    /// [`ResourcePool::release_degrees`] is count-exact, never a full
+    /// release.
+    fn release_tree_degrees(&mut self, i: usize, tree: &MulticastTree) {
+        let id = self.slots[i].spec.id;
+        let helper_rank = crate::Rank::helper(self.slots[i].spec.priority);
+        let members = self.slots[i].spec.members.clone();
+        for &h in tree.hosts() {
+            if !self.pool.is_alive(h) {
+                continue;
+            }
+            let rank = if members.contains(&h) {
+                crate::Rank::MEMBER
+            } else {
+                helper_rank
+            };
+            self.pool.release_degrees(h, id, rank, tree.degree(h));
+        }
+    }
+
+    /// Lazy background rebuild of a multipath session's lost standby trees:
+    /// plan replacements around the current primary and the surviving
+    /// standbys, under the same residual-capacity and fan-out-cap rules as
+    /// the original plan. Best-effort — a pool with no spare capacity
+    /// leaves the session at reduced redundancy until the next replan tops
+    /// it up.
+    fn rebuild_standby(&mut self, i: usize, cycle: u64, now: SimTime) {
+        if !self.slots[i].active || self.slots[i].cycle != cycle || self.cfg.plan.k_trees <= 1 {
+            return;
+        }
+        let mut spec = self.slots[i].spec.clone();
+        if !self.pool.is_alive(spec.root) {
+            return;
+        }
+        spec.members.retain(|&m| self.pool.is_alive(m));
+        if spec.members.len() < 2 {
+            return;
+        }
+        let Some(primary) = self.slots[i].tree.clone() else {
+            return;
+        };
+        if !tree_intact(&primary, |x| self.pool.is_alive(x)) {
+            // The primary broke again since this rebuild was queued; the
+            // pending detection round owns the session.
+            return;
+        }
+        let existing = std::mem::take(&mut self.slots[i].standby);
+        let lease = Some(now + self.cfg.lease_ttl);
+        let out = plan_standby_trees(
+            &mut self.pool,
+            &spec,
+            &self.cfg.plan,
+            &primary,
+            &existing,
+            lease,
+        );
+        let added = out.trees.len() as u32;
+        self.slots[i].standby = existing;
+        self.slots[i].standby.extend(out.trees);
+        if added > 0 {
+            self.outcome.trees_rebuilt += added as u64;
+            let session = spec.id.0;
+            self.tracer.emit(now, || TraceEvent::MarketTreeRebuilt {
+                session,
+                trees: added,
+            });
+        }
+        self.notify_preempted(&out.preempted, now);
+    }
+
+    /// One read-only delivery-accounting round: for every active session
+    /// with a tree, the fraction of its live members receiving through at
+    /// least one of its trees right now. Pure observation — nothing in the
+    /// pool, the slots or the RNG stream is touched, so the sampling rounds
+    /// cannot perturb the trajectory they measure.
+    fn sample_delivery(&mut self, now: SimTime) {
+        if now < self.cfg.warmup {
+            return;
+        }
+        for slot in &self.slots {
+            if !slot.active {
+                continue;
+            }
+            let Some(tree) = &slot.tree else { continue };
+            let mut trees: Vec<MulticastTree> = Vec::with_capacity(1 + slot.standby.len());
+            trees.push(tree.clone());
+            trees.extend(slot.standby.iter().cloned());
+            let ratio = delivery_ratio(&trees, &slot.spec.members, |x| self.pool.is_alive(x));
+            self.outcome.delivery.push(ratio);
+        }
     }
 
     /// Deputy takeover: the lowest-ID surviving member reconstructs the
@@ -787,6 +1061,8 @@ impl MarketSim {
                     .emit(now, || TraceEvent::MarketSessionLost { session: spec.id.0 });
                 self.slots[i].active = false;
                 self.slots[i].tree = None;
+                self.slots[i].standby.clear();
+                self.slots[i].broken_since = None;
                 self.slots[i].defers += 1;
                 let mut rng = derive_rng2(self.seed, 0x0F00 + i as u64, self.slots[i].defers);
                 let gap = jittered(self.cfg.mean_gap, &mut rng);
@@ -806,12 +1082,15 @@ impl MarketSim {
             .map(|s| SessionAuditEntry {
                 id: s.spec.id,
                 active: s.active,
+                replan_pending: s.replan_pending,
                 root: s.spec.root,
                 tree: s.tree.as_ref(),
+                standby: s.standby.as_slice(),
             })
             .collect();
         let view = MarketAuditView {
             pool: &self.pool,
+            plan: &self.cfg.plan,
             sessions,
         };
         aud.sample(&market_invariants(), &view, now);
@@ -833,6 +1112,8 @@ impl MarketSim {
                 // Nobody to multicast to: hold no degrees while dormant.
                 self.pool.release_session(spec.id);
                 self.slots[i].tree = None;
+                self.slots[i].standby.clear();
+                self.slots[i].broken_since = None;
                 let session = spec.id.0;
                 self.tracer
                     .emit(now, || TraceEvent::MarketRelease { session });
@@ -862,6 +1143,20 @@ impl MarketSim {
             plan_and_reserve_leased(&mut self.pool, &spec, &self.cfg.plan, lease)
         };
         self.slots[i].tree = Some(out.tree.clone());
+        // A fresh plan is an intact serving tree: close any open outage
+        // window (no-op on fault-free runs — the window never opens).
+        self.close_outage(i, now);
+        // Multipath sessions plan their standby trees right behind the
+        // primary, against the residual capacity the primary left; the
+        // planner-work deltas above deliberately include this work.
+        let mut preempted = out.preempted;
+        self.slots[i].standby.clear();
+        if self.cfg.plan.k_trees > 1 {
+            let standby =
+                plan_standby_trees(&mut self.pool, &spec, &self.cfg.plan, &out.tree, &[], lease);
+            preempted.extend(standby.preempted);
+            self.slots[i].standby = standby.trees;
+        }
         self.outcome.plans += 1;
         if trace_on {
             let (session, hosts) = (spec.id.0, out.tree.len() as u32);
@@ -889,18 +1184,7 @@ impl MarketSim {
         }
         // Victims replan shortly (they detect the loss via their reservation
         // being revoked; modeled as a 1 s notification delay).
-        for victim in out.preempted {
-            let vi = victim.0 as usize;
-            if self.slots[vi].active && !self.slots[vi].replan_pending {
-                self.slots[vi].replan_pending = true;
-                if now >= self.cfg.warmup {
-                    self.outcome.per_priority[(self.slots[vi].spec.priority - 1) as usize]
-                        .preemptions += 1;
-                }
-                self.queue
-                    .schedule(now + SimTime::from_secs(1), Ev::PreemptReplan(vi));
-            }
-        }
+        self.notify_preempted(&preempted, now);
     }
 }
 
@@ -910,16 +1194,24 @@ pub struct SessionAuditEntry<'a> {
     pub id: SessionId,
     /// Whether the session is currently active.
     pub active: bool,
+    /// Whether a preemption replan is scheduled but not yet run — the
+    /// session's trees are stale until it fires.
+    pub replan_pending: bool,
     /// Current root (post-failover if one happened).
     pub root: HostId,
     /// The reserved tree, when one exists.
     pub tree: Option<&'a MulticastTree>,
+    /// The reserved standby trees (multipath sessions; empty otherwise).
+    pub standby: &'a [MulticastTree],
 }
 
 /// Read-only bundle of market state handed to the registered invariants.
 pub struct MarketAuditView<'a> {
     /// The pool (degree tables, holdings, liveness).
     pub pool: &'a ResourcePool,
+    /// The shared planner configuration (the fan-out caps of the
+    /// tree-disjointness invariant need the stream rate).
+    pub plan: &'a PlanConfig,
     /// Every session slot.
     pub sessions: Vec<SessionAuditEntry<'a>>,
 }
@@ -1036,14 +1328,63 @@ fn inv_tree_degree_bounds(v: &MarketAuditView<'_>, ctx: &mut AuditCtx<'_>) {
     }
 }
 
+/// No degree unit double-counted across a multipath session's trees, and
+/// no host driven past its access-bandwidth fan-out cap: for every active
+/// session holding standby trees, the summed per-host tree degree must
+/// stay within what the session has actually reserved there, and the
+/// summed per-host fan-out (children only) within [`fanout_cap`].
+///
+/// Two transient states are exempt, both repaired within one scheduled
+/// event: a session whose reservation was preempted keeps its stale trees
+/// until the 1 s replan notification fires (`replan_pending`), and a tree
+/// spanning a just-crashed host references degrees the stranded-claim
+/// sweep already released — dead hosts are unconstrained until the
+/// detection round replaces the tree.
+fn inv_tree_disjointness(v: &MarketAuditView<'_>, ctx: &mut AuditCtx<'_>) {
+    for s in &v.sessions {
+        if !s.active || s.replan_pending || s.standby.is_empty() {
+            continue;
+        }
+        let Some(primary) = s.tree else { continue };
+        let mut trees: Vec<MulticastTree> = Vec::with_capacity(1 + s.standby.len());
+        trees.push(primary.clone());
+        trees.extend_from_slice(s.standby);
+        let violations = check_disjointness(
+            &trees,
+            |h| {
+                if v.pool.is_alive(h) {
+                    v.pool.table(h).held_by(s.id)
+                } else {
+                    u32::MAX
+                }
+            },
+            |h| {
+                if v.pool.is_alive(h) {
+                    fanout_cap(v.pool, primary, v.plan, h)
+                } else {
+                    u32::MAX
+                }
+            },
+        );
+        ctx.check(violations.is_empty(), || {
+            format!(
+                "session {:?} cross-tree capacity violations: {violations:?}",
+                s.id
+            )
+        });
+    }
+}
+
 /// The market's registered invariants: degree conservation (reserved ≤
-/// capacity, no double-booking), lease/holder consistency, and tree degree
-/// bounds. Rebuilt per sample — the set is a handful of `fn` pointers.
+/// capacity, no double-booking), lease/holder consistency, tree degree
+/// bounds, and cross-tree disjointness of multipath sessions. Rebuilt per
+/// sample — the set is a handful of `fn` pointers.
 pub fn market_invariants<'a>() -> InvariantSet<MarketAuditView<'a>> {
     InvariantSet::new()
         .register("degree-conservation", inv_degree_conservation)
         .register("lease-holder-consistency", inv_lease_holder_consistency)
         .register("tree-degree-bounds", inv_tree_degree_bounds)
+        .register("tree-disjointness", inv_tree_disjointness)
 }
 
 /// Draw a duration uniformly in [0.5, 1.5] × mean.
@@ -1308,6 +1649,66 @@ mod tests {
         assert!(out.audit.samples > 0);
         // No dead host still carries booked degrees once the dust settles:
         // detection released them or their leases lapsed.
+        for h in pool.net.hosts.ids() {
+            if !pool.is_alive(h) {
+                let t = pool.table(h);
+                for s in pool.sessions_holding() {
+                    assert!(
+                        t.held_by(s) == 0 || pool.holds_on(s, h),
+                        "ghost claim on dead {h:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multipath_sessions_fail_over_and_stay_leak_free() {
+        // Same helper-crash workload as above, but every session plans one
+        // degree-disjoint standby tree. Broken primaries must be replaced
+        // by intact standbys within a detection round, lost trees must be
+        // lazily rebuilt, and the books must still balance — including the
+        // new cross-tree disjointness invariant sampled all run long.
+        let pool = small_pool(21);
+        let seed = 21;
+        let sessions = 9;
+        let member_hosts: std::collections::HashSet<netsim::HostId> = pool
+            .partition_members(sessions, 12, seed)
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut faults = simcore::FaultPlan::none();
+        for h in pool.net.hosts.ids() {
+            if !member_hosts.contains(&h) && h.0 % 4 == 0 {
+                faults = faults.crash_forever(h.0 as u64, SimTime::from_secs(700 + h.0 as u64));
+            }
+        }
+        let cfg = MarketConfig {
+            faults,
+            plan: PlanConfig {
+                model: PlanModel::Oracle,
+                k_trees: 2,
+                ..PlanConfig::default()
+            },
+            ..faulty_cfg(sessions)
+        };
+        let (out, pool) = MarketSim::new(pool, cfg, seed).run_full();
+        assert!(
+            out.tree_failovers > 0,
+            "no standby tree was ever promoted — workload too thin"
+        );
+        assert!(out.trees_rebuilt > 0, "no lost tree was ever rebuilt");
+        assert!(out.delivery.count() > 0, "delivery was never sampled");
+        assert!(
+            out.delivery.mean() > 0.9,
+            "multipath delivery collapsed: {}",
+            out.delivery.mean()
+        );
+        assert!(out.restore_rounds.count() > 0, "no outage was ever closed");
+        assert_eq!(out.leaked_degrees, 0, "sessions leaked degrees");
+        assert!(out.audit.is_clean(), "audit: {:?}", out.audit.violations);
+        assert!(out.audit.samples > 0);
+        // Dead hosts carry no ghost claims once the dust settles.
         for h in pool.net.hosts.ids() {
             if !pool.is_alive(h) {
                 let t = pool.table(h);

@@ -494,18 +494,18 @@ fn pick_session(cfg: &RecoveryConfig, dead_hosts: &[HostId]) -> Vec<HostId> {
 }
 
 /// Hosts reachable from the tree root without passing through a dead host
-/// (the root itself counts — it is a session member).
+/// (the root itself counts — it is a session member). Delegates to the
+/// shared multipath delivery model so this pipeline and the market's
+/// per-round delivery accounting agree on what "cut off" means; the
+/// members-only session tree makes every tree host a member.
 fn reachable_avoiding(tree: &MulticastTree, dead: &[HostId]) -> usize {
-    let mut seen = 0usize;
-    let mut stack = vec![tree.root()];
-    while let Some(u) = stack.pop() {
-        if dead.contains(&u) {
-            continue;
-        }
-        seen += 1;
-        stack.extend(tree.children_of(u));
+    let alive = |h: HostId| !dead.contains(&h);
+    if !alive(tree.root()) {
+        return 0;
     }
-    seen
+    // `delivered_members` excludes the root (a source doesn't deliver to
+    // itself), which counts here as a reachable session member.
+    alm::multipath::delivered_members(tree, tree.hosts(), &alive).len() + 1
 }
 
 /// Multiply a [`SimTime`] by an integer factor.

@@ -19,7 +19,10 @@
 //! members-only AMCast baseline, the paper's headline metric.
 
 use alm::critical::helpers_used;
-use alm::{adjust, amcast, critical, HelperPool, HelperStrategy, MulticastTree, Problem};
+use alm::{
+    adjust, amcast, critical, try_amcast, try_critical, HelperPool, HelperStrategy, MulticastTree,
+    Problem,
+};
 use netsim::{HostId, LatencyModel};
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
@@ -63,6 +66,14 @@ pub struct PlanConfig {
     /// nearest SOMO ancestor that provably covers the demand (the paper's
     /// locality discipline), `false` from the root (pool-wide exact top-k).
     pub query_local: bool,
+    /// Trees planned per session: the primary plus `k_trees - 1`
+    /// degree-disjoint standby trees ([`plan_standby_trees`]). 1 (the
+    /// default) reproduces the single-tree planner bit for bit.
+    pub k_trees: usize,
+    /// Per-member stream rate, kbit/s — with the access-bandwidth estimates
+    /// it bounds a host's total fan-out across a session's trees
+    /// ([`fanout_cap`]).
+    pub stream_kbps: f64,
 }
 
 impl Default for PlanConfig {
@@ -78,6 +89,8 @@ impl Default for PlanConfig {
             strategy: HelperStrategy::MinMaxSibling,
             query_k: crate::ResourceReport::DEFAULT_CAP,
             query_local: false,
+            k_trees: 1,
+            stream_kbps: 128.0,
         }
     }
 }
@@ -288,6 +301,16 @@ fn plan_with_candidates(
     // hold a borrow across the mutable reservation loop.
     let oracle = pool.cached_latency();
 
+    // A multipath session budgets its members: each future standby tree
+    // needs at least a parent link (and the root a child slot) on every
+    // member, so the primary leaves one degree unit per extra tree behind
+    // when it can. The budgeted attempt is fallible — if the tightened
+    // bounds cannot host a tree, the primary replans with full availability
+    // (robustness must never cost the primary). `k_trees = 1` skips the
+    // attempt entirely — bit-identical to the historical planner.
+    let standby_budget = cfg.k_trees.saturating_sub(1) as u32;
+    let budgeted = |avail: u32| avail.saturating_sub(standby_budget).max(avail.min(1));
+
     const MAX_RETRIES: usize = 5;
     for attempt in 0.. {
         // Members always report their live state (a node knows itself).
@@ -299,28 +322,59 @@ fn plan_with_candidates(
         for &h in &candidates {
             avail_map.insert(h, stale.get(&h).copied().unwrap_or(0));
         }
-        let avail = |h: HostId| -> u32 { avail_map.get(&h).copied().unwrap_or(0) };
 
-        let tree = match cfg.model {
-            PlanModel::Oracle => plan_tree(spec, &oracle, &avail, &candidates, cfg),
-            PlanModel::Coords => {
-                // The practical loop: shortlist helpers through
-                // coordinates, measure the contacted ones, replan on
-                // measurements.
-                let mut hp = HelperPool::new(candidates.clone());
-                hp.min_degree = cfg.helper_min_degree;
-                hp.radius_ms = cfg.radius_ms;
-                hp.strategy = cfg.strategy;
-                alm::staged_plan(
-                    spec.root,
-                    &spec.members,
-                    &oracle,
-                    &pool.coords,
-                    avail,
-                    &hp,
-                    cfg.use_adjust,
-                )
+        let budgeted_tree = if standby_budget > 0 {
+            let mut bmap = avail_map.clone();
+            for &m in &spec.members {
+                bmap.entry(m).and_modify(|a| *a = budgeted(*a));
             }
+            let avail_b = |h: HostId| -> u32 { bmap.get(&h).copied().unwrap_or(0) };
+            match cfg.model {
+                PlanModel::Oracle => try_plan_tree(spec, &oracle, &avail_b, &candidates, cfg),
+                PlanModel::Coords => {
+                    let mut hp = HelperPool::new(candidates.clone());
+                    hp.min_degree = cfg.helper_min_degree;
+                    hp.radius_ms = cfg.radius_ms;
+                    hp.strategy = cfg.strategy;
+                    alm::try_staged_plan(
+                        spec.root,
+                        &spec.members,
+                        &oracle,
+                        &pool.coords,
+                        avail_b,
+                        &hp,
+                        cfg.use_adjust,
+                    )
+                }
+            }
+        } else {
+            None
+        };
+
+        let avail = |h: HostId| -> u32 { avail_map.get(&h).copied().unwrap_or(0) };
+        let tree = match budgeted_tree {
+            Some(t) => t,
+            None => match cfg.model {
+                PlanModel::Oracle => plan_tree(spec, &oracle, &avail, &candidates, cfg),
+                PlanModel::Coords => {
+                    // The practical loop: shortlist helpers through
+                    // coordinates, measure the contacted ones, replan on
+                    // measurements.
+                    let mut hp = HelperPool::new(candidates.clone());
+                    hp.min_degree = cfg.helper_min_degree;
+                    hp.radius_ms = cfg.radius_ms;
+                    hp.strategy = cfg.strategy;
+                    alm::staged_plan(
+                        spec.root,
+                        &spec.members,
+                        &oracle,
+                        &pool.coords,
+                        avail,
+                        &hp,
+                        cfg.use_adjust,
+                    )
+                }
+            },
         };
 
         // Reserve the tree: members at member rank, helpers at priority
@@ -380,6 +434,191 @@ fn plan_with_candidates(
     unreachable!("the members-only fallback always succeeds")
 }
 
+/// Result of planning a session's standby trees (trees 2..=k of a
+/// multipath session).
+#[derive(Clone, Debug, Default)]
+pub struct StandbyOutcome {
+    /// The standby trees actually planned and reserved, in planning order.
+    /// Shorter than `k_trees - 1` when residual capacity ran out: standby
+    /// redundancy is best-effort, the primary never degrades for it.
+    pub trees: Vec<MulticastTree>,
+    /// Sessions that lost degrees to the standby reservations.
+    pub preempted: Vec<SessionId>,
+}
+
+/// The per-host fan-out cap of a multipath session: how many **children**
+/// (outgoing stream copies, summed across the session's trees) host `h`
+/// may carry before its access uplink can no longer sustain
+/// `cfg.stream_kbps` per copy. Parent links are downlink and don't count.
+/// [`bwest::degree_for_stream`] returns a degree-style bound (it includes
+/// the parent-link unit), so one unit is stripped; the cap is then relaxed
+/// to the primary tree's own fan-out so it never constrains single-tree
+/// planning — `k_trees = 1` stays bit-identical to the historical planner.
+pub fn fanout_cap(
+    pool: &ResourcePool,
+    primary: &MulticastTree,
+    cfg: &PlanConfig,
+    h: HostId,
+) -> u32 {
+    let primary_fanout = if primary.contains(h) {
+        primary.child_count(h) as u32
+    } else {
+        0
+    };
+    bwest::degree_for_stream(pool.bw.up(h), cfg.stream_kbps)
+        .saturating_sub(1)
+        .max(primary_fanout)
+}
+
+/// Plan and reserve a session's standby trees: up to `cfg.k_trees - 1`
+/// extra trees over the same member set, **degree-disjoint** from the
+/// primary and from each other. `existing` lists standby trees the session
+/// already holds (still reserved): they count toward the `k_trees` target
+/// and toward every host's fan-out, so a post-crash rebuild replaces only
+/// the lost trees instead of replanning the surviving ones.
+///
+/// Disjointness comes from planning each tree against a residual-capacity
+/// view layered over the live degree tables: a host's believed availability
+/// is its table availability at the claiming rank (which already excludes
+/// this session's earlier same-rank claims) clamped to the bandwidth
+/// headroom left under [`fanout_cap`]. Planning stops — without touching
+/// the trees already reserved — the moment a tree no longer fits: a member
+/// with zero residual capacity, an out-of-capacity planner
+/// ([`try_critical`] / [`try_amcast`] returning `None`), or a refused
+/// reservation (rolled back degree-for-degree via
+/// [`ResourcePool::release_degrees`]).
+pub fn plan_standby_trees(
+    pool: &mut ResourcePool,
+    spec: &SessionSpec,
+    cfg: &PlanConfig,
+    primary: &MulticastTree,
+    existing: &[MulticastTree],
+    lease_until: Option<SimTime>,
+) -> StandbyOutcome {
+    let helper_rank = Rank::helper(spec.priority);
+    let oracle = pool.cached_latency();
+    let mut trees: Vec<MulticastTree> = Vec::new();
+    let mut preempted: Vec<SessionId> = Vec::new();
+    // Fan-out (children) this session's trees already consume per host —
+    // what the bandwidth cap bounds. Degree-unit disjointness needs no
+    // bookkeeping of its own: `pool.available` already excludes the
+    // session's earlier same-rank claims, so it *is* the residual.
+    let mut fanout = alm::multipath::fanout_totals(std::slice::from_ref(primary));
+    for t in existing {
+        for &h in t.hosts() {
+            *fanout.entry(h).or_default() += t.child_count(h) as u32;
+        }
+    }
+
+    while existing.len() + trees.len() + 1 < cfg.k_trees {
+        // Children still affordable under the cap. A tree node's degree is
+        // children + 1 parent link (root: children only), so a non-root
+        // host may claim one more degree unit than its child headroom.
+        let child_headroom = |h: HostId| -> u32 {
+            fanout_cap(pool, primary, cfg, h).saturating_sub(fanout.get(&h).copied().unwrap_or(0))
+        };
+        // Leave a degree unit per member for each tree still to come (the
+        // same budget the primary applied), without starving this one.
+        let future = cfg.k_trees.saturating_sub(existing.len() + trees.len() + 2) as u32;
+        let budgeted = |avail: u32| avail.saturating_sub(future).max(avail.min(1));
+        // Members must each afford at least a parent link in the new tree;
+        // one exhausted member ends the whole standby plan (Problem::new
+        // rejects zero-degree members), as does a root with no child slot.
+        let mut avail_map: std::collections::HashMap<HostId, u32> =
+            std::collections::HashMap::new();
+        let mut starved = false;
+        for &m in &spec.members {
+            let slack = if m == spec.root {
+                child_headroom(m)
+            } else {
+                child_headroom(m) + 1
+            };
+            let a = budgeted(pool.available(m, Rank::MEMBER)).min(slack);
+            if a == 0 {
+                starved = true;
+                break;
+            }
+            avail_map.insert(m, a);
+        }
+        if starved {
+            break;
+        }
+        let mut candidates: Vec<HostId> = if cfg.use_helpers {
+            pool.candidates(helper_rank, &spec.members, cfg.helper_min_degree)
+        } else {
+            Vec::new()
+        };
+        candidates.retain(|&h| {
+            let a = pool.available(h, helper_rank).min(child_headroom(h) + 1);
+            if a > 0 {
+                avail_map.insert(h, a);
+            }
+            a > 0
+        });
+        let avail = |h: HostId| -> u32 { avail_map.get(&h).copied().unwrap_or(0) };
+
+        // Budgeted members are mostly leaf-only, so helpers must form the
+        // backbone of a standby tree — and the primary's helper radius R
+        // often has too few high-degree hosts left inside it. Escalate:
+        // plan at the configured radius first (same quality bar as the
+        // primary), then retry with the radius opened up. A far helper
+        // costs height, which a standby tree only pays during a failover
+        // window; redundancy beats beauty here.
+        let mut wide = cfg.clone();
+        wide.radius_ms = f64::INFINITY;
+        let planned = match cfg.model {
+            PlanModel::Oracle => try_plan_tree(spec, &oracle, &avail, &candidates, cfg)
+                .or_else(|| try_plan_tree(spec, &oracle, &avail, &candidates, &wide)),
+            // Standby trees skip the staged measure-and-replan loop: they
+            // are background redundancy, planned straight from coordinates.
+            PlanModel::Coords => try_plan_tree(spec, &pool.coords, &avail, &candidates, cfg)
+                .or_else(|| try_plan_tree(spec, &pool.coords, &avail, &candidates, &wide)),
+        };
+        let Some(tree) = planned else { break };
+
+        // Reserve the tree all-or-rollback: availability is live, so
+        // refusals are not expected — but a refusal must not leak the
+        // partially reserved tree.
+        let mut reserved: Vec<(HostId, Rank, u32)> = Vec::new();
+        let mut this_preempted: Vec<SessionId> = Vec::new();
+        let mut refused = false;
+        for &h in tree.hosts() {
+            let degree = tree.degree(h);
+            let rank = if spec.members.contains(&h) {
+                Rank::MEMBER
+            } else {
+                helper_rank
+            };
+            match pool.reserve_leased(h, spec.id, rank, degree, lease_until) {
+                Ok(victims) => {
+                    this_preempted.extend(victims.into_iter().map(|(s, _)| s));
+                    reserved.push((h, rank, degree));
+                }
+                Err(_) => {
+                    refused = true;
+                    break;
+                }
+            }
+        }
+        if refused {
+            for (h, rank, count) in reserved {
+                pool.release_degrees(h, spec.id, rank, count);
+            }
+            break;
+        }
+        preempted.extend(this_preempted);
+        for &h in tree.hosts() {
+            *fanout.entry(h).or_default() += tree.child_count(h) as u32;
+        }
+        trees.push(tree);
+    }
+
+    preempted.sort_unstable();
+    preempted.dedup();
+    preempted.retain(|&s| s != spec.id);
+    StandbyOutcome { trees, preempted }
+}
+
 /// The members-only AMCast baseline: physical degree bounds, oracle
 /// latencies — the denominator of every improvement figure in the paper.
 pub fn members_only_baseline(pool: &ResourcePool, spec: &SessionSpec) -> f64 {
@@ -410,6 +649,32 @@ fn plan_tree<L: LatencyModel>(
         adjust(&p, &mut tree);
     }
     tree
+}
+
+/// [`plan_tree`], but `None` instead of a panic when the availability view
+/// cannot host a spanning tree — the standby planner runs against residual
+/// capacity, where running dry is an expected outcome.
+fn try_plan_tree<L: LatencyModel>(
+    spec: &SessionSpec,
+    model: &L,
+    avail: &impl Fn(HostId) -> u32,
+    candidates: &[HostId],
+    cfg: &PlanConfig,
+) -> Option<MulticastTree> {
+    let p = Problem::new(spec.root, spec.members.clone(), model, avail);
+    let mut tree = if cfg.use_helpers && !candidates.is_empty() {
+        let mut hp = HelperPool::new(candidates.to_vec());
+        hp.min_degree = cfg.helper_min_degree;
+        hp.radius_ms = cfg.radius_ms;
+        hp.strategy = cfg.strategy;
+        try_critical(&p, &hp)?
+    } else {
+        try_amcast(&p)?
+    };
+    if cfg.use_adjust {
+        adjust(&p, &mut tree);
+    }
+    Some(tree)
 }
 
 /// Recompute a tree's height under a (possibly different) latency model.
@@ -722,5 +987,116 @@ mod tests {
         assert_eq!(out.tree.len(), s.members.len());
         assert!((out.oracle_height - out.baseline_height).abs() < 1e-6);
         assert_eq!(out.improvement, 0.0);
+    }
+
+    #[test]
+    fn k1_plans_no_standby_trees() {
+        let mut pool = small_pool(14);
+        let s = spec(&pool, 77, 2, 100);
+        let cfg = PlanConfig::default(); // k_trees = 1
+        let primary = plan_and_reserve(&mut pool, &s, &cfg);
+        let used = pool.total_used();
+        let standby = plan_standby_trees(&mut pool, &s, &cfg, &primary.tree, &[], None);
+        assert!(standby.trees.is_empty());
+        assert!(standby.preempted.is_empty());
+        assert_eq!(
+            pool.total_used(),
+            used,
+            "k = 1 standby pass touched the pool"
+        );
+    }
+
+    #[test]
+    fn standby_trees_are_degree_disjoint_and_capped() {
+        let mut pool = small_pool(15);
+        let s = spec(&pool, 77, 2, 101);
+        let cfg = PlanConfig {
+            k_trees: 3,
+            model: PlanModel::Oracle,
+            ..PlanConfig::default()
+        };
+        let primary = plan_and_reserve(&mut pool, &s, &cfg);
+        let standby = plan_standby_trees(&mut pool, &s, &cfg, &primary.tree, &[], None);
+        assert!(
+            !standby.trees.is_empty(),
+            "an empty 300-host pool should fit at least one standby tree"
+        );
+        let mut all = vec![primary.tree.clone()];
+        all.extend(standby.trees.iter().cloned());
+        // Every standby tree spans the member set.
+        for t in &standby.trees {
+            for &m in &s.members {
+                assert!(t.contains(m), "member {m:?} missing from standby tree");
+            }
+        }
+        // No degree unit double-counted across trees, no cap breached.
+        let v = alm::multipath::check_disjointness(
+            &all,
+            |h| pool.table(h).held_by(s.id),
+            |h| fanout_cap(&pool, &primary.tree, &cfg, h),
+        );
+        assert!(v.is_empty(), "disjointness violations: {v:?}");
+        // Holdings mirror the summed tree degrees exactly — reservation
+        // merged per (session, rank) but the totals must match.
+        let used = alm::multipath::degree_totals(&all);
+        for (&h, &u) in &used {
+            assert_eq!(pool.table(h).held_by(s.id), u, "holding mismatch on {h:?}");
+        }
+        // Releasing the session drains everything: nothing leaked.
+        pool.release_session(s.id);
+        assert_eq!(pool.total_used(), 0);
+        assert!(pool.holdings_of(s.id).is_empty());
+    }
+
+    /// Like [`spec`], but roots the session at its best-uplink member: a
+    /// modem-class root can't source a second tree ([`fanout_cap`] = its
+    /// primary fan-out), which is correct behavior but not what a standby
+    /// -planning test wants to exercise.
+    fn spec_bw_root(pool: &ResourcePool, id: u32, priority: u8, seed: u64) -> SessionSpec {
+        let mut s = spec(pool, id, priority, seed);
+        s.root = s
+            .members
+            .iter()
+            .copied()
+            .max_by(|a, b| pool.bw.up(*a).total_cmp(&pool.bw.up(*b)).then(b.cmp(a)))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn release_degrees_tears_down_one_tree_only() {
+        let mut pool = small_pool(15);
+        let s = spec_bw_root(&pool, 88, 2, 101);
+        let cfg = PlanConfig {
+            k_trees: 2,
+            model: PlanModel::Oracle,
+            ..PlanConfig::default()
+        };
+        let primary = plan_and_reserve(&mut pool, &s, &cfg);
+        let standby = plan_standby_trees(&mut pool, &s, &cfg, &primary.tree, &[], None);
+        assert_eq!(standby.trees.len(), 1);
+        let t2 = &standby.trees[0];
+        // Tear down just the standby tree, degree for degree.
+        for &h in t2.hosts() {
+            let rank = if s.members.contains(&h) {
+                Rank::MEMBER
+            } else {
+                Rank::helper(s.priority)
+            };
+            let freed = pool.release_degrees(h, s.id, rank, t2.degree(h));
+            assert_eq!(freed, t2.degree(h));
+        }
+        // The primary's holdings are exactly what remains.
+        for &h in primary.tree.hosts() {
+            assert_eq!(pool.table(h).held_by(s.id), primary.tree.degree(h));
+        }
+        let primary_hosts: std::collections::HashSet<HostId> =
+            primary.tree.hosts().iter().copied().collect();
+        for &h in t2.hosts() {
+            if !primary_hosts.contains(&h) {
+                assert_eq!(pool.table(h).held_by(s.id), 0);
+                assert!(!pool.holdings_of(s.id).contains(&h), "holdings kept {h:?}");
+            }
+        }
     }
 }

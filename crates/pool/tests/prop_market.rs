@@ -2,10 +2,12 @@
 //! interleavings: degree tables must never oversubscribe, holdings must
 //! match trees exactly, and a full release must drain the pool.
 
+use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use netsim::NetworkConfig;
-use pool::task_manager::plan_and_reserve;
+use alm::multipath::check_disjointness;
+use netsim::{HostId, NetworkConfig};
+use pool::task_manager::{fanout_cap, plan_and_reserve, plan_standby_trees};
 use pool::{PlanConfig, PlanModel, PoolConfig, ResourcePool, SessionId, SessionSpec};
 use proptest::prelude::*;
 
@@ -78,6 +80,75 @@ proptest! {
         }
         // Draining everything restores an empty pool.
         for s in 0..6u32 {
+            pool.release_session(SessionId(s));
+        }
+        prop_assert_eq!(pool.total_used(), 0);
+    }
+
+    #[test]
+    fn multipath_plans_are_degree_disjoint(
+        ks in proptest::collection::vec(2usize..4, 4..5),
+        prios in proptest::collection::vec(1u8..4, 4..5),
+        seed in 0u64..4,
+    ) {
+        // Random multipath plans: four sessions, each planning a primary
+        // plus k−1 standby trees. After each plan, no standby tree may
+        // consume a reserved degree unit twice (holdings are exactly the
+        // sum of per-tree degrees), and the per-host fan-out cap holds
+        // across all of the session's trees.
+        let mut pool = pristine().clone();
+        let sets = pool.partition_members(4, 12, 50 + seed);
+        let mut got_standby = false;
+        for slot in 0..4usize {
+            let cfg = PlanConfig {
+                model: PlanModel::Oracle,
+                k_trees: ks[slot],
+                ..PlanConfig::default()
+            };
+            let members = sets[slot].clone();
+            // Root the session at its best-uplink member so the fan-out
+            // budget leaves genuine room for standby trees.
+            let root = members
+                .iter()
+                .copied()
+                .max_by(|a, b| pool.bw.up(*a).total_cmp(&pool.bw.up(*b)).then(b.cmp(a)))
+                .unwrap();
+            let spec = SessionSpec {
+                id: SessionId(slot as u32),
+                priority: prios[slot],
+                root,
+                members,
+            };
+            let out = plan_and_reserve(&mut pool, &spec, &cfg);
+            let standby = plan_standby_trees(&mut pool, &spec, &cfg, &out.tree, &[], None);
+            got_standby |= !standby.trees.is_empty();
+
+            let mut trees = vec![out.tree.clone()];
+            trees.extend(standby.trees.iter().cloned());
+            let violations = check_disjointness(
+                &trees,
+                |h| pool.table(h).held_by(spec.id),
+                |h| fanout_cap(&pool, &out.tree, &cfg, h),
+            );
+            prop_assert!(violations.is_empty(), "disjointness: {violations:?}");
+
+            // Holdings are exactly the per-tree degree sums — nothing
+            // shared, nothing leaked.
+            let mut want: HashMap<HostId, u32> = HashMap::new();
+            for t in &trees {
+                for &h in t.hosts() {
+                    *want.entry(h).or_insert(0) += t.degree(h);
+                }
+            }
+            for (&h, &w) in &want {
+                prop_assert_eq!(pool.table(h).held_by(spec.id), w);
+            }
+        }
+        // Across four high-uplink-rooted sessions at k ≥ 2, at least one
+        // standby tree must have fit — otherwise the property is vacuous.
+        prop_assert!(got_standby, "no session planned any standby tree");
+        // Draining everything restores an empty pool, standby claims too.
+        for s in 0..4u32 {
             pool.release_session(SessionId(s));
         }
         prop_assert_eq!(pool.total_used(), 0);

@@ -173,6 +173,23 @@ pub enum TraceEvent {
         /// Host id of the deputy.
         deputy: u32,
     },
+    /// Market: a multipath session's primary tree broke and an intact
+    /// standby tree was promoted within one detection round.
+    MarketTreeFailover {
+        /// Session slot index.
+        session: u32,
+        /// Index of the promoted tree in the session's primary-first tree
+        /// list before the failover (≥ 1).
+        survivor: u32,
+    },
+    /// Market: a multipath session lazily re-planned lost standby trees in
+    /// the background.
+    MarketTreeRebuilt {
+        /// Session slot index.
+        session: u32,
+        /// Standby trees the rebuild added.
+        trees: u32,
+    },
     /// Market: a root crash left no survivor; the session is lost.
     MarketSessionLost {
         /// Session slot index.

@@ -179,10 +179,17 @@ struct MarketTrace {
     crash_repairs: u64,
     lapsed: u64,
     leaked: u32,
+    /// Multipath machinery: tree failovers, trees rebuilt, delivery-ratio
+    /// (count, mean), restore-rounds (count, mean). All zero at k = 1.
+    multipath: (u64, u64, u64, f64, u64, f64),
     tables: Vec<Vec<pool::degree_table::Allocation>>,
 }
 
 fn faulted_market_trajectory(seed: u64) -> MarketTrace {
+    faulted_market_trajectory_k(seed, 1)
+}
+
+fn faulted_market_trajectory_k(seed: u64, k_trees: usize) -> MarketTrace {
     let pool = ResourcePool::build(
         &PoolConfig {
             net: NetworkConfig {
@@ -204,6 +211,10 @@ fn faulted_market_trajectory(seed: u64) -> MarketTrace {
         horizon: SimTime::from_secs(1800),
         warmup: SimTime::from_secs(300),
         faults,
+        plan: PlanConfig {
+            k_trees,
+            ..PlanConfig::default()
+        },
         ..MarketConfig::default()
     };
     let (out, pool) = MarketSim::new(pool, cfg, seed).run_full();
@@ -230,6 +241,14 @@ fn faulted_market_trajectory(seed: u64) -> MarketTrace {
         crash_repairs: out.crash_repairs,
         lapsed: out.lapsed_lease_degrees,
         leaked: out.leaked_degrees,
+        multipath: (
+            out.tree_failovers,
+            out.trees_rebuilt,
+            out.delivery.count(),
+            out.delivery.mean(),
+            out.restore_rounds.count(),
+            out.restore_rounds.mean(),
+        ),
         tables,
     }
 }
@@ -243,6 +262,18 @@ fn faulted_market_trajectory_is_bit_identical_across_runs() {
     // And the plan actually produced fault activity worth pinning.
     let activity: u64 = a.per_class.iter().map(|c| c.0 + c.1 + c.2).sum();
     assert!(activity > 0, "fault plan never touched a session");
+}
+
+#[test]
+fn faulted_multipath_market_trajectory_is_bit_identical_across_runs() {
+    // Same crash plan, but every session also plans a degree-disjoint
+    // standby tree: failovers, lazy rebuilds, delivery sampling and the
+    // final books must all replay bit-for-bit.
+    let a = faulted_market_trajectory_k(29, 2);
+    let b = faulted_market_trajectory_k(29, 2);
+    assert_eq!(a, b);
+    assert!(a.multipath.2 > 0, "delivery ratio was never sampled");
+    assert_eq!(a.leaked, 0, "multipath run leaked degrees");
 }
 
 /// One faulted query trajectory: kill hosts mid-stream, refresh the

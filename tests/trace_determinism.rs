@@ -9,6 +9,12 @@ use p2p_resource_pool::simcore::trace::to_json_lines;
 /// A faulted market run with the tracer attached: helper and root crashes,
 /// leases, failover, crash repair — every market event family fires.
 fn traced_market(seed: u64) -> (String, u64) {
+    traced_market_k(seed, 1)
+}
+
+/// [`traced_market`] with `k_trees` degree-disjoint trees per session —
+/// at k > 1 the multipath failover/rebuild event families fire too.
+fn traced_market_k(seed: u64, k_trees: usize) -> (String, u64) {
     let pool = ResourcePool::build(
         &PoolConfig {
             net: NetworkConfig {
@@ -30,6 +36,10 @@ fn traced_market(seed: u64) -> (String, u64) {
         horizon: SimTime::from_secs(1800),
         warmup: SimTime::from_secs(300),
         faults,
+        plan: PlanConfig {
+            k_trees,
+            ..PlanConfig::default()
+        },
         ..MarketConfig::default()
     };
     let mut sim = MarketSim::new(pool, cfg, seed);
@@ -46,6 +56,20 @@ fn faulted_market_traces_are_bit_identical_across_runs() {
     assert_eq!(a, b, "same-seed market traces diverged");
     // The fault machinery actually showed up in the trace.
     for needle in ["MarketReserve", "MarketHostFault", "MarketCrashDetect"] {
+        assert!(a.contains(needle), "no {needle} event in the trace");
+    }
+}
+
+#[test]
+fn faulted_multipath_market_traces_are_bit_identical_across_runs() {
+    // Same workload at k = 2: the standby-tree machinery (failover
+    // promotion, lazy rebuild) must replay bit-for-bit and actually
+    // surface in the trace.
+    let (a, n) = traced_market_k(29, 2);
+    let (b, _) = traced_market_k(29, 2);
+    assert!(n > 0, "a faulted multipath run must emit trace records");
+    assert_eq!(a, b, "same-seed multipath market traces diverged");
+    for needle in ["MarketTreeFailover", "MarketTreeRebuilt"] {
         assert!(a.contains(needle), "no {needle} event in the trace");
     }
 }
