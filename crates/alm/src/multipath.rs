@@ -201,6 +201,68 @@ pub fn delivery_ratio(
     covered.len() as f64 / live.len() as f64
 }
 
+/// The members `tree` delivers to under per-edge message loss: a member
+/// receives only if every host *and every edge* on its root path is up
+/// this round. `edge_ok(parent, child)` samples one edge's fate; it must
+/// be deterministic within a round so every tree sees the same losses.
+pub fn delivered_members_lossy(
+    tree: &MulticastTree,
+    members: &[HostId],
+    alive: &impl Fn(HostId) -> bool,
+    edge_ok: &mut impl FnMut(HostId, HostId) -> bool,
+) -> Vec<HostId> {
+    let root = tree.root();
+    if !alive(root) {
+        return Vec::new();
+    }
+    let mut reachable: Vec<HostId> = Vec::with_capacity(tree.len());
+    let mut stack = vec![root];
+    while let Some(h) = stack.pop() {
+        reachable.push(h);
+        for c in tree.children_of(h) {
+            if alive(c) && edge_ok(h, c) {
+                stack.push(c);
+            }
+        }
+    }
+    let set: std::collections::HashSet<HostId> = reachable.into_iter().collect();
+    members
+        .iter()
+        .copied()
+        .filter(|&m| m != root && set.contains(&m))
+        .collect()
+}
+
+/// [`delivery_ratio`] under per-edge message loss: the fraction of live
+/// non-root members receiving through at least one tree when each tree
+/// edge independently drops per `edge_ok`. Redundant trees shine here —
+/// a member survives a lost edge in one tree if another tree still
+/// reaches it.
+pub fn delivery_ratio_lossy(
+    trees: &[MulticastTree],
+    members: &[HostId],
+    alive: impl Fn(HostId) -> bool,
+    mut edge_ok: impl FnMut(HostId, HostId) -> bool,
+) -> f64 {
+    let root = match trees.first() {
+        Some(t) => t.root(),
+        None => return 1.0,
+    };
+    let live: Vec<HostId> = members
+        .iter()
+        .copied()
+        .filter(|&m| m != root && alive(m))
+        .collect();
+    if live.is_empty() {
+        return 1.0;
+    }
+    let mut covered: std::collections::HashSet<HostId> = std::collections::HashSet::new();
+    for t in trees {
+        covered.extend(delivered_members_lossy(t, &live, &alive, &mut edge_ok));
+    }
+    covered.len() as f64 / live.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +359,21 @@ mod tests {
         assert_eq!(delivery_ratio(&[chain()], &m, |h| h != HostId(0)), 0.0);
         // All members intact: 1.0.
         assert_eq!(delivery_ratio(&[chain()], &m, |_| true), 1.0);
+    }
+
+    #[test]
+    fn lossy_delivery_prunes_dropped_edges_but_unions_trees() {
+        let m = members();
+        // Losing the chain's 0→2 edge cuts members 2 and 3 off.
+        let drop02 = |a: HostId, b: HostId| (a, b) != (HostId(0), HostId(2));
+        let r = delivery_ratio_lossy(&[chain()], &m, |_| true, drop02);
+        assert!((r - 1.0 / 3.0).abs() < 1e-12); // only 1 of {1, 2, 3}
+                                                // The helper tree routes around the lost edge: full delivery.
+        let r2 = delivery_ratio_lossy(&[chain(), via_helper()], &m, |_| true, drop02);
+        assert_eq!(r2, 1.0);
+        // No loss at all degenerates to the host-only ratio.
+        let r3 = delivery_ratio_lossy(&[chain()], &m, |_| true, |_, _| true);
+        assert_eq!(r3, delivery_ratio(&[chain()], &m, |_| true));
     }
 
     #[test]

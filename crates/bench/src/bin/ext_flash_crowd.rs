@@ -1,0 +1,391 @@
+//! Extension: flash-crowd survival — the admission-controlled,
+//! fairness-aware market.
+//!
+//! The paper's market resolves contention by strict priority: class 3
+//! evicts class 2 evicts class 1. Under a flash crowd (a burst of
+//! sessions beyond fig10's largest sweep point, cycling into hundreds of
+//! arrivals) that turns scarcity into preemption churn and starves the
+//! low classes. This binary sweeps burst size × allocation mode and
+//! measures the two graceful-degradation alternatives:
+//!
+//! * **Priority** — the anchor baseline (bit-identical to fig10 at low
+//!   load);
+//! * **Pareto** — weighted max-min water-filling: every session plans
+//!   against its fair share of the pool's free degrees, booked at one
+//!   shared rank (equal ranks never preempt each other);
+//! * **Admission** — an admission controller in front of the planner:
+//!   under scarcity arrivals are queued (bounded per-class FIFO, capped
+//!   exponential retry backoff, round-based timeout) or admitted degraded
+//!   (trimmed helper budget and fan-out) instead of preempting anyone.
+//!
+//! Reported per cell: Jain's weighted fairness index over per-session
+//! mean helper shares (normalized by priority weight — 1.0 means every
+//! session got exactly its weighted fair share), admission latency
+//! distribution, preemption churn, delivery ratio under a concurrent 5%
+//! crash plan, and the admission ledger.
+//!
+//! Asserted, not just measured:
+//!
+//! * **Anchor** — the Priority-mode low-load cell reproduces
+//!   `fig10_multi_session.json`'s sessions=20 row bit-identically;
+//! * **Zero preemption, zero leaks** — Admission mode preempts nobody at
+//!   any burst size, and no cell leaks a degree past the horizon;
+//! * **Fairness pays** — Jain(Pareto) > Jain(Priority) at the largest
+//!   burst;
+//! * **Clean audits** — every cell, including the two admission
+//!   invariants (queue conservation, zero preemption).
+//!
+//! Set `EXT_FLASH_CROWD_SMOKE=1` for the CI slice: the anchor cell plus
+//! one small-pool Admission cell with thresholds forcing the queue,
+//! degrade and reject paths.
+//!
+//! Run with: `cargo run --release -p bench --bin ext_flash_crowd`
+
+use bench::{dump_json, parallel_runs, results_dir};
+use netsim::NetworkConfig;
+use pool::{
+    AdmissionConfig, AllocationMode, MarketConfig, MarketOutcome, MarketSim, PlanConfig,
+    PoolConfig, ResourcePool, DEGRADED_CLASS,
+};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use simcore::{FaultPlan, SimTime};
+
+const ANCHOR_SESSIONS: usize = 20;
+/// Burst sizes at fig10's member size (20): members are partitioned
+/// disjointly, so demand scales with helper appetite — the top burst
+/// exceeds fig10's largest sweep point (50 sessions) and pushes the
+/// pool's free fraction below the scarcity thresholds.
+const BURSTS: [usize; 3] = [15, 35, 55];
+const MODES: [AllocationMode; 3] = [
+    AllocationMode::Priority,
+    AllocationMode::Pareto,
+    AllocationMode::Admission,
+];
+const MEMBER_SIZE: usize = 20;
+const CRASH_RATE: f64 = 0.05;
+
+fn main() {
+    let seed = 2010;
+    let smoke = std::env::var("EXT_FLASH_CROWD_SMOKE").is_ok();
+    println!("building the 1200-host resource pool (coordinates + bandwidth)...");
+    let pristine = ResourcePool::build(&PoolConfig::default(), seed);
+    let num_hosts = pristine.net.num_hosts();
+
+    // The anchor cell: the fig10 sessions=20 sweep point, Priority mode,
+    // no faults. The new allocation machinery must not move a bit of it.
+    let anchor_cfg = MarketConfig {
+        sessions: ANCHOR_SESSIONS,
+        member_size: 20,
+        horizon: SimTime::from_secs(3600),
+        warmup: SimTime::from_secs(600),
+        plan: PlanConfig::default(),
+        ..MarketConfig::default()
+    };
+    let anchor = MarketSim::new(pristine.clone(), anchor_cfg, seed + ANCHOR_SESSIONS as u64).run();
+    anchor_against_fig10(&anchor);
+
+    let mut rows = Vec::new();
+    if !smoke {
+        let cells: Vec<(usize, usize)> = (0..BURSTS.len())
+            .flat_map(|b| (0..MODES.len()).map(move |m| (b, m)))
+            .collect();
+        println!(
+            "\nflash crowd — burst × mode, 5% crashes, member size {MEMBER_SIZE}:\n{:>6} {:>9} | {:>6} {:>7} | {:>8} {:>9} | {:>26} | {:>8}",
+            "burst", "mode", "jain", "preempt", "delivery", "arrivals", "adm/deg/rej/queued", "wait(s)"
+        );
+        let outs: Vec<MarketOutcome> = parallel_runs(cells.len(), |i| {
+            let (b, m) = cells[i];
+            run_cell(&pristine, BURSTS[b], MODES[m], num_hosts, seed)
+        });
+        let mut jain = [[f64::NAN; 3]; 3]; // [burst][mode]
+        for (&(b, m), out) in cells.iter().zip(&outs) {
+            let (burst, mode) = (BURSTS[b], MODES[m]);
+            jain[b][m] = out.jain_fairness();
+            print_cell(burst, mode, out);
+            assert_cell(burst, mode, out);
+            rows.push(cell_json(burst, mode, out));
+        }
+        // The fairness payoff, asserted at the largest burst: water-filled
+        // shares beat priority eviction on the Jain index.
+        let last = BURSTS.len() - 1;
+        assert!(
+            jain[last][1] > jain[last][0],
+            "Pareto Jain ({}) not above Priority ({}) at burst {}",
+            jain[last][1],
+            jain[last][0],
+            BURSTS[last]
+        );
+        // The admission controller must actually have engaged under the
+        // largest burst — otherwise the cell measured nothing.
+        let adm = &outs[last * MODES.len() + 2].admission;
+        assert!(
+            adm.degraded + adm.rejected + adm.queued_final + adm.max_queue_depth > 0,
+            "largest burst never pressured the admission controller"
+        );
+    } else {
+        // The CI slice: one small-pool Admission cell with thresholds high
+        // enough that the queue, degrade and reject paths all run.
+        let small = ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: 300,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 5,
+                ..PoolConfig::default()
+            },
+            seed,
+        );
+        let cfg = MarketConfig {
+            sessions: 24,
+            member_size: 4,
+            horizon: SimTime::from_secs(1800),
+            warmup: SimTime::from_secs(300),
+            allocation: AllocationMode::Admission,
+            admission: AdmissionConfig {
+                scarce_free_frac: 0.995,
+                degrade_free_frac: 0.9,
+                backoff: SimTime::from_secs(20),
+                max_attempts: 4,
+                ..AdmissionConfig::default()
+            },
+            faults: crash_plan(CRASH_RATE, 300, seed + 5),
+            ..MarketConfig::default()
+        };
+        let out = MarketSim::new(small, cfg, seed).run();
+        print_cell(24, AllocationMode::Admission, &out);
+        assert_cell(24, AllocationMode::Admission, &out);
+        assert!(
+            out.admission.degraded > 0,
+            "smoke cell never admitted degraded"
+        );
+        rows.push(cell_json(24, AllocationMode::Admission, &out));
+    }
+
+    println!(
+        "\n(jain is the weighted fairness index over per-session mean helper shares,\n normalized by priority weight — 1.0 means every session got exactly its\n weighted fair share; adm/deg/rej/queued is the admission ledger; wait is the\n mean queue delay of admitted sessions; Admission mode is asserted to preempt\n nobody at any burst)"
+    );
+    dump_json(
+        "ext_flash_crowd",
+        &json!({
+            "extension": "flash_crowd",
+            "smoke": smoke,
+            "member_size": MEMBER_SIZE,
+            "bursts": BURSTS,
+            "modes": ["priority", "pareto", "admission"],
+            "crash_rate": CRASH_RATE,
+            "anchor": "fig10_multi_session sessions=20 row, bit-identical in Priority mode",
+            "rows": rows,
+        }),
+    );
+}
+
+fn run_cell(
+    pristine: &ResourcePool,
+    burst: usize,
+    mode: AllocationMode,
+    num_hosts: usize,
+    seed: u64,
+) -> MarketOutcome {
+    let cfg = MarketConfig {
+        sessions: burst,
+        member_size: MEMBER_SIZE,
+        horizon: SimTime::from_secs(3600),
+        warmup: SimTime::from_secs(600),
+        plan: PlanConfig::default(),
+        allocation: mode,
+        // Thresholds sized to the burst sweep: the pool sits near ~35%
+        // free at the largest burst, so scarcity engages there while the
+        // small burst mostly admits at full service.
+        admission: AdmissionConfig {
+            scarce_free_frac: 0.55,
+            degrade_free_frac: 0.35,
+            ..AdmissionConfig::default()
+        },
+        faults: crash_plan(CRASH_RATE, num_hosts, seed + burst as u64),
+        ..MarketConfig::default()
+    };
+    MarketSim::new(pristine.clone(), cfg, seed + burst as u64).run()
+}
+
+fn mode_name(mode: AllocationMode) -> &'static str {
+    match mode {
+        AllocationMode::Priority => "priority",
+        AllocationMode::Pareto => "pareto",
+        AllocationMode::Admission => "admission",
+    }
+}
+
+fn total_preemptions(out: &MarketOutcome) -> u64 {
+    out.per_class.iter().map(|(_, p)| p.preemptions).sum()
+}
+
+fn print_cell(burst: usize, mode: AllocationMode, out: &MarketOutcome) {
+    let a = &out.admission;
+    println!(
+        "{:>6} {:>9} | {:>6.3} {:>7} | {:>7.2}% {:>9} | {:>5}/{:>5}/{:>5}/{:>6} | {:>8.2}",
+        burst,
+        mode_name(mode),
+        out.jain_fairness(),
+        total_preemptions(out),
+        out.delivery.mean() * 100.0,
+        a.arrivals,
+        a.admitted,
+        a.degraded,
+        a.rejected,
+        a.queued_final,
+        a.wait.mean(),
+    );
+    // Per-session share table for fairness forensics (not part of the
+    // committed JSON): weight, plan samples, mean helper share.
+    if std::env::var("EXT_FLASH_CROWD_DEBUG").is_ok() {
+        for (i, s) in out.session_shares.iter().enumerate() {
+            println!(
+                "    s{i:<3} w{:.0} plans {:>4} share {:>7.2}",
+                out.session_weights.get(i).copied().unwrap_or(1.0),
+                s.count(),
+                s.mean()
+            );
+        }
+    }
+}
+
+/// The hard acceptance gates, at every cell.
+fn assert_cell(burst: usize, mode: AllocationMode, out: &MarketOutcome) {
+    let tag = format!("burst {burst} mode {}", mode_name(mode));
+    assert_eq!(out.leaked_degrees, 0, "{tag}: degrees leaked past horizon");
+    assert!(
+        out.audit.is_clean(),
+        "{tag}: audit violations: {:?}",
+        out.audit.violations
+    );
+    if mode == AllocationMode::Admission {
+        assert_eq!(
+            total_preemptions(out),
+            0,
+            "{tag}: admission mode preempted someone"
+        );
+        assert_eq!(
+            out.admission.arrivals,
+            out.admission.admitted
+                + out.admission.degraded
+                + out.admission.rejected
+                + out.admission.queued_final,
+            "{tag}: admission ledger does not balance"
+        );
+    }
+}
+
+fn cell_json(burst: usize, mode: AllocationMode, out: &MarketOutcome) -> serde_json::Value {
+    let a = &out.admission;
+    let class_stats: Vec<serde_json::Value> = out
+        .per_class
+        .iter()
+        .map(|(c, p)| {
+            json!({
+                "class": if c == DEGRADED_CLASS { "degraded".to_string() } else { format!("p{c}") },
+                "improvement_mean": p.improvement.mean(),
+                "helpers_mean": p.helpers.mean(),
+                "plans": p.improvement.count(),
+                "preemptions": p.preemptions,
+                "helper_failures": p.helper_failures,
+            })
+        })
+        .collect();
+    json!({
+        "burst": burst,
+        "mode": mode_name(mode),
+        "jain": out.jain_fairness(),
+        "preemptions": total_preemptions(out),
+        "delivery": {"mean": out.delivery.mean(), "samples": out.delivery.count()},
+        "utilization_mean": out.utilization.mean(),
+        "plans": out.plans,
+        "sessions_lost": out.sessions_lost(),
+        "leaked_degrees": out.leaked_degrees,
+        "admission": {
+            "arrivals": a.arrivals,
+            "admitted": a.admitted,
+            "degraded": a.degraded,
+            "rejected": a.rejected,
+            "timeouts": a.timeouts,
+            "queued_final": a.queued_final,
+            "max_queue_depth": a.max_queue_depth,
+            "wait": {"mean": a.wait.mean(), "samples": a.wait.count()},
+        },
+        "classes": class_stats,
+        "audit": {
+            "samples": out.audit.samples,
+            "checks": out.audit.checks,
+            "violations": out.audit.violations.len(),
+        },
+    })
+}
+
+/// Crash `rate` of the pool's hosts permanently, at deterministic times
+/// staggered across the middle of the run — the `ext_multipath`
+/// derivation, so every mode at a given burst shares one plan.
+fn crash_plan(rate: f64, num_hosts: usize, seed: u64) -> FaultPlan {
+    let n = (num_hosts as f64 * rate).round() as usize;
+    if n == 0 {
+        return FaultPlan::none();
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut hosts: Vec<usize> = (0..num_hosts).collect();
+    hosts.shuffle(&mut rng);
+    let mut plan = FaultPlan::none();
+    for &h in hosts.iter().take(n) {
+        let at = rng.random_range(600..2700u64);
+        plan = plan.crash_forever(h as u64, SimTime::from_secs(at));
+    }
+    plan
+}
+
+/// Compare the Priority-mode low-load anchor against the committed
+/// Figure 10 results: the allocation machinery must not move a single
+/// bit of the default-mode trajectory.
+fn anchor_against_fig10(out: &MarketOutcome) {
+    let path = results_dir().join("fig10_multi_session.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "anchor requires {} (run fig10_multi_session first): {e}",
+            path.display()
+        )
+    });
+    let fig10: serde_json::Value = serde_json::from_str(&text).expect("fig10 results parse");
+    let row = fig10
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .expect("rows")
+        .iter()
+        .find(|r| r.get("sessions").and_then(|s| s.as_u64()) == Some(ANCHOR_SESSIONS as u64))
+        .expect("fig10 sessions=20 row");
+    let field = |outer: &str, p: &str| -> f64 {
+        row.get(outer)
+            .and_then(|o| o.get(p))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("fig10 row missing {outer}.{p}"))
+    };
+    for (i, p) in ["p1", "p2", "p3"].iter().enumerate() {
+        let want_imp = field("improvement", p);
+        let want_help = field("helpers", p);
+        let (imp, help) = (
+            out.class(i as u8 + 1).improvement.mean(),
+            out.class(i as u8 + 1).helpers.mean(),
+        );
+        assert!(
+            imp == want_imp && help == want_help,
+            "anchor diverged from fig10 at {p}: improvement {imp} vs {want_imp}, \
+             helpers {help} vs {want_help}",
+        );
+    }
+    assert_eq!(
+        row.get("plans").and_then(|v| v.as_u64()),
+        Some(out.plans),
+        "plan count diverged"
+    );
+    println!(
+        "  [anchor] Priority mode reproduces fig10 sessions={ANCHOR_SESSIONS} bit-identically"
+    );
+}

@@ -143,6 +143,56 @@ fn main() {
             delivery_10[1],
             delivery_10[0]
         );
+
+        // Message-loss cells: no crashes at all, 5% per-edge loss per
+        // delivery round. Redundancy must pay here too — a member
+        // survives a dropped edge in one tree if another still reaches
+        // it — and with zero crashes the trajectory itself is the
+        // fault-oblivious one (delivery sampling is pure observation).
+        let loss = 0.05;
+        let loss_outs: Vec<MarketOutcome> = parallel_runs(2, |ki| {
+            let cfg = MarketConfig {
+                sessions: SESSIONS,
+                member_size: MEMBER_SIZE,
+                horizon: SimTime::from_secs(3600),
+                warmup: SimTime::from_secs(600),
+                plan: PlanConfig {
+                    k_trees: KS[ki],
+                    ..PlanConfig::default()
+                },
+                faults: FaultPlan::with_loss(seed + 7, loss),
+                ..MarketConfig::default()
+            };
+            MarketSim::new(pristine.clone(), cfg, seed + SESSIONS as u64).run()
+        });
+        println!("\n5% per-edge message loss (no crashes):");
+        for (k, out) in KS.iter().take(2).zip(&loss_outs) {
+            println!(
+                "{:>5}% {:>3} | {:>8.2}% ({} samples)",
+                loss * 100.0,
+                k,
+                out.delivery.mean() * 100.0,
+                out.delivery.count()
+            );
+            assert_cell_clean(out, 0.0, *k);
+            let imp: Vec<f64> = (1..=3).map(|p| out.class(p).improvement.mean()).collect();
+            let help: Vec<f64> = (1..=3).map(|p| out.class(p).helpers.mean()).collect();
+            let mut row = cell_json(0.0, *k, out, &imp, &help);
+            if let serde_json::Value::Object(m) = &mut row {
+                m.push(("loss".to_string(), json!(loss)));
+            }
+            rows.push(row);
+        }
+        assert!(
+            loss_outs[1].delivery.mean() > loss_outs[0].delivery.mean(),
+            "k=2 delivery ({}) not above k=1 ({}) under {loss} loss",
+            loss_outs[1].delivery.mean(),
+            loss_outs[0].delivery.mean()
+        );
+        assert!(
+            loss_outs[0].delivery.mean() < 1.0,
+            "5% loss never cost a delivery at k=1"
+        );
     }
 
     if smoke {

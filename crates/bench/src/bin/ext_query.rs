@@ -85,6 +85,9 @@ fn synth_samples(n: usize, seed: u64, now: SimTime) -> Vec<HostSample> {
                 ],
                 bw_class: rng.random_range(0..5),
                 sampled_at: now,
+                capacity: f0 + rng.random_range(0..4u32),
+                queued: 0,
+                preempted: 0,
             }
         })
         .collect()

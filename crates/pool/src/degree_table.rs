@@ -114,6 +114,17 @@ impl DegreeTable {
                 .sum::<u32>()
     }
 
+    /// Degrees pinned by member-rank claims. Member claims are mandatory
+    /// overhead no allocation policy can move, so `dbound − member_held`
+    /// is the capacity a fair-share water-filling distributes.
+    pub fn member_held(&self) -> u32 {
+        self.alloc
+            .iter()
+            .filter(|a| a.rank == Rank::MEMBER)
+            .map(|a| a.count)
+            .sum()
+    }
+
     /// Degrees held by a session on this host (any rank).
     pub fn held_by(&self, session: SessionId) -> u32 {
         self.alloc

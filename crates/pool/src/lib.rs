@@ -47,14 +47,18 @@ pub mod report;
 pub mod task_manager;
 
 pub use degree_table::{DegreeTable, Rank, SessionId};
-pub use market::{DiscoveryMode, MarketConfig, MarketOutcome, MarketSim};
+pub use market::{
+    water_fill, AdmissionConfig, AllocationMode, ClassStatsMap, DiscoveryMode, MarketConfig,
+    MarketOutcome, MarketSim, DEGRADED_CLASS,
+};
 pub use recovery::{
     run_pipeline, run_pipeline_traced, RecoveryConfig, RecoveryOutcome, RecoveryTimeline,
 };
 pub use report::{CandidateEntry, ResourceReport};
 pub use task_manager::{
-    plan_and_reserve, plan_and_reserve_from_query, plan_and_reserve_from_query_leased,
-    plan_and_reserve_leased, PlanConfig, PlanModel, PlanOutcome, SessionSpec,
+    plan_and_reserve, plan_and_reserve_fair_leased, plan_and_reserve_from_query,
+    plan_and_reserve_from_query_leased, plan_and_reserve_leased, FairShareCaps, PlanConfig,
+    PlanModel, PlanOutcome, SessionSpec, FAIR_HELPER_RANK,
 };
 
 use std::collections::HashMap;
@@ -289,6 +293,9 @@ impl ResourcePool {
             ],
             bw_class: self.net.hosts.get(h).bandwidth.class as u8,
             sampled_at: now,
+            capacity: t.dbound(),
+            queued: 0,
+            preempted: 0,
         })
     }
 
@@ -346,6 +353,12 @@ impl ResourcePool {
                 requested: count,
                 available: 0,
             });
+        }
+        // A zero-count claim books nothing, so it must not create a
+        // holdings entry either: an indexed host with no table degrees
+        // would violate lease-holder consistency.
+        if count == 0 {
+            return Ok(vec![]);
         }
         let preempted = self.tables[h.idx()].reserve_until(session, rank, count, expires_at)?;
         let held = self.holdings.entry(session).or_default();

@@ -69,7 +69,9 @@
 //! trajectory is bit-identical to the fault-oblivious market.
 
 use alm::dynamic::{reattach_orphans, ReattachConfig};
-use alm::multipath::{best_surviving, check_disjointness, delivery_ratio, tree_intact};
+use alm::multipath::{
+    best_surviving, check_disjointness, delivery_ratio, delivery_ratio_lossy, tree_intact,
+};
 use alm::{MulticastTree, Problem};
 use netsim::HostId;
 use rand::Rng;
@@ -78,14 +80,17 @@ use simcore::rng::derive_rng2;
 use simcore::stats::OnlineStats;
 use simcore::trace::{TraceEvent, TraceRecord, Tracer};
 use simcore::{EventQueue, FaultPlan, MetricsRegistry, SimTime};
+use std::collections::{HashSet, VecDeque};
 
 use crate::degree_table::SessionId;
 use crate::task_manager::{
-    fanout_cap, plan_and_reserve_from_query_leased, plan_and_reserve_from_view_leased,
-    plan_and_reserve_leased, plan_standby_trees, PlanConfig, SessionSpec,
+    fanout_cap, plan_and_reserve_fair_leased, plan_and_reserve_from_query_leased,
+    plan_and_reserve_from_view_leased, plan_and_reserve_leased, plan_standby_trees, FairShareCaps,
+    PlanConfig, SessionSpec, FAIR_HELPER_RANK,
 };
 use crate::ResourcePool;
 use somo::traffic::TrafficLedger;
+use somo::Report as _;
 
 /// How task managers discover helper candidates when planning from a
 /// periodically refreshed view (`view_refresh` set).
@@ -99,6 +104,62 @@ pub enum DiscoveryMode {
     /// index (`crates/query`) — O(k log N) wire cost per plan instead of a
     /// pool-wide gather.
     Query,
+}
+
+/// How the market divides pool degrees among competing sessions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AllocationMode {
+    /// Strict priority: higher classes preempt lower ones (the paper's
+    /// baseline market and the fig-10 anchor path).
+    #[default]
+    Priority,
+    /// Weighted max-min fairness: every session plans against a
+    /// water-filled fair share of the pool's free degrees (priority acts
+    /// as the weight), booked at a single rank so no session can evict
+    /// another.
+    Pareto,
+    /// Admission control: under scarcity, arriving sessions are queued
+    /// with capped-backoff retries, admitted degraded, or rejected —
+    /// never allowed to preempt running sessions.
+    Admission,
+}
+
+/// Tuning of the [`AllocationMode::Admission`] controller.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AdmissionConfig {
+    /// Bound of each priority class's FIFO admission queue; arrivals
+    /// beyond it under severe scarcity are rejected outright.
+    pub queue_cap: usize,
+    /// Base retry delay for a queued session. The delay doubles per
+    /// attempt with the step capped at `backoff * 2^6` — the same
+    /// capped-exponential shape as [`ReattachConfig`].
+    pub backoff: SimTime,
+    /// Retry attempts before a queued session is timed out and rejected.
+    pub max_attempts: u32,
+    /// Pool-wide free-degree fraction (at the fair helper rank) above
+    /// which arrivals are admitted at full service.
+    pub scarce_free_frac: f64,
+    /// Free-degree fraction above which (but below `scarce_free_frac`)
+    /// arrivals are admitted degraded instead of queued.
+    pub degrade_free_frac: f64,
+    /// Helper-degree budget of a degraded admission.
+    pub degraded_helper_budget: u64,
+    /// Member fan-out cap of a degraded admission's tree.
+    pub degraded_member_degree: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_cap: 64,
+            backoff: SimTime::from_secs(5),
+            max_attempts: 8,
+            scarce_free_frac: 0.15,
+            degrade_free_frac: 0.05,
+            degraded_helper_budget: 4,
+            degraded_member_degree: 2,
+        }
+    }
 }
 
 /// Market workload configuration.
@@ -159,6 +220,12 @@ pub struct MarketConfig {
     pub full_crash_replan: bool,
     /// Sampling period of the invariant auditor; `None` disables auditing.
     pub audit_period: Option<SimTime>,
+    /// How pool degrees are divided among competing sessions. The default
+    /// `Priority` mode is the anchor path and bit-identical to the
+    /// pre-admission simulator.
+    pub allocation: AllocationMode,
+    /// Admission-controller tuning ([`AllocationMode::Admission`] only).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for MarketConfig {
@@ -182,6 +249,8 @@ impl Default for MarketConfig {
             reattach: ReattachConfig::default(),
             full_crash_replan: false,
             audit_period: Some(SimTime::from_secs(60)),
+            allocation: AllocationMode::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -205,11 +274,109 @@ pub struct PriorityStats {
     pub sessions_lost: u64,
 }
 
+/// Stats class that degraded admissions report under. Priority classes
+/// are 1..=3; degraded sessions keep their priority for planning but
+/// their outcomes are accounted separately so service degradation is
+/// visible in the results.
+pub const DEGRADED_CLASS: u8 = 4;
+
+/// Per-class statistics keyed by class id — the three priority classes
+/// plus [`DEGRADED_CLASS`]. Replaces the old hardcoded
+/// `[PriorityStats; 3]` so adding a class is a map entry, not index
+/// arithmetic scattered across the simulator.
+#[derive(Clone, Debug)]
+pub struct ClassStatsMap {
+    /// Sorted by class id; the four standard classes are always present.
+    classes: Vec<(u8, PriorityStats)>,
+}
+
+impl Default for ClassStatsMap {
+    fn default() -> Self {
+        ClassStatsMap {
+            classes: [1, 2, 3, DEGRADED_CLASS]
+                .iter()
+                .map(|&c| (c, PriorityStats::default()))
+                .collect(),
+        }
+    }
+}
+
+impl ClassStatsMap {
+    /// Stats of a class; panics on a class id that was never materialized
+    /// (mirrors the out-of-bounds panic of the old fixed array).
+    pub fn get(&self, class: u8) -> &PriorityStats {
+        self.classes
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, p)| p)
+            .unwrap_or_else(|| panic!("unknown stats class {class}"))
+    }
+
+    /// Mutable stats of a class, materializing it (sorted) if unseen.
+    pub fn get_mut(&mut self, class: u8) -> &mut PriorityStats {
+        let pos = match self.classes.iter().position(|(c, _)| *c == class) {
+            Some(p) => p,
+            None => {
+                let p = self
+                    .classes
+                    .iter()
+                    .position(|(c, _)| *c > class)
+                    .unwrap_or(self.classes.len());
+                self.classes.insert(p, (class, PriorityStats::default()));
+                p
+            }
+        };
+        &mut self.classes[pos].1
+    }
+
+    /// All `(class, stats)` entries in ascending class order.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, &PriorityStats)> {
+        self.classes.iter().map(|(c, p)| (*c, p))
+    }
+}
+
+/// Admission-controller accounting ([`AllocationMode::Admission`] runs
+/// only; every counter saturates instead of wrapping).
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionStats {
+    /// Session arrivals that reached an admission decision.
+    pub arrivals: u64,
+    /// Arrivals admitted at full service (immediately or after queueing).
+    pub admitted: u64,
+    /// Arrivals admitted with degraded service.
+    pub degraded: u64,
+    /// Arrivals rejected: queue overflow, retry timeout, or root loss
+    /// while queued.
+    pub rejected: u64,
+    /// The subset of rejections caused by the round-based retry timeout.
+    pub timeouts: u64,
+    /// Sessions still queued when the horizon closed.
+    pub queued_final: u64,
+    /// Largest total queue depth observed across the run.
+    pub max_queue_depth: u64,
+    /// Queue wait per admission in seconds (0 for immediate admissions) —
+    /// the admission latency distribution.
+    pub wait: OnlineStats,
+}
+
 /// Outcome of a market run.
 #[derive(Clone, Debug, Default)]
 pub struct MarketOutcome {
-    /// Stats per priority class (index 0 = priority 1).
-    pub per_priority: [PriorityStats; 3],
+    /// Stats per class: priorities 1..=3 plus [`DEGRADED_CLASS`].
+    pub per_class: ClassStatsMap,
+    /// Admission-controller accounting (all-zero outside
+    /// [`AllocationMode::Admission`]).
+    pub admission: AdmissionStats,
+    /// Helper degrees obtained per plan, per session slot — the share
+    /// samples the flash-crowd bench folds into a Jain fairness index.
+    /// Sized to the slot count; empty entries mean the slot never planned
+    /// after warm-up.
+    pub session_shares: Vec<OnlineStats>,
+    /// Per-slot fairness weight — the session's priority class. Jain's
+    /// index for a *weighted* allocation compares the normalized shares
+    /// x_i / w_i, so an allocator that hits its weighted target exactly
+    /// scores 1.0 whatever the weights are.
+    pub session_weights: Vec<f64>,
     /// Total plans executed.
     pub plans: u64,
     /// Pool degree utilization sampled after every plan (the §5.3 goal of
@@ -266,19 +433,39 @@ pub struct MarketOutcome {
 }
 
 impl MarketOutcome {
-    /// Stats for a priority class (1..=3).
+    /// Stats for a class (priorities 1..=3 or [`DEGRADED_CLASS`]).
     pub fn class(&self, priority: u8) -> &PriorityStats {
-        &self.per_priority[(priority - 1) as usize]
+        self.per_class.get(priority)
     }
 
     /// Total failovers across classes.
     pub fn failovers(&self) -> u64 {
-        self.per_priority.iter().map(|p| p.failovers).sum()
+        self.per_class.iter().map(|(_, p)| p.failovers).sum()
     }
 
     /// Total lost sessions across classes.
     pub fn sessions_lost(&self) -> u64 {
-        self.per_priority.iter().map(|p| p.sessions_lost).sum()
+        self.per_class.iter().map(|(_, p)| p.sessions_lost).sum()
+    }
+
+    /// Jain fairness index over the per-slot mean helper shares,
+    /// normalized by each session's priority weight (Jain's original
+    /// weighted form: φ_i = x_i / w_i). Slots that never planned
+    /// post-warm-up contribute a 0 share; a missing weight counts as 1.
+    pub fn jain_fairness(&self) -> f64 {
+        let shares: Vec<f64> = self
+            .session_shares
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let x = if s.count() == 0 { 0.0 } else { s.mean() };
+                match self.session_weights.get(i) {
+                    Some(&w) if w > 0.0 => x / w,
+                    _ => x,
+                }
+            })
+            .collect();
+        simcore::stats::jain_index(&shares)
     }
 
     /// Publish the run's accounting into a [`MetricsRegistry`] under the
@@ -297,8 +484,19 @@ impl MarketOutcome {
         reg.set_gauge("market.utilization_mean", self.utilization.mean());
         reg.set_gauge("market.delivery_mean", self.delivery.mean());
         reg.set_gauge("market.restore_rounds_mean", self.restore_rounds.mean());
-        for (k, p) in self.per_priority.iter().enumerate() {
-            let n = k + 1;
+        reg.add("market.admission.arrivals", self.admission.arrivals);
+        reg.add("market.admission.admitted", self.admission.admitted);
+        reg.add("market.admission.degraded", self.admission.degraded);
+        reg.add("market.admission.rejected", self.admission.rejected);
+        reg.add("market.admission.timeouts", self.admission.timeouts);
+        reg.add("market.admission.queued_final", self.admission.queued_final);
+        reg.add(
+            "market.admission.max_queue_depth",
+            self.admission.max_queue_depth,
+        );
+        reg.set_gauge("market.admission.wait_mean", self.admission.wait.mean());
+        reg.set_gauge("market.jain_fairness", self.jain_fairness());
+        for (n, p) in self.per_class.iter() {
             reg.add(&format!("market.p{n}.preemptions"), p.preemptions);
             reg.add(&format!("market.p{n}.helper_failures"), p.helper_failures);
             reg.add(&format!("market.p{n}.helper_crashes"), p.helper_crashes);
@@ -337,6 +535,9 @@ enum Ev {
     DeliveryRound,
     /// Periodic lease-expiry sweep (scheduled only under a fault plan).
     ExpireLeases,
+    /// Capped-backoff retry of a queued arrival (Admission mode only);
+    /// stamped with the attempt number.
+    AdmissionRetry(usize, u32),
     /// Periodic invariant-audit sample.
     Audit,
 }
@@ -357,6 +558,12 @@ struct Slot {
     /// its source) and no repair, promotion or replan has landed yet.
     /// Rounds-to-restore bookkeeping only.
     broken_since: Option<SimTime>,
+    /// The current cycle was admitted degraded (Admission mode only):
+    /// reduced helper budget, trimmed fan-out, stats under
+    /// [`DEGRADED_CLASS`].
+    degraded: bool,
+    /// When the slot entered the admission queue; `None` when not queued.
+    queued_since: Option<SimTime>,
 }
 
 /// The market simulator.
@@ -377,6 +584,21 @@ pub struct MarketSim {
     has_faults: bool,
     auditor: Option<Auditor>,
     tracer: Tracer,
+    /// Per-priority-class admission FIFOs holding queued slot indices
+    /// (Admission mode only; index 0 = class 1).
+    admission_queues: [VecDeque<u32>; 3],
+    /// Preemption victims observed in Admission mode — the counter behind
+    /// the zero-preemption invariant, bumped regardless of warm-up.
+    admission_preemptions: u64,
+    /// Every market member host; Admission-mode plans exclude them as
+    /// helper candidates so member-rank reserves can never evict another
+    /// session's helpers.
+    member_hosts: HashSet<HostId>,
+    /// Pressure-signal cache: at most one pool fold per event time.
+    pressure_cache: Option<(SimTime, query::PressureReport)>,
+    /// Scarcity-crossing subscription; emits `MarketPressureShift` on
+    /// threshold crossings of the fair-rank free fraction.
+    pressure_watch: query::PressureWatch,
 }
 
 impl MarketSim {
@@ -404,6 +626,8 @@ impl MarketSim {
                     tree: None,
                     standby: Vec::new(),
                     broken_since: None,
+                    degraded: false,
+                    queued_since: None,
                 }
             })
             .collect();
@@ -433,23 +657,47 @@ impl MarketSim {
             // perturb the fault trajectory; zero-fault runs schedule none
             // and stay bit-identical.
             queue.schedule(cfg.detect_delay, Ev::DeliveryRound);
+        } else if cfg.faults.loss > 0.0 {
+            // Message-loss-only plans still want delivery accounting; the
+            // round handler stays read-only so the trajectory is otherwise
+            // that of the zero-fault path.
+            queue.schedule(cfg.detect_delay, Ev::DeliveryRound);
         }
         let auditor = cfg.audit_period.map(Auditor::every);
         if auditor.is_some() {
             queue.schedule(SimTime::ZERO, Ev::Audit);
         }
+        let member_hosts: HashSet<HostId> = if cfg.allocation == AllocationMode::Admission {
+            slots
+                .iter()
+                .flat_map(|s| s.spec.members.iter().copied())
+                .collect()
+        } else {
+            HashSet::new()
+        };
+        let pressure_watch = query::PressureWatch::new(3, cfg.admission.scarce_free_frac);
+        let outcome = MarketOutcome {
+            session_shares: vec![OnlineStats::default(); slots.len()],
+            session_weights: slots.iter().map(|s| s.spec.priority as f64).collect(),
+            ..MarketOutcome::default()
+        };
         MarketSim {
             pool,
             cfg,
             slots,
             queue,
-            outcome: MarketOutcome::default(),
+            outcome,
             seed,
             view: None,
             qindex: None,
             has_faults,
             auditor,
             tracer: Tracer::disabled(),
+            admission_queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            admission_preemptions: 0,
+            member_hosts,
+            pressure_cache: None,
+            pressure_watch,
         }
     }
 
@@ -476,6 +724,7 @@ impl MarketSim {
             let (now, ev) = self.queue.pop().expect("peeked");
             self.handle(now, ev);
         }
+        self.outcome.admission.queued_final = self.queued_now();
         // Closing audit sample at the horizon, then the leak census: any
         // degrees still booked to a session that is no longer active were
         // neither released nor lapsed — exactly what leases must prevent.
@@ -517,15 +766,13 @@ impl MarketSim {
                         }
                     }
                 }
-                self.slots[i].active = true;
-                self.slots[i].cycle += 1;
-                self.plan(i, now);
-                let cycle = self.slots[i].cycle;
-                let mut rng = derive_rng2(self.seed, 0x0D00 + i as u64, cycle);
-                let dur = jittered(self.cfg.mean_active, &mut rng);
-                self.queue.schedule(now + dur, Ev::End(i, cycle));
-                self.queue
-                    .schedule(now + self.cfg.replan_period, Ev::Replan(i));
+                if self.cfg.allocation == AllocationMode::Admission {
+                    self.outcome.admission.arrivals =
+                        self.outcome.admission.arrivals.saturating_add(1);
+                    self.admission_decide(i, 0, now);
+                } else {
+                    self.begin_session(i, now, false);
+                }
             }
             Ev::End(i, cycle) => {
                 if !self.slots[i].active || self.slots[i].cycle != cycle {
@@ -608,6 +855,23 @@ impl MarketSim {
                 self.queue
                     .schedule(now + self.cfg.detect_delay, Ev::DeliveryRound);
             }
+            Ev::AdmissionRetry(i, attempt) => {
+                if self.slots[i].queued_since.is_none() || self.slots[i].active {
+                    return;
+                }
+                if self.has_faults && !self.pool.is_alive(self.slots[i].spec.root) {
+                    // The queued root died: a surviving member takes over
+                    // the waiting spot, or the arrival is bounced.
+                    match self.lowest_live_member(i) {
+                        Some(d) => self.slots[i].spec.root = d,
+                        None => {
+                            self.admission_reject(i, now, false);
+                            return;
+                        }
+                    }
+                }
+                self.admission_decide(i, attempt, now);
+            }
             Ev::ExpireLeases => {
                 let mut lapsed = 0u64;
                 for (_, degrees) in self.pool.expire_leases(now) {
@@ -640,6 +904,277 @@ impl MarketSim {
             .copied()
             .filter(|&m| self.pool.is_alive(m))
             .min()
+    }
+
+    /// Open one activity cycle for a slot: the legacy `Ev::Start` tail,
+    /// factored out so every allocation mode schedules the identical event
+    /// stream and draws the identical RNG tags (0x0D00 duration draw).
+    fn begin_session(&mut self, i: usize, now: SimTime, degraded: bool) {
+        self.slots[i].degraded = degraded;
+        self.slots[i].active = true;
+        self.slots[i].cycle += 1;
+        self.plan(i, now);
+        let cycle = self.slots[i].cycle;
+        let mut rng = derive_rng2(self.seed, 0x0D00 + i as u64, cycle);
+        let dur = jittered(self.cfg.mean_active, &mut rng);
+        self.queue.schedule(now + dur, Ev::End(i, cycle));
+        self.queue
+            .schedule(now + self.cfg.replan_period, Ev::Replan(i));
+    }
+
+    /// Sessions currently sitting in an admission queue.
+    fn queued_now(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.queued_since.is_some())
+            .count() as u64
+    }
+
+    /// Pool-wide pressure signal: the SOMO root aggregate when the query
+    /// index is live, otherwise a direct fold of every live host's sample
+    /// (the controller's local stand-in for the published aggregate),
+    /// with the controller's own queue depth and preemption count folded
+    /// in. Cached per event time.
+    fn cluster_pressure(&mut self, now: SimTime) -> query::PressureReport {
+        if let Some((at, pr)) = self.pressure_cache {
+            if at == now {
+                return pr;
+            }
+        }
+        let mut agg = if let Some(idx) = &self.qindex {
+            idx.root_aggregate().clone()
+        } else {
+            let bounds = query::RegionBounds::default();
+            let mut a = query::Aggregate::empty();
+            for h in (0..self.pool.num_hosts()).map(|x| HostId(x as u32)) {
+                if let Some(s) = self.pool.host_sample(h, now) {
+                    a.merge(&query::Aggregate::of_sample(&s, &bounds));
+                }
+            }
+            a
+        };
+        agg.queued = agg.queued.saturating_add(self.queued_now());
+        agg.preempted = agg.preempted.saturating_add(self.admission_preemptions);
+        let pr = agg.pressure();
+        if let Some(scarce) = self.pressure_watch.observe(&agg) {
+            self.tracer
+                .emit(now, || TraceEvent::MarketPressureShift { scarce });
+        }
+        self.pressure_cache = Some((now, pr));
+        pr
+    }
+
+    /// Retry delay for a queued arrival: `backoff * 2^(attempt-1)` with
+    /// the exponent capped at 6 — the [`ReattachConfig`] backoff shape.
+    fn admission_retry_delay(&self, attempt: u32) -> SimTime {
+        let exp = attempt.saturating_sub(1).min(6);
+        SimTime::from_micros(
+            self.cfg
+                .admission
+                .backoff
+                .as_micros()
+                .saturating_mul(1u64 << exp),
+        )
+    }
+
+    /// Remove a slot from its admission queue (if queued) and return how
+    /// long it waited, in microseconds.
+    fn admission_dequeue(&mut self, i: usize, now: SimTime) -> u64 {
+        let Some(t0) = self.slots[i].queued_since.take() else {
+            return 0;
+        };
+        let class = (self.slots[i].spec.priority - 1) as usize;
+        self.admission_queues[class].retain(|&j| j != i as u32);
+        now.as_micros().saturating_sub(t0.as_micros())
+    }
+
+    /// The admission decision for an arrival (attempt 0) or a queued
+    /// retry: admit at full service, admit degraded, queue with capped
+    /// backoff, or reject. Every arrival resolves to exactly one of
+    /// admitted/degraded/rejected/still-queued — the conservation
+    /// invariant the auditor checks.
+    fn admission_decide(&mut self, i: usize, attempt: u32, now: SimTime) {
+        let pr = self.cluster_pressure(now);
+        let free = pr.free_frac[FAIR_HELPER_RANK.0 as usize];
+        let session = self.slots[i].spec.id.0;
+        if free >= self.cfg.admission.scarce_free_frac {
+            let waited_us = self.admission_dequeue(i, now);
+            self.outcome.admission.admitted = self.outcome.admission.admitted.saturating_add(1);
+            self.outcome.admission.wait.push(waited_us as f64 / 1e6);
+            self.tracer
+                .emit(now, || TraceEvent::MarketAdmissionAdmitted {
+                    session,
+                    waited_us,
+                });
+            self.begin_session(i, now, false);
+        } else if free >= self.cfg.admission.degrade_free_frac {
+            let waited_us = self.admission_dequeue(i, now);
+            self.outcome.admission.degraded = self.outcome.admission.degraded.saturating_add(1);
+            self.outcome.admission.wait.push(waited_us as f64 / 1e6);
+            self.tracer
+                .emit(now, || TraceEvent::MarketAdmissionDegraded {
+                    session,
+                    waited_us,
+                });
+            self.begin_session(i, now, true);
+        } else if attempt == 0 {
+            // A fresh arrival under severe scarcity: queue it, or bounce
+            // it when its class FIFO is full.
+            let class = self.slots[i].spec.priority;
+            let q = &mut self.admission_queues[(class - 1) as usize];
+            if q.len() >= self.cfg.admission.queue_cap {
+                self.admission_reject(i, now, false);
+            } else {
+                q.push_back(i as u32);
+                let depth = q.len() as u32;
+                self.slots[i].queued_since = Some(now);
+                self.outcome.admission.max_queue_depth = self
+                    .outcome
+                    .admission
+                    .max_queue_depth
+                    .max(self.queued_now());
+                self.tracer.emit(now, || TraceEvent::MarketAdmissionQueued {
+                    session,
+                    class,
+                    depth,
+                });
+                self.queue.schedule(
+                    now + self.admission_retry_delay(1),
+                    Ev::AdmissionRetry(i, 1),
+                );
+            }
+        } else if attempt >= self.cfg.admission.max_attempts {
+            self.outcome.admission.timeouts = self.outcome.admission.timeouts.saturating_add(1);
+            self.admission_reject(i, now, true);
+        } else {
+            let next = attempt + 1;
+            self.queue.schedule(
+                now + self.admission_retry_delay(next),
+                Ev::AdmissionRetry(i, next),
+            );
+        }
+    }
+
+    /// Bounce an arrival: account the rejection and schedule the slot's
+    /// next life after a fresh gap on the defer stream (rejections and
+    /// dead-root deferrals share the 0x0F00 RNG tag).
+    fn admission_reject(&mut self, i: usize, now: SimTime, timeout: bool) {
+        let _ = self.admission_dequeue(i, now);
+        self.outcome.admission.rejected = self.outcome.admission.rejected.saturating_add(1);
+        let session = self.slots[i].spec.id.0;
+        self.tracer
+            .emit(now, || TraceEvent::MarketAdmissionRejected {
+                session,
+                timeout,
+            });
+        self.slots[i].defers += 1;
+        let mut rng = derive_rng2(self.seed, 0x0F00 + i as u64, self.slots[i].defers);
+        let gap = jittered(self.cfg.mean_gap, &mut rng);
+        self.queue.schedule(now + gap, Ev::Start(i));
+    }
+
+    /// The class a slot's stats land under: its priority, or
+    /// [`DEGRADED_CLASS`] while admitted degraded.
+    fn stats_class(&self, i: usize) -> u8 {
+        if self.slots[i].degraded {
+            DEGRADED_CLASS
+        } else {
+            self.slots[i].spec.priority
+        }
+    }
+
+    /// The rank helpers are booked at: per-priority in the preempting
+    /// Priority market, the single fair rank in Pareto/Admission modes
+    /// (equal ranks never preempt).
+    fn helper_booking_rank(&self, priority: u8) -> crate::Rank {
+        match self.cfg.allocation {
+            AllocationMode::Priority => crate::Rank::helper(priority),
+            AllocationMode::Pareto | AllocationMode::Admission => FAIR_HELPER_RANK,
+        }
+    }
+
+    /// Weighted max-min fair helper budgets of every slot: water-fill the
+    /// pool's current non-member capacity over the active slots,
+    /// weighting by priority (higher class, larger weight). Slot `i` is
+    /// treated as active even if its flag is not yet set (it is the slot
+    /// about to plan).
+    fn pareto_shares(&self, i: usize) -> Vec<u64> {
+        let mut capacity = 0u64;
+        for h in (0..self.pool.num_hosts()).map(|x| HostId(x as u32)) {
+            if !self.pool.is_alive(h) {
+                continue;
+            }
+            let t = self.pool.table(h);
+            capacity += t.dbound().saturating_sub(t.member_held()) as u64;
+        }
+        let entries: Vec<(f64, u64)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                if s.active || k == i {
+                    // Priority is the weight: the paper's class 3 stays
+                    // the premium class, but fairly — it gets a larger
+                    // share, never the power to evict.
+                    (s.spec.priority as f64, 2 * s.spec.members.len() as u64)
+                } else {
+                    (0.0, 0)
+                }
+            })
+            .collect();
+        water_fill(capacity, &entries)
+    }
+
+    /// Fair-rank degrees `session` currently holds across the pool.
+    fn fair_held(&self, session: SessionId) -> u64 {
+        self.pool
+            .holdings_of(session)
+            .iter()
+            .map(|&h| {
+                self.pool
+                    .table(h)
+                    .allocations()
+                    .iter()
+                    .filter(|a| a.session == session && a.rank == FAIR_HELPER_RANK)
+                    .map(|a| a.count as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Enforce the water-fill: a max-min allocation is only max-min if
+    /// shrinking shares are reclaimed. As the crowd grows, every
+    /// incumbent's share falls — without this trim the fair rank is
+    /// first-come-first-served with a cap, and latecomers water-fill an
+    /// already-drained pool. Incumbents holding more fair-rank degrees
+    /// than their current share are trimmed down to it and replan like
+    /// any revocation victim (so the churn is visible in the preemption
+    /// counters, honestly — fair is not free).
+    fn reclaim_overshare(&mut self, i: usize, shares: &[u64], now: SimTime) {
+        let mut victims: Vec<SessionId> = Vec::new();
+        for (j, &share) in shares.iter().enumerate() {
+            if j == i || !self.slots[j].active || self.slots[j].replan_pending {
+                continue;
+            }
+            let sid = self.slots[j].spec.id;
+            let mut excess = self.fair_held(sid).saturating_sub(share);
+            if excess == 0 {
+                continue;
+            }
+            // Holdings order is insertion order — deterministic; the
+            // victim replans wholesale anyway, so which hosts lose the
+            // trimmed degrees does not matter beyond replayability.
+            for h in self.pool.holdings_of(sid).to_vec() {
+                if excess == 0 {
+                    break;
+                }
+                let take = u32::try_from(excess).unwrap_or(u32::MAX);
+                let freed = self.pool.release_degrees(h, sid, FAIR_HELPER_RANK, take);
+                excess = excess.saturating_sub(freed as u64);
+            }
+            victims.push(sid);
+        }
+        self.notify_preempted(&victims, now);
     }
 
     /// A host went down: route the event to every session it touches.
@@ -731,8 +1266,28 @@ impl MarketSim {
         }
         if now >= self.cfg.warmup {
             let crashed_helpers = dead.iter().filter(|x| !spec.members.contains(x)).count();
-            self.outcome.per_priority[(spec.priority - 1) as usize].helper_crashes +=
-                crashed_helpers as u64;
+            let class = self.stats_class(i);
+            let stats = self.outcome.per_class.get_mut(class);
+            stats.helper_crashes = stats.helper_crashes.saturating_add(crashed_helpers as u64);
+        }
+        // Fewer than two live members left: nothing to multicast to.
+        // Mirror the dormant policy of `plan` — hold no degrees while
+        // dormant — instead of repairing down to a tree that serves
+        // nobody (the root alone, holding a zero-degree claim).
+        let live_members = spec
+            .members
+            .iter()
+            .filter(|&&m| self.pool.is_alive(m))
+            .count();
+        if live_members < 2 {
+            self.pool.release_session(spec.id);
+            self.slots[i].tree = None;
+            self.slots[i].standby.clear();
+            self.slots[i].broken_since = None;
+            let session = spec.id.0;
+            self.tracer
+                .emit(now, || TraceEvent::MarketRelease { session });
+            return;
         }
         // Multipath sessions respond by failover, not in-place repair: an
         // intact tree (the primary, or the best standby promoted in its
@@ -796,7 +1351,7 @@ impl MarketSim {
     /// victims are notified exactly as [`Self::plan`] notifies them.
     fn resync_holdings(&mut self, i: usize, tree: &MulticastTree, now: SimTime) -> bool {
         let spec = self.slots[i].spec.clone();
-        let helper_rank = crate::Rank::helper(spec.priority);
+        let helper_rank = self.helper_booking_rank(spec.priority);
         let lease = Some(now + self.cfg.lease_ttl);
         self.pool.release_session(spec.id);
         let mut preempted: Vec<SessionId> = Vec::new();
@@ -828,13 +1383,21 @@ impl MarketSim {
     /// replans after a 1 s revocation-notice delay. Duplicates are harmless
     /// (the pending flag absorbs them).
     fn notify_preempted(&mut self, victims: &[SessionId], now: SimTime) {
+        // The zero-preemption invariant of Admission mode counts *every*
+        // victim, warm-up or not — one slip anywhere fails the audit.
+        if self.cfg.allocation == AllocationMode::Admission {
+            self.admission_preemptions = self
+                .admission_preemptions
+                .saturating_add(victims.len() as u64);
+        }
         for &victim in victims {
             let vi = victim.0 as usize;
             if self.slots[vi].active && !self.slots[vi].replan_pending {
                 self.slots[vi].replan_pending = true;
                 if now >= self.cfg.warmup {
-                    self.outcome.per_priority[(self.slots[vi].spec.priority - 1) as usize]
-                        .preemptions += 1;
+                    let class = self.stats_class(vi);
+                    let stats = self.outcome.per_class.get_mut(class);
+                    stats.preemptions = stats.preemptions.saturating_add(1);
                 }
                 self.queue
                     .schedule(now + SimTime::from_secs(1), Ev::PreemptReplan(vi));
@@ -936,7 +1499,7 @@ impl MarketSim {
     /// release.
     fn release_tree_degrees(&mut self, i: usize, tree: &MulticastTree) {
         let id = self.slots[i].spec.id;
-        let helper_rank = crate::Rank::helper(self.slots[i].spec.priority);
+        let helper_rank = self.helper_booking_rank(self.slots[i].spec.priority);
         let members = self.slots[i].spec.members.clone();
         for &h in tree.hosts() {
             if !self.pool.is_alive(h) {
@@ -1018,7 +1581,19 @@ impl MarketSim {
             let mut trees: Vec<MulticastTree> = Vec::with_capacity(1 + slot.standby.len());
             trees.push(tree.clone());
             trees.extend(slot.standby.iter().cloned());
-            let ratio = delivery_ratio(&trees, &slot.spec.members, |x| self.pool.is_alive(x));
+            let loss = self.cfg.faults.loss;
+            let ratio = if loss > 0.0 {
+                let round = now.as_micros() / self.cfg.detect_delay.as_micros().max(1);
+                let (sim_seed, fault_seed) = (self.seed, self.cfg.faults.seed);
+                delivery_ratio_lossy(
+                    &trees,
+                    &slot.spec.members,
+                    |x| self.pool.is_alive(x),
+                    |a, b| edge_delivers(sim_seed, fault_seed, round, a, b, loss),
+                )
+            } else {
+                delivery_ratio(&trees, &slot.spec.members, |x| self.pool.is_alive(x))
+            };
             self.outcome.delivery.push(ratio);
         }
     }
@@ -1037,11 +1612,12 @@ impl MarketSim {
             // The root recovered before the deputy acted.
             return;
         }
-        let pidx = (spec.priority - 1) as usize;
+        let class = self.stats_class(i);
         match self.lowest_live_member(i) {
             Some(deputy) => {
                 if now >= self.cfg.warmup {
-                    self.outcome.per_priority[pidx].failovers += 1;
+                    let stats = self.outcome.per_class.get_mut(class);
+                    stats.failovers = stats.failovers.saturating_add(1);
                 }
                 self.tracer.emit(now, || TraceEvent::MarketFailover {
                     session: spec.id.0,
@@ -1055,7 +1631,8 @@ impl MarketSim {
             }
             None => {
                 if now >= self.cfg.warmup {
-                    self.outcome.per_priority[pidx].sessions_lost += 1;
+                    let stats = self.outcome.per_class.get_mut(class);
+                    stats.sessions_lost = stats.sessions_lost.saturating_add(1);
                 }
                 self.tracer
                     .emit(now, || TraceEvent::MarketSessionLost { session: spec.id.0 });
@@ -1088,10 +1665,20 @@ impl MarketSim {
                 standby: s.standby.as_slice(),
             })
             .collect();
+        let admission =
+            (self.cfg.allocation == AllocationMode::Admission).then(|| AdmissionAudit {
+                arrivals: self.outcome.admission.arrivals,
+                admitted: self.outcome.admission.admitted,
+                degraded: self.outcome.admission.degraded,
+                rejected: self.outcome.admission.rejected,
+                queued_now: self.queued_now(),
+                preemptions: self.admission_preemptions,
+            });
         let view = MarketAuditView {
             pool: &self.pool,
             plan: &self.cfg.plan,
             sessions,
+            admission,
         };
         aud.sample(&market_invariants(), &view, now);
         self.auditor = Some(aud);
@@ -1135,12 +1722,62 @@ impl MarketSim {
         } else {
             (0, 0)
         };
-        let out = if let Some(qindex) = &mut self.qindex {
-            plan_and_reserve_from_query_leased(&mut self.pool, &spec, &self.cfg.plan, qindex, lease)
-        } else if let Some(view) = &self.view {
-            plan_and_reserve_from_view_leased(&mut self.pool, &spec, &self.cfg.plan, view, lease)
-        } else {
-            plan_and_reserve_leased(&mut self.pool, &spec, &self.cfg.plan, lease)
+        let out = match self.cfg.allocation {
+            AllocationMode::Priority => {
+                if let Some(qindex) = &mut self.qindex {
+                    plan_and_reserve_from_query_leased(
+                        &mut self.pool,
+                        &spec,
+                        &self.cfg.plan,
+                        qindex,
+                        lease,
+                    )
+                } else if let Some(view) = &self.view {
+                    plan_and_reserve_from_view_leased(
+                        &mut self.pool,
+                        &spec,
+                        &self.cfg.plan,
+                        view,
+                        lease,
+                    )
+                } else {
+                    plan_and_reserve_leased(&mut self.pool, &spec, &self.cfg.plan, lease)
+                }
+            }
+            AllocationMode::Pareto => {
+                // Plan against the water-filled fair share, helpers booked
+                // at the shared fair rank, over-share incumbents trimmed
+                // back to theirs first. Fair modes plan from live tables
+                // regardless of the discovery surface.
+                let shares = self.pareto_shares(i);
+                self.reclaim_overshare(i, &shares, now);
+                let caps = FairShareCaps {
+                    helper_budget: shares[i],
+                    member_degree: None,
+                    exclude: HashSet::new(),
+                };
+                plan_and_reserve_fair_leased(&mut self.pool, &spec, &self.cfg.plan, &caps, lease)
+            }
+            AllocationMode::Admission => {
+                // Admitted sessions draw only free degrees on non-member
+                // hosts — structurally incapable of preempting. Degraded
+                // admissions additionally run on a trimmed budget and
+                // fan-out.
+                let caps = FairShareCaps {
+                    helper_budget: if self.slots[i].degraded {
+                        self.cfg.admission.degraded_helper_budget
+                    } else {
+                        u64::MAX
+                    },
+                    member_degree: if self.slots[i].degraded {
+                        Some(self.cfg.admission.degraded_member_degree)
+                    } else {
+                        None
+                    },
+                    exclude: self.member_hosts.clone(),
+                };
+                plan_and_reserve_fair_leased(&mut self.pool, &spec, &self.cfg.plan, &caps, lease)
+            }
         };
         self.slots[i].tree = Some(out.tree.clone());
         // A fresh plan is an intact serving tree: close any open outage
@@ -1151,7 +1788,7 @@ impl MarketSim {
         // planner-work deltas above deliberately include this work.
         let mut preempted = out.preempted;
         self.slots[i].standby.clear();
-        if self.cfg.plan.k_trees > 1 {
+        if self.cfg.plan.k_trees > 1 && self.cfg.allocation == AllocationMode::Priority {
             let standby =
                 plan_standby_trees(&mut self.pool, &spec, &self.cfg.plan, &out.tree, &[], lease);
             preempted.extend(standby.preempted);
@@ -1176,10 +1813,14 @@ impl MarketSim {
             }
         }
         if now >= self.cfg.warmup {
-            let stats = &mut self.outcome.per_priority[(spec.priority - 1) as usize];
+            let class = self.stats_class(i);
+            let stats = self.outcome.per_class.get_mut(class);
             stats.improvement.push(out.improvement);
             stats.helpers.push(out.helpers.len() as f64);
-            stats.helper_failures += out.helper_failures as u64;
+            stats.helper_failures = stats
+                .helper_failures
+                .saturating_add(out.helper_failures as u64);
+            self.outcome.session_shares[i].push(out.helpers.len() as f64);
             self.outcome.utilization.push(self.pool.utilization());
         }
         // Victims replan shortly (they detect the loss via their reservation
@@ -1214,6 +1855,26 @@ pub struct MarketAuditView<'a> {
     pub plan: &'a PlanConfig,
     /// Every session slot.
     pub sessions: Vec<SessionAuditEntry<'a>>,
+    /// Admission-controller snapshot ([`AllocationMode::Admission`] runs
+    /// only; `None` elsewhere, where the admission invariants are no-ops).
+    pub admission: Option<AdmissionAudit>,
+}
+
+/// Admission-controller counters as the auditor sees them at one sample.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionAudit {
+    /// Arrivals that reached an admission decision so far.
+    pub arrivals: u64,
+    /// Arrivals admitted at full service so far.
+    pub admitted: u64,
+    /// Arrivals admitted degraded so far.
+    pub degraded: u64,
+    /// Arrivals rejected so far.
+    pub rejected: u64,
+    /// Sessions sitting in an admission queue right now.
+    pub queued_now: u64,
+    /// Preemption victims observed so far (must stay 0).
+    pub preemptions: u64,
 }
 
 fn inv_degree_conservation(v: &MarketAuditView<'_>, ctx: &mut AuditCtx<'_>) {
@@ -1375,16 +2036,44 @@ fn inv_tree_disjointness(v: &MarketAuditView<'_>, ctx: &mut AuditCtx<'_>) {
     }
 }
 
+/// Queue conservation: every arrival that reached the admission
+/// controller resolved to exactly one of admitted / degraded / rejected /
+/// still-queued. A no-op outside Admission mode.
+fn inv_admission_conservation(v: &MarketAuditView<'_>, ctx: &mut AuditCtx<'_>) {
+    let Some(a) = v.admission else { return };
+    let resolved = a.admitted + a.degraded + a.rejected + a.queued_now;
+    ctx.check(a.arrivals == resolved, || {
+        format!(
+            "admission books don't balance: {} arrivals vs {} admitted + {} degraded + \
+             {} rejected + {} queued",
+            a.arrivals, a.admitted, a.degraded, a.rejected, a.queued_now
+        )
+    });
+}
+
+/// Admission mode never preempts: graceful degradation replaces eviction,
+/// so the preemption counter must read 0 at every sample. A no-op outside
+/// Admission mode.
+fn inv_admission_no_preemption(v: &MarketAuditView<'_>, ctx: &mut AuditCtx<'_>) {
+    let Some(a) = v.admission else { return };
+    ctx.check(a.preemptions == 0, || {
+        format!("admission mode preempted {} times", a.preemptions)
+    });
+}
+
 /// The market's registered invariants: degree conservation (reserved ≤
 /// capacity, no double-booking), lease/holder consistency, tree degree
-/// bounds, and cross-tree disjointness of multipath sessions. Rebuilt per
-/// sample — the set is a handful of `fn` pointers.
+/// bounds, cross-tree disjointness of multipath sessions, and the two
+/// admission-controller invariants (queue conservation, zero preemption).
+/// Rebuilt per sample — the set is a handful of `fn` pointers.
 pub fn market_invariants<'a>() -> InvariantSet<MarketAuditView<'a>> {
     InvariantSet::new()
         .register("degree-conservation", inv_degree_conservation)
         .register("lease-holder-consistency", inv_lease_holder_consistency)
         .register("tree-degree-bounds", inv_tree_degree_bounds)
         .register("tree-disjointness", inv_tree_disjointness)
+        .register("admission-conservation", inv_admission_conservation)
+        .register("admission-no-preemption", inv_admission_no_preemption)
 }
 
 /// Draw a duration uniformly in [0.5, 1.5] × mean.
@@ -1393,10 +2082,73 @@ fn jittered(mean: SimTime, rng: &mut impl Rng) -> SimTime {
     SimTime::from_micros(rng.random_range(us / 2..us + us / 2))
 }
 
+/// Deterministic per-(round, edge) message-loss draw for delivery
+/// accounting: a pure hash stream keyed by the simulation and fault
+/// seeds, independent of every scheduling RNG stream, so sampling under
+/// loss stays pure observation.
+fn edge_delivers(
+    sim_seed: u64,
+    fault_seed: u64,
+    round: u64,
+    parent: HostId,
+    child: HostId,
+    loss: f64,
+) -> bool {
+    let edge = ((parent.0 as u64) << 32) | child.0 as u64;
+    let mut rng = derive_rng2(sim_seed ^ fault_seed.rotate_left(17), 0xD317 ^ round, edge);
+    rng.random::<f64>() >= loss
+}
+
+/// Weighted max-min fair division (iterative water-filling): split
+/// `capacity` units over `entries` of `(weight, demand)`, never giving an
+/// entry more than its demand. Each round distributes the remaining
+/// capacity proportionally to weight among unsatisfied entries; entries
+/// whose demand falls below their proportional slice are satisfied
+/// exactly and their leftover is re-filled to the rest. Terminates with
+/// either every demand met or (integer floors aside) the capacity
+/// exhausted — no entry can gain without another losing, the Pareto
+/// property [`AllocationMode::Pareto`] plans against.
+pub fn water_fill(capacity: u64, entries: &[(f64, u64)]) -> Vec<u64> {
+    let n = entries.len();
+    let mut share = vec![0u64; n];
+    let mut active: Vec<usize> = (0..n)
+        .filter(|&i| entries[i].1 > 0 && entries[i].0 > 0.0)
+        .collect();
+    let mut remaining = capacity;
+    while !active.is_empty() && remaining > 0 {
+        let wsum: f64 = active.iter().map(|&i| entries[i].0).sum();
+        let level = remaining as f64 / wsum;
+        let sat: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| (entries[i].1 - share[i]) as f64 <= entries[i].0 * level)
+            .collect();
+        if sat.is_empty() {
+            // Nobody saturates at this water level: hand out the floored
+            // proportional slices and stop (the sub-1-unit floor losses
+            // per entry are the only capacity left behind).
+            for &i in &active {
+                let slice = (entries[i].0 * level).floor() as u64;
+                let give = slice.min(entries[i].1 - share[i]).min(remaining);
+                share[i] += give;
+                remaining -= give;
+            }
+            break;
+        }
+        for &i in &sat {
+            let give = (entries[i].1 - share[i]).min(remaining);
+            share[i] += give;
+            remaining -= give;
+        }
+        active.retain(|i| !sat.contains(i));
+    }
+    share
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{PlanModel, PoolConfig};
+    use crate::{PlanModel, PoolConfig, Rank};
     use netsim::NetworkConfig;
 
     fn small_market(sessions: usize, seed: u64) -> MarketSim {
@@ -1423,6 +2175,40 @@ mod tests {
             ..MarketConfig::default()
         };
         MarketSim::new(pool, cfg, seed)
+    }
+
+    #[test]
+    fn zero_count_reservation_leaves_no_holdings_entry() {
+        // A session shrunk to its root alone re-syncs a degree-0 claim
+        // (the degenerate crash-repair tree). The pool must not index a
+        // host the session holds nothing on — that stale entry is exactly
+        // the lease-holder-consistency violation of the flash-crowd
+        // sweep's small-member sessions.
+        let mut pool = ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: 8,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 2,
+                ..PoolConfig::default()
+            },
+            7,
+        );
+        let s = SessionId(1);
+        let h = HostId(0);
+        let lease = Some(SimTime::from_secs(300));
+        assert!(pool.reserve_leased(h, s, Rank::MEMBER, 0, lease).is_ok());
+        assert!(
+            !pool.holds_on(s, h),
+            "zero-count reservation created a holdings entry"
+        );
+        assert_eq!(pool.holdings_of(s), &[] as &[HostId]);
+        // A real claim still indexes, and releasing it cleans up fully.
+        assert!(pool.reserve_leased(h, s, Rank::MEMBER, 2, lease).is_ok());
+        assert!(pool.holds_on(s, h));
+        pool.release_on_host(s, h);
+        assert!(pool.sessions_holding().is_empty());
     }
 
     #[test]
@@ -1955,5 +2741,93 @@ mod tests {
         assert_eq!(b.crash_repairs, 0);
         assert_eq!(b.lapsed_lease_degrees, 0);
         assert!(b.audit.is_clean());
+    }
+
+    #[test]
+    fn pareto_mode_spreads_shares_across_all_classes() {
+        let cfg = MarketConfig {
+            allocation: AllocationMode::Pareto,
+            ..faulty_cfg(9)
+        };
+        let out = MarketSim::new(small_pool(41), cfg, 41).run();
+        assert!(out.plans > 9);
+        for p in 1..=3u8 {
+            assert!(
+                out.class(p).improvement.count() > 0,
+                "no samples for priority {p}"
+            );
+        }
+        let jain = out.jain_fairness();
+        assert!(
+            jain > 0.0 && jain <= 1.0 + 1e-9,
+            "jain out of range: {jain}"
+        );
+        assert!(out.audit.is_clean(), "audit: {:?}", out.audit.violations);
+    }
+
+    #[test]
+    fn admission_mode_degrades_under_pressure_without_preempting() {
+        // Thresholds above any attainable free fraction: every arrival is
+        // forced down the degraded path, exercising the trimmed-budget
+        // planner while the no-preemption invariant watches.
+        let cfg = MarketConfig {
+            allocation: AllocationMode::Admission,
+            admission: AdmissionConfig {
+                scarce_free_frac: 1.5,
+                degrade_free_frac: 0.5,
+                ..AdmissionConfig::default()
+            },
+            ..faulty_cfg(9)
+        };
+        let out = MarketSim::new(small_pool(42), cfg, 42).run();
+        assert!(out.admission.arrivals > 0);
+        assert_eq!(out.admission.admitted, 0);
+        assert!(out.admission.degraded > 0, "nothing took the degraded path");
+        assert!(
+            out.class(DEGRADED_CLASS).improvement.count() > 0,
+            "degraded admissions left no stats in their class"
+        );
+        // Graceful degradation instead of eviction: zero preemptions in
+        // any class, and the conservation books balance.
+        for (_, p) in out.per_class.iter() {
+            assert_eq!(p.preemptions, 0);
+        }
+        assert_eq!(
+            out.admission.arrivals,
+            out.admission.admitted
+                + out.admission.degraded
+                + out.admission.rejected
+                + out.admission.queued_final
+        );
+        assert!(out.audit.is_clean(), "audit: {:?}", out.audit.violations);
+    }
+
+    #[test]
+    fn admission_queue_bounds_and_timeouts_reject_cleanly() {
+        // Both thresholds unattainable: every arrival queues (or bounces
+        // off the tiny FIFO), retries with capped backoff, and times out.
+        let cfg = MarketConfig {
+            allocation: AllocationMode::Admission,
+            admission: AdmissionConfig {
+                scarce_free_frac: 2.0,
+                degrade_free_frac: 1.5,
+                queue_cap: 1,
+                backoff: SimTime::from_secs(10),
+                max_attempts: 3,
+                ..AdmissionConfig::default()
+            },
+            ..faulty_cfg(9)
+        };
+        let (out, pool) = MarketSim::new(small_pool(43), cfg, 43).run_full();
+        assert_eq!(out.plans, 0, "an inadmissible arrival planned anyway");
+        assert!(out.admission.rejected > 0);
+        assert!(out.admission.timeouts > 0, "no retry ever timed out");
+        assert!(out.admission.max_queue_depth >= 1);
+        assert_eq!(
+            out.admission.arrivals,
+            out.admission.rejected + out.admission.queued_final
+        );
+        assert!(out.audit.is_clean(), "audit: {:?}", out.audit.violations);
+        assert_eq!(pool.total_used(), 0, "queued sessions hold no degrees");
     }
 }

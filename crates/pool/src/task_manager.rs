@@ -176,6 +176,123 @@ pub fn plan_and_reserve_leased(
     plan_with_candidates(pool, spec, cfg, candidates, &stale_avail, lease_until)
 }
 
+/// The rank every session's helper claims are booked at under the fair
+/// allocation modes ([`plan_and_reserve_fair_leased`]): the weakest helper
+/// rank. Equal ranks never preempt each other, so fair-mode sessions can
+/// only take **free** degrees — scarcity is resolved by the share budget,
+/// not by evicting a neighbor's tree.
+pub const FAIR_HELPER_RANK: Rank = Rank(3);
+
+/// Reservation caps a fair-allocation planner runs under — the knobs the
+/// market's Pareto water-filling and degraded admissions turn.
+#[derive(Clone, Debug)]
+pub struct FairShareCaps {
+    /// Total helper degrees the session may claim across all helpers (its
+    /// water-filled fair share, or a degraded admission's trimmed budget).
+    pub helper_budget: u64,
+    /// Per-member degree clamp for the planning pass (`None` = full
+    /// availability). The clamp never goes below 2 so a chain topology
+    /// stays feasible; if even the clamped plan fails, the planner retries
+    /// against full member availability — degradation must not kill the
+    /// session.
+    pub member_degree: Option<u32>,
+    /// Hosts barred from helper candidacy. The admission mode passes every
+    /// market member host here: member-rank reservations then can never
+    /// land on another session's helper claim, which (with the equal-rank
+    /// booking) makes zero preemption a structural guarantee.
+    pub exclude: std::collections::HashSet<HostId>,
+}
+
+/// [`plan_and_reserve_leased`] under fair-allocation caps: helper claims
+/// are booked at [`FAIR_HELPER_RANK`] regardless of the session's priority
+/// (so they only take free degrees), total helper degrees reserved are
+/// capped at `caps.helper_budget`, and the session plans a single tree
+/// (standby redundancy is a priority-mode feature). The capped plan is
+/// attempted via the fallible planners; if the caps cannot host a tree the
+/// session falls back to members-only rather than failing.
+pub fn plan_and_reserve_fair_leased(
+    pool: &mut ResourcePool,
+    spec: &SessionSpec,
+    cfg: &PlanConfig,
+    caps: &FairShareCaps,
+    lease_until: Option<SimTime>,
+) -> PlanOutcome {
+    assert!((1..=3).contains(&spec.priority), "priority must be 1..=3");
+    pool.release_session(spec.id);
+
+    let mut candidates = if cfg.use_helpers && caps.helper_budget > 0 {
+        pool.candidates(FAIR_HELPER_RANK, &spec.members, cfg.helper_min_degree)
+    } else {
+        Vec::new()
+    };
+    candidates.retain(|h| !caps.exclude.contains(h));
+    // Order the survivors by their value to THIS session — nearest to the
+    // member set first — so the budget trim below keeps the helpers the
+    // planner can actually use, not an arbitrary prefix of the pool. The
+    // sort is fully deterministic: latency is a pure function of the
+    // matrix, ties break by host id.
+    let oracle = pool.cached_latency();
+    let mut keyed: Vec<(f64, HostId)> = candidates
+        .iter()
+        .map(|&h| {
+            let near = spec
+                .members
+                .iter()
+                .map(|&m| oracle.latency_ms(h, m))
+                .fold(f64::INFINITY, f64::min);
+            (near, h)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let candidates: Vec<HostId> = keyed.into_iter().map(|(_, h)| h).collect();
+    // The share budget is enforced at reservation time (`PlanShape::
+    // helper_budget`), not by trimming the candidate list: the planner
+    // sees the pool's full breadth — helper *quality* is a planning
+    // concern — while the degrees it may actually claim stay capped. A
+    // mass-based candidate trim would starve the planner of good hosts
+    // long before the budget binds.
+    let stale_avail: Vec<(HostId, u32)> = candidates
+        .iter()
+        .map(|&h| (h, pool.available(h, FAIR_HELPER_RANK)))
+        .filter(|&(_, free)| free > 0)
+        .collect();
+    let candidates: Vec<HostId> = stale_avail.iter().map(|&(h, _)| h).collect();
+    let single = PlanConfig {
+        k_trees: 1,
+        ..cfg.clone()
+    };
+    let shape = PlanShape {
+        helper_rank: FAIR_HELPER_RANK,
+        member_degree: caps.member_degree,
+        helper_budget: caps.helper_budget,
+    };
+    plan_shaped(
+        pool,
+        spec,
+        &single,
+        candidates,
+        &stale_avail,
+        lease_until,
+        shape,
+    )
+}
+
+/// How [`plan_with_candidates`] books and bounds its reservations. The
+/// default shape (priority-rank helpers, unclamped members) reproduces the
+/// historical planner bit for bit; the fair modes override it.
+#[derive(Clone, Copy, Debug)]
+struct PlanShape {
+    /// Rank helper claims are booked at.
+    helper_rank: Rank,
+    /// Optional per-member degree clamp for the planning pass.
+    member_degree: Option<u32>,
+    /// Total helper degrees the reservation pass may claim. A helper
+    /// whose tree degree would push the running total past the budget is
+    /// refused like a stale-view lie: the retry loop replans without it.
+    /// `u64::MAX` (the historical shape) never refuses.
+    helper_budget: u64,
+}
+
 /// Plan from an explicit (possibly **stale**) SOMO view instead of the live
 /// degree tables — what a deployed task manager actually does. Helpers the
 /// view promised but that are no longer available fail at reservation time;
@@ -288,11 +405,31 @@ fn plan_with_candidates(
     pool: &mut ResourcePool,
     spec: &SessionSpec,
     cfg: &PlanConfig,
-    mut candidates: Vec<HostId>,
+    candidates: Vec<HostId>,
     stale_avail: &[(HostId, u32)],
     lease_until: Option<SimTime>,
 ) -> PlanOutcome {
-    let helper_rank = Rank::helper(spec.priority);
+    let shape = PlanShape {
+        helper_rank: Rank::helper(spec.priority),
+        member_degree: None,
+        helper_budget: u64::MAX,
+    };
+    plan_shaped(pool, spec, cfg, candidates, stale_avail, lease_until, shape)
+}
+
+/// [`plan_with_candidates`] with the reservation shape explicit — the
+/// common engine behind the historical priority planner and the fair-mode
+/// capped planner.
+fn plan_shaped(
+    pool: &mut ResourcePool,
+    spec: &SessionSpec,
+    cfg: &PlanConfig,
+    mut candidates: Vec<HostId>,
+    stale_avail: &[(HostId, u32)],
+    lease_until: Option<SimTime>,
+    shape: PlanShape,
+) -> PlanOutcome {
+    let helper_rank = shape.helper_rank;
     let stale: std::collections::HashMap<HostId, u32> = stale_avail.iter().copied().collect();
     let baseline_height = members_only_baseline(pool, spec);
     let mut helper_failures = 0u32;
@@ -351,8 +488,42 @@ fn plan_with_candidates(
             None
         };
 
+        // A degraded admission clamps every member's degree (never below 2,
+        // so a chain stays feasible). The clamped plan is fallible: if the
+        // trimmed bounds cannot host a tree, the full-availability path
+        // below takes over — degradation must not kill the session.
+        let clamped_tree = if budgeted_tree.is_none() {
+            shape.member_degree.and_then(|cap| {
+                let mut cmap = avail_map.clone();
+                for &m in &spec.members {
+                    cmap.entry(m).and_modify(|a| *a = (*a).min(cap.max(2)));
+                }
+                let avail_c = |h: HostId| -> u32 { cmap.get(&h).copied().unwrap_or(0) };
+                match cfg.model {
+                    PlanModel::Oracle => try_plan_tree(spec, &oracle, &avail_c, &candidates, cfg),
+                    PlanModel::Coords => {
+                        let mut hp = HelperPool::new(candidates.clone());
+                        hp.min_degree = cfg.helper_min_degree;
+                        hp.radius_ms = cfg.radius_ms;
+                        hp.strategy = cfg.strategy;
+                        alm::try_staged_plan(
+                            spec.root,
+                            &spec.members,
+                            &oracle,
+                            &pool.coords,
+                            avail_c,
+                            &hp,
+                            cfg.use_adjust,
+                        )
+                    }
+                }
+            })
+        } else {
+            None
+        };
+
         let avail = |h: HostId| -> u32 { avail_map.get(&h).copied().unwrap_or(0) };
-        let tree = match budgeted_tree {
+        let tree = match budgeted_tree.or(clamped_tree) {
             Some(t) => t,
             None => match cfg.model {
                 PlanModel::Oracle => plan_tree(spec, &oracle, &avail, &candidates, cfg),
@@ -378,9 +549,12 @@ fn plan_with_candidates(
         };
 
         // Reserve the tree: members at member rank, helpers at priority
-        // rank. Helper reservations may fail against a stale view.
+        // rank. Helper reservations may fail against a stale view, or be
+        // refused by the shape's helper budget (fair modes) — both land
+        // in the same retry loop.
         let mut preempted = Vec::new();
         let mut failed: Vec<HostId> = Vec::new();
+        let mut helper_spend = 0u64;
         for &h in tree.hosts() {
             let degree = tree.degree(h);
             let rank = if spec.members.contains(&h) {
@@ -388,8 +562,17 @@ fn plan_with_candidates(
             } else {
                 helper_rank
             };
+            if rank != Rank::MEMBER && helper_spend + degree as u64 > shape.helper_budget {
+                failed.push(h);
+                continue;
+            }
             match pool.reserve_leased(h, spec.id, rank, degree, lease_until) {
-                Ok(victims) => preempted.extend(victims.into_iter().map(|(s, _)| s)),
+                Ok(victims) => {
+                    if rank != Rank::MEMBER {
+                        helper_spend += degree as u64;
+                    }
+                    preempted.extend(victims.into_iter().map(|(s, _)| s));
+                }
                 Err(e) => {
                     assert!(
                         rank != Rank::MEMBER,

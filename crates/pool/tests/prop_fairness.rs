@@ -1,0 +1,104 @@
+//! Property tests for the weighted max-min water-filling allocator the
+//! Pareto market mode plans against: conservation (never hand out more
+//! than the capacity, never more than an entry's demand), Pareto
+//! exhaustion (unmet demand implies the capacity is spent, up to the
+//! sub-unit integer floor losses), and the fairness order (for equal
+//! demands, a heavier weight never receives less).
+
+use pool::water_fill;
+use proptest::prelude::*;
+
+/// Raw `(weight, demand)` pairs as integers (the vendored proptest has
+/// no float strategies); tests widen the weight to f64.
+fn to_entries(raw: &[(u32, u64)]) -> Vec<(f64, u64)> {
+    raw.iter().map(|&(w, d)| (w as f64, d)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn water_fill_conserves_capacity_and_respects_demands(
+        capacity in 0u64..2048,
+        raw in proptest::collection::vec((1u32..9, 0u64..64), 0..24),
+    ) {
+        let entries = to_entries(&raw);
+        let shares = water_fill(capacity, &entries);
+        prop_assert_eq!(shares.len(), entries.len());
+        prop_assert!(shares.iter().sum::<u64>() <= capacity);
+        for (i, &s) in shares.iter().enumerate() {
+            prop_assert!(
+                s <= entries[i].1,
+                "entry {i} got {s} over its demand {}", entries[i].1
+            );
+        }
+    }
+
+    #[test]
+    fn water_fill_is_pareto_exhaustive(
+        capacity in 0u64..2048,
+        raw in proptest::collection::vec((1u32..9, 0u64..64), 0..24),
+    ) {
+        let entries = to_entries(&raw);
+        // If any positive-weight entry is left short of its demand, the
+        // leftover capacity must be smaller than the entry count — only
+        // the per-entry sub-unit floor losses of the final proportional
+        // round may remain. Otherwise the allocation would not be Pareto
+        // optimal: someone could be given more at nobody's expense.
+        let shares = water_fill(capacity, &entries);
+        let leftover = capacity - shares.iter().sum::<u64>();
+        let unmet = entries
+            .iter()
+            .zip(&shares)
+            .any(|(&(w, d), &s)| w > 0.0 && s < d);
+        if unmet {
+            prop_assert!(
+                (leftover as usize) < entries.len().max(1),
+                "leftover {leftover} with unmet demand among {} entries",
+                entries.len()
+            );
+        }
+    }
+
+    #[test]
+    fn water_fill_weight_order_holds_for_equal_demands(
+        capacity in 0u64..1024,
+        demand in 1u64..64,
+        weights in proptest::collection::vec(1u32..9, 2..16),
+    ) {
+        // Same demand everywhere: a strictly heavier weight never ends up
+        // with a smaller share (weighted max-min monotonicity).
+        let entries: Vec<(f64, u64)> =
+            weights.iter().map(|&w| (w as f64, demand)).collect();
+        let shares = water_fill(capacity, &entries);
+        for i in 0..entries.len() {
+            for j in 0..entries.len() {
+                if weights[i] > weights[j] {
+                    prop_assert!(
+                        shares[i] >= shares[j],
+                        "weight {} got {} < weight {}'s {}",
+                        weights[i], shares[i], weights[j], shares[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn water_fill_splits_equals_equally(
+        n in 1usize..16,
+        per in 0u64..64,
+        demand in 1u64..64,
+    ) {
+        // Identical weight and demand: everyone receives the same share
+        // (the capacity divides by n before the per-entry min can bite).
+        let capacity = per * n as u64;
+        let entries: Vec<(f64, u64)> = (0..n).map(|_| (1.0, demand)).collect();
+        let shares = water_fill(capacity, &entries);
+        prop_assert!(
+            shares.windows(2).all(|w| w[0] == w[1]),
+            "unequal shares among identical entries: {shares:?}"
+        );
+        prop_assert_eq!(shares[0], demand.min(per));
+    }
+}

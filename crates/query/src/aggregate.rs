@@ -163,6 +163,14 @@ pub struct HostSample {
     pub bw_class: u8,
     /// When this sample was taken.
     pub sampled_at: SimTime,
+    /// Total degree bound of the host — the denominator that turns the
+    /// summed `free` degrees into a cluster-level free fraction.
+    pub capacity: u32,
+    /// Session arrivals parked in this host's admission queue (non-zero
+    /// only on hosts running a market admission controller).
+    pub queued: u32,
+    /// Helper preemptions this host observed since its last publish.
+    pub preempted: u32,
 }
 
 /// The constant-size subtree summary cached at every SOMO node.
@@ -184,6 +192,14 @@ pub struct Aggregate {
     /// The stalest contribution's sample time (`SimTime::MAX` when empty) —
     /// the freshness stamp query answers propagate.
     pub oldest: SimTime,
+    /// Total degree capacity across the subtree (sum of host degree
+    /// bounds) — denominator of the backpressure free fraction.
+    pub capacity: u64,
+    /// Admission-queue depth summed across the subtree.
+    pub queued: u64,
+    /// Helper preemptions observed across the subtree since the hosts'
+    /// last publishes.
+    pub preempted: u64,
 }
 
 impl Default for Aggregate {
@@ -202,6 +218,9 @@ impl Aggregate {
             region_hist: [0; REGION_BUCKETS],
             bw_hist: [0; BW_CLASSES],
             oldest: SimTime::MAX,
+            capacity: 0,
+            queued: 0,
+            preempted: 0,
         }
     }
 
@@ -216,6 +235,9 @@ impl Aggregate {
         a.region_hist[bounds.bucket(s.pos)] = 1;
         a.bw_hist[(s.bw_class as usize).min(BW_CLASSES - 1)] = 1;
         a.oldest = s.sampled_at;
+        a.capacity = s.capacity as u64;
+        a.queued = s.queued as u64;
+        a.preempted = s.preempted as u64;
         a
     }
 
@@ -253,6 +275,9 @@ impl Report for Aggregate {
             self.bw_hist[i] += other.bw_hist[i];
         }
         self.oldest = self.oldest.min(other.oldest);
+        self.capacity = self.capacity.saturating_add(other.capacity);
+        self.queued = self.queued.saturating_add(other.queued);
+        self.preempted = self.preempted.saturating_add(other.preempted);
     }
 }
 
@@ -279,6 +304,9 @@ impl somo::traffic::Encodable for Aggregate {
             b.put_u64(v);
         }
         b.put_u64(self.oldest.as_micros());
+        b.put_u64(self.capacity);
+        b.put_u64(self.queued);
+        b.put_u64(self.preempted);
         b.freeze()
     }
 }
@@ -286,7 +314,45 @@ impl somo::traffic::Encodable for Aggregate {
 impl Aggregate {
     /// Exact wire size of the fixed-width encoding.
     pub const WIRE_BYTES: usize =
-        8 + 4 * 24 + DEGREE_BUCKETS * 8 + REGION_BUCKETS * 8 + BW_CLASSES * 8 + 8;
+        8 + 4 * 24 + DEGREE_BUCKETS * 8 + REGION_BUCKETS * 8 + BW_CLASSES * 8 + 8 + 3 * 8;
+
+    /// The cluster-level backpressure signal this aggregate carries — what
+    /// a host reads from its SOMO parent to drive admission control under
+    /// scarcity, instead of gathering a global snapshot.
+    pub fn pressure(&self) -> PressureReport {
+        let frac = |r: usize| {
+            if self.capacity == 0 {
+                0.0
+            } else {
+                self.free[r].sum as f64 / self.capacity as f64
+            }
+        };
+        PressureReport {
+            free_frac: [frac(0), frac(1), frac(2), frac(3)],
+            queue_depth: self.queued,
+            preemption_rate: if self.hosts == 0 {
+                0.0
+            } else {
+                self.preempted as f64 / self.hosts as f64
+            },
+        }
+    }
+}
+
+/// Cluster-level backpressure derived from an [`Aggregate`].
+///
+/// `free_frac[3]` (rank-3 availability is plain free degree, nothing
+/// preemptible folded in) is the scarcity signal the market's admission
+/// controller keys on.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PressureReport {
+    /// Fraction of total degree capacity available to a claim of each rank
+    /// (index = rank; 0.0 when the aggregate is empty).
+    pub free_frac: [f64; 4],
+    /// Session arrivals waiting in admission queues across the subtree.
+    pub queue_depth: u64,
+    /// Recent helper preemptions per summarized host.
+    pub preemption_rate: f64,
 }
 
 #[cfg(test)]
@@ -301,6 +367,9 @@ mod tests {
             pos,
             bw_class: (h % 5) as u8,
             sampled_at: SimTime::from_secs(h as u64),
+            capacity: free3 + 4,
+            queued: h % 3,
+            preempted: h % 2,
         }
     }
 
@@ -365,6 +434,25 @@ mod tests {
             let mid = [(lo[0] + hi[0]) / 2.0, (lo[1] + hi[1]) / 2.0];
             assert_eq!(b.bucket(mid), bucket);
         }
+    }
+
+    #[test]
+    fn pressure_is_a_capacity_weighted_free_fraction() {
+        let b = RegionBounds::default();
+        // Empty aggregate: no capacity, no pressure.
+        let p0 = Aggregate::empty().pressure();
+        assert_eq!(p0.free_frac, [0.0; 4]);
+        assert_eq!(p0.queue_depth, 0);
+        assert_eq!(p0.preemption_rate, 0.0);
+        // Two hosts: capacities 6 and 8, rank-3 free 2 and 4.
+        let mut a = Aggregate::of_sample(&sample(3, 2, [0.0, 0.0]), &b);
+        a.merge(&Aggregate::of_sample(&sample(4, 4, [0.0, 0.0]), &b));
+        let p = a.pressure();
+        assert!((p.free_frac[3] - 6.0 / 14.0).abs() < 1e-12);
+        // `sample(h, ..)` reports queue depth h % 3 and preemption rate
+        // h % 2: hosts 3 and 4 sum to depth 0 + 1 and mean rate (1 + 0)/2.
+        assert_eq!(p.queue_depth, 1);
+        assert!((p.preemption_rate - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -45,8 +45,9 @@ pub const REQUEST_WIRE_BYTES: usize = 40;
 
 impl HostSample {
     /// Fixed wire size of one sample riding in an answer:
-    /// host (4) + free (16) + pos (16) + bw class (1) + stamp (8).
-    pub const WIRE_BYTES: usize = 45;
+    /// host (4) + free (16) + pos (16) + bw class (1) + stamp (8) +
+    /// capacity (4) + queued (4) + preempted (4).
+    pub const WIRE_BYTES: usize = 57;
 }
 
 /// Where a query descent starts.
@@ -465,6 +466,9 @@ mod tests {
             pos,
             bw_class: (m % 5) as u8,
             sampled_at: SimTime::from_secs(10 + (m as u64 % 7)),
+            capacity: free3 + 4,
+            queued: 0,
+            preempted: 0,
         }
     }
 

@@ -258,6 +258,9 @@ mod tests {
             ],
             bw_class: (m % 5) as u8,
             sampled_at: SimTime::from_secs(1),
+            capacity: free3 + 4,
+            queued: 0,
+            preempted: 0,
         }
     }
 

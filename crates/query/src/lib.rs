@@ -30,7 +30,7 @@ pub mod engine;
 pub mod index;
 pub mod subscribe;
 
-pub use aggregate::{Aggregate, HostSample, MetricAgg, RegionBounds};
+pub use aggregate::{Aggregate, HostSample, MetricAgg, PressureReport, RegionBounds};
 pub use engine::{Freshness, QueryAnswer, QueryRequest, QueryStats, Scope};
 pub use index::QueryIndex;
-pub use subscribe::{Subscription, SubscriptionSet, ThresholdDelta};
+pub use subscribe::{PressureWatch, Subscription, SubscriptionSet, ThresholdDelta};

@@ -21,7 +21,52 @@ use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use somo::traffic::TrafficLedger;
 
+use crate::aggregate::Aggregate;
 use crate::index::QueryIndex;
+
+/// An edge-triggered watch on the cluster backpressure signal: fires only
+/// when the free-degree fraction at `rank` crosses `threshold`. This is the
+/// admission controller's subscription to its SOMO parent's aggregate —
+/// the same crossings-only discipline as [`Subscription`], applied to the
+/// [`crate::aggregate::PressureReport`] instead of a region count.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PressureWatch {
+    /// Claim rank whose free fraction is watched (0..=3).
+    pub rank: u8,
+    /// Scarcity threshold: scarce when `free_frac[rank] < threshold`.
+    pub threshold: f64,
+    /// Last observed side of the threshold (`None` before any observation).
+    last_scarce: Option<bool>,
+}
+
+impl PressureWatch {
+    /// A watch that has observed nothing yet.
+    pub fn new(rank: u8, threshold: f64) -> PressureWatch {
+        PressureWatch {
+            rank: rank.min(3),
+            threshold,
+            last_scarce: None,
+        }
+    }
+
+    /// Fold one aggregate observation in. Returns `Some(scarce)` only on a
+    /// crossing (including the very first observation when it is scarce),
+    /// `None` while the signal stays on the same side.
+    pub fn observe(&mut self, agg: &Aggregate) -> Option<bool> {
+        let scarce = agg.pressure().free_frac[self.rank as usize] < self.threshold;
+        let fired = match self.last_scarce {
+            None => scarce,
+            Some(prev) => prev != scarce,
+        };
+        self.last_scarce = Some(scarce);
+        fired.then_some(scarce)
+    }
+
+    /// The side of the threshold seen last (`None` before any observation).
+    pub fn is_scarce(&self) -> Option<bool> {
+        self.last_scarce
+    }
+}
 
 /// A standing threshold query over the pool.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -179,6 +224,7 @@ mod tests {
     use crate::aggregate::{HostSample, RegionBounds};
     use dht::Ring;
     use netsim::HostId;
+    use somo::Report;
 
     fn sample(m: usize, free3: u32) -> HostSample {
         HostSample {
@@ -187,7 +233,39 @@ mod tests {
             pos: [0.0, 0.0],
             bw_class: 0,
             sampled_at: SimTime::from_secs(1),
+            capacity: free3 + 4,
+            queued: 0,
+            preempted: 0,
         }
+    }
+
+    #[test]
+    fn pressure_watch_fires_only_on_crossings() {
+        let bounds = RegionBounds::default();
+        let agg = |free3: u32| {
+            let mut a = Aggregate::empty();
+            for m in 0..4 {
+                a.merge(&Aggregate::of_sample(&sample(m, free3), &bounds));
+            }
+            a
+        };
+        // sample() publishes capacity free3 + 4, so free_frac[3] for a
+        // uniform pool is free3 / (free3 + 4).
+        let mut w = PressureWatch::new(3, 0.5);
+        assert_eq!(w.is_scarce(), None);
+        // free 8 of capacity 12 → frac 2/3, abundant: first observation on
+        // the calm side fires nothing.
+        assert_eq!(w.observe(&agg(8)), None);
+        assert_eq!(w.is_scarce(), Some(false));
+        // free 2 of capacity 6 → frac 1/3: scarcity crossing fires.
+        assert_eq!(w.observe(&agg(2)), Some(true));
+        // Staying scarce is silent.
+        assert_eq!(w.observe(&agg(1)), None);
+        // Recovery fires the all-clear.
+        assert_eq!(w.observe(&agg(9)), Some(false));
+        // A watch whose very first observation is scarce alarms at once.
+        let mut cold = PressureWatch::new(3, 0.5);
+        assert_eq!(cold.observe(&agg(1)), Some(true));
     }
 
     fn build(n: u32) -> QueryIndex {

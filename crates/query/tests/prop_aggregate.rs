@@ -33,6 +33,9 @@ fn gen_samples(seed: u64, n: usize) -> Vec<HostSample> {
                 pos: [(r(6) % 1000) as f64 - 500.0, (r(7) % 1000) as f64 - 500.0],
                 bw_class: (r(8) % 5) as u8,
                 sampled_at: SimTime::from_millis(r(9) % 1_000_000),
+                capacity: free[0] + (r(10) % 8) as u32,
+                queued: (r(11) % 4) as u32,
+                preempted: (r(12) % 3) as u32,
             }
         })
         .collect()
@@ -131,6 +134,10 @@ proptest! {
         if let Some(oldest) = xs.iter().map(|s| s.sampled_at).min() {
             prop_assert_eq!(a.oldest, oldest);
         }
+        // The pressure fields are plain sums over the population too.
+        prop_assert_eq!(a.capacity, xs.iter().map(|s| s.capacity as u64).sum::<u64>());
+        prop_assert_eq!(a.queued, xs.iter().map(|s| s.queued as u64).sum::<u64>());
+        prop_assert_eq!(a.preempted, xs.iter().map(|s| s.preempted as u64).sum::<u64>());
     }
 
     #[test]

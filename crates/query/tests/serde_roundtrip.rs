@@ -26,6 +26,9 @@ fn sample(m: u32, free3: u32) -> HostSample {
         pos: [m as f64 * 3.5 - 50.0, m as f64 * -2.25 + 40.0],
         bw_class: (m % 5) as u8,
         sampled_at: SimTime::from_millis(1000 + m as u64),
+        capacity: free3 + 5,
+        queued: m % 3,
+        preempted: m % 2,
     }
 }
 

@@ -108,6 +108,24 @@ pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
     percentile_by(samples, q, f64::total_cmp)
 }
 
+/// Jain's fairness index of a share vector: `(Σx)² / (n·Σx²)`.
+///
+/// Bounded in `[1/n, 1]` for non-negative shares; exactly 1 when every
+/// share is equal, and `k/n` when `k` parties split the pool evenly and the
+/// rest get nothing. Degenerate inputs — an empty slice or all-zero shares
+/// — return 1.0: a pool with nothing allocated is trivially fair.
+pub fn jain_index(shares: &[f64]) -> f64 {
+    if shares.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sum_sq: f64 = shares.iter().map(|&x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (shares.len() as f64 * sum_sq)
+}
+
 /// [`percentile`] with the sort comparator injected — lets the proptest run
 /// the `total_cmp` path against the historical `partial_cmp` path on the
 /// same inputs.
@@ -363,6 +381,32 @@ mod tests {
             let bits = |c: &Cdf| c.sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             proptest::prop_assert_eq!(bits(&c_new), bits(&c_old));
         }
+
+        // Jain's index is bounded in [1/n, 1] for any non-negative share
+        // vector (degenerate all-zero inputs report 1.0 by convention).
+        #[test]
+        fn jain_index_is_bounded(raw in proptest::collection::vec(0u32..1000, 1..64)) {
+            let shares: Vec<f64> = raw.iter().map(|&x| x as f64).collect();
+            let j = jain_index(&shares);
+            proptest::prop_assert!(j <= 1.0 + 1e-9);
+            proptest::prop_assert!(j >= 1.0 / shares.len() as f64 - 1e-9);
+        }
+
+        // Perfectly equal shares score exactly 1.
+        #[test]
+        fn jain_index_is_one_on_equal_shares(v in 1u32..1000, n in 1usize..64) {
+            let shares = vec![v as f64; n];
+            proptest::prop_assert!((jain_index(&shares) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jain_index_degenerate_inputs_are_trivially_fair() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0, 0.0]), 1.0);
+        // k of n parties splitting evenly scores k/n.
+        let j = jain_index(&[5.0, 5.0, 0.0, 0.0]);
+        assert!((j - 0.5).abs() < 1e-12);
     }
 
     #[test]

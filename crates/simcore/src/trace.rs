@@ -214,6 +214,51 @@ pub enum TraceEvent {
         /// Phase number (1–4).
         phase: u32,
     },
+    /// Market admission control: a session arrival was parked in its
+    /// priority-class FIFO because the cluster is under scarcity.
+    MarketAdmissionQueued {
+        /// Session id.
+        session: u32,
+        /// Priority class of the queue the session joined (1–3).
+        class: u8,
+        /// Depth of that class queue after the arrival joined it.
+        depth: u32,
+    },
+    /// Market admission control: a session (fresh or previously queued) was
+    /// admitted at full service.
+    MarketAdmissionAdmitted {
+        /// Session id.
+        session: u32,
+        /// Microseconds the session waited in the queue (0 for a fresh
+        /// arrival admitted immediately).
+        waited_us: u64,
+    },
+    /// Market admission control: a session was admitted degraded — single
+    /// tree, trimmed helper budget and member degree — instead of preempting
+    /// live trees.
+    MarketAdmissionDegraded {
+        /// Session id.
+        session: u32,
+        /// Microseconds the session waited in the queue before the degraded
+        /// admission (0 for a fresh arrival).
+        waited_us: u64,
+    },
+    /// Market admission control: a session arrival was rejected — its class
+    /// queue was full, its retry budget ran out, or its root crashed while
+    /// it waited.
+    MarketAdmissionRejected {
+        /// Session id.
+        session: u32,
+        /// `true` when the rejection is a round-based timeout (the queued
+        /// session exhausted its retry attempts).
+        timeout: bool,
+    },
+    /// Market admission control: the cluster pressure signal crossed the
+    /// scarcity threshold (in either direction).
+    MarketPressureShift {
+        /// `true` = the cluster just became scarce; `false` = recovered.
+        scarce: bool,
+    },
 }
 
 /// One trace record: a sequence number, the simulated instant, the event.

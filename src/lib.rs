@@ -39,13 +39,13 @@ pub mod prelude {
     pub use dht::{NodeId, Ring};
     pub use netsim::{HostId, LatencyModel, Network, NetworkConfig};
     pub use pool::{
-        plan_and_reserve, plan_and_reserve_from_query, plan_and_reserve_leased, DiscoveryMode,
-        MarketConfig, MarketSim, PlanConfig, PlanModel, PoolConfig, Rank, ResourcePool, SessionId,
-        SessionSpec,
+        plan_and_reserve, plan_and_reserve_from_query, plan_and_reserve_leased, AdmissionConfig,
+        AllocationMode, DiscoveryMode, MarketConfig, MarketSim, PlanConfig, PlanModel, PoolConfig,
+        Rank, ResourcePool, SessionId, SessionSpec,
     };
     pub use query::{
-        Aggregate, HostSample, QueryAnswer, QueryIndex, RegionBounds, Scope, Subscription,
-        SubscriptionSet, ThresholdDelta,
+        Aggregate, HostSample, PressureReport, PressureWatch, QueryAnswer, QueryIndex,
+        RegionBounds, Scope, Subscription, SubscriptionSet, ThresholdDelta,
     };
     pub use simcore::{
         AuditReport, Auditor, CloseReason, EventQueue, FaultPlan, InvariantSet, MetricsRegistry,

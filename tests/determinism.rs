@@ -276,6 +276,107 @@ fn faulted_multipath_market_trajectory_is_bit_identical_across_runs() {
     assert_eq!(a.leaked, 0, "multipath run leaked degrees");
 }
 
+/// One faulted Admission-mode trajectory: the same staggered crash plan
+/// as the market tests, but the sessions pass through the admission
+/// controller under starvation-level thresholds, so the queue, the
+/// degraded class and the rejection path all engage. Captures the full
+/// admission ledger, every class's counters (including the degraded
+/// class) and the final books.
+#[allow(clippy::type_complexity)]
+fn faulted_admission_trajectory(
+    seed: u64,
+) -> (
+    u64,
+    (u64, u64, u64, u64, u64, u64, u64, u64),
+    Vec<(u8, u64, u64, u64, u64)>,
+    u32,
+    Vec<Vec<pool::degree_table::Allocation>>,
+) {
+    let pool = ResourcePool::build(
+        &PoolConfig {
+            net: NetworkConfig {
+                num_hosts: 300,
+                ..NetworkConfig::default()
+            },
+            coord_rounds: 4,
+            ..PoolConfig::default()
+        },
+        seed,
+    );
+    let mut faults = simcore::FaultPlan::none();
+    for h in (0..300u64).step_by(7) {
+        faults = faults.crash_forever(h, SimTime::from_secs(600 + h));
+    }
+    let cfg = MarketConfig {
+        sessions: 24,
+        member_size: 4,
+        horizon: SimTime::from_secs(1800),
+        warmup: SimTime::from_secs(300),
+        faults,
+        allocation: AllocationMode::Admission,
+        admission: AdmissionConfig {
+            scarce_free_frac: 0.995,
+            degrade_free_frac: 0.9,
+            backoff: SimTime::from_secs(20),
+            max_attempts: 4,
+            ..AdmissionConfig::default()
+        },
+        ..MarketConfig::default()
+    };
+    let (out, pool) = MarketSim::new(pool, cfg, seed).run_full();
+    let a = &out.admission;
+    let ledger = (
+        a.arrivals,
+        a.admitted,
+        a.degraded,
+        a.rejected,
+        a.timeouts,
+        a.queued_final,
+        a.max_queue_depth,
+        a.wait.count(),
+    );
+    let per_class: Vec<(u8, u64, u64, u64, u64)> = out
+        .per_class
+        .iter()
+        .map(|(n, c)| {
+            (
+                n,
+                c.helper_crashes,
+                c.failovers,
+                c.sessions_lost,
+                c.preemptions,
+            )
+        })
+        .collect();
+    let tables: Vec<Vec<pool::degree_table::Allocation>> = pool
+        .net
+        .hosts
+        .ids()
+        .map(|h| pool.table(h).allocations().to_vec())
+        .collect();
+    (out.plans, ledger, per_class, out.leaked_degrees, tables)
+}
+
+#[test]
+fn faulted_admission_trajectory_is_bit_identical_across_runs() {
+    let a = faulted_admission_trajectory(31);
+    let b = faulted_admission_trajectory(31);
+    assert_eq!(a, b);
+    // The controller actually engaged: sessions were degraded AND turned
+    // away, nothing was preempted, and the books balance.
+    let (_, ledger, per_class, leaked, _) = a;
+    assert!(ledger.2 > 0, "no session was degraded");
+    assert!(ledger.3 > 0, "no session was rejected");
+    assert_eq!(
+        ledger.0,
+        ledger.1 + ledger.2 + ledger.3 + ledger.5,
+        "admission ledger does not balance"
+    );
+    let preempted: u64 = per_class.iter().map(|c| c.4).sum();
+    assert_eq!(preempted, 0, "admission mode preempted");
+    assert_eq!(leaked, 0, "admission run leaked degrees");
+}
+
 /// One faulted query trajectory: kill hosts mid-stream, refresh the
 /// aggregate index, and interleave scoped queries. Captures the complete
 /// answers — hosts, summaries, freshness, traffic stats — plus both
