@@ -10,9 +10,25 @@
 //! candidate-parent relaxations (via [`alm::metrics`]), and asserts the
 //! two engines return **bit-identical** trees wherever both run.
 //!
+//! On top of the dense-matrix cells, every N also runs a **tiered-oracle
+//! quality cell** (`crates/oracle`): the same sessions planned through
+//! the bounded-memory tiered oracle (GNP coordinates fit from landmark
+//! probes only — no dense matrix involved in the tiered path), with the
+//! resulting trees re-evaluated under the exact matrix. Latency stretch
+//! and degree cost vs the exact-matrix trees are asserted within
+//! [`STRETCH_BOUND`] / [`DEGREE_COST_BOUND`], per-tier hit counts and
+//! resident bytes land in the JSON (`oracle_mem` per row, memory-gated
+//! against the baseline), and an `Exact`-source gate pins
+//! `PoolOracle::Exact` plans bit-identical to the `CachedLatency` plans.
+//! Non-smoke runs finish with a **matrix-free N=131072 amcast cell**
+//! built from `RouterNet`/`HostSet` directly — `Network::generate` (and
+//! its O(N²) `LatencyMatrix`) is never called — asserting the tiered
+//! oracle stays under 5% of the dense-matrix footprint.
+//!
 //! Results land in `results/BENCH_planner.json`. When a committed
 //! `results/BENCH_planner_baseline.json` exists, each cell's wall-clock is
-//! compared against it; a cell slower than `2×` baseline is a regression.
+//! compared against it; a cell slower than `2×` baseline is a regression,
+//! as is a tiered-oracle footprint above `1.5×` baseline.
 //! Regressions fail the run only when `PERF_PLANNER_ENFORCE` is set (CI),
 //! so a local run on a slower machine just prints the table.
 //!
@@ -37,9 +53,13 @@ use alm::{
     Problem,
 };
 use bench::{dump_json, dump_jsonl, results_dir, trace_out_requested};
-use coords::{Coord, CoordStore, DenseCoords};
+use coords::{Coord, CoordStore, DenseCoords, GnpConfig, GnpSolver};
+use netsim::hosts::HostSet;
 use netsim::latency::{latency_calls, reset_latency_calls, Counted};
-use netsim::{CachedLatency, HostId, Network, NetworkConfig};
+use netsim::topology::TransitStubConfig;
+use netsim::{CachedLatency, HostId, Network, NetworkConfig, RouterNet};
+use oracle::{LandmarkSketch, PoolOracle, TieredConfig, TieredOracle};
+use pool::task_manager::oracle_height;
 use pool::{MarketConfig, MarketSim, PoolConfig, ResourcePool};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -52,6 +72,37 @@ const SMOKE_CAP: usize = 1024;
 /// incremental engine is timed (the reference would dominate the harness).
 const REF_CAP: usize = 4096;
 const SEED: u64 = 2024;
+
+/// The matrix-free scale cell: the dense matrix would need `N² × 4` =
+/// 68.7 GB here, so the cell is built from `RouterNet` + `HostSet`
+/// directly and `Network::generate` is never called.
+const SCALE_N: usize = 131_072;
+/// Member count of the scale-cell session (matches the N=16384 sweep
+/// row's session size; the wall is memory, not planner CPU).
+const SCALE_MEMBERS: usize = 8192;
+
+/// Asserted ceiling on per-tree latency stretch of tiered-oracle trees:
+/// `oracle_height(tiered tree, exact matrix) / exact tree height`.
+/// Measured across the full sweep (N=256..16384, both engines, seed
+/// 2024) stretch grows from 0.86–1.24 while the 128-row hot tier still
+/// covers the members' router spread to a worst of 2.37 at N=16384,
+/// where estimates dominate; 2.60 leaves ~10% headroom so the gate
+/// catches real estimator damage without flaking on seed drift.
+const STRETCH_BOUND: f64 = 2.60;
+/// Asserted ceiling on the *mean* latency stretch across every tiered
+/// quality cell of the sweep (the acceptance metric). Measured: 1.506.
+const MEAN_STRETCH_BOUND: f64 = 1.70;
+/// Asserted ceiling on the degree-cost ratio of tiered trees. Both
+/// trees span the same member set (helpers only differ), so total
+/// degree — `2·(edges)` — barely moves; measured ratios are
+/// 0.997–1.013 across the full sweep.
+const DEGREE_COST_BOUND: f64 = 1.10;
+
+/// Total degree units a tree books — the cost side of every
+/// quality-vs-cost tradeoff in the paper's evaluation.
+fn degree_cost(t: &MulticastTree) -> u64 {
+    t.hosts().iter().map(|&h| t.degree(h) as u64).sum()
+}
 
 /// One timed engine invocation: wall-clock plus both hot-path counters.
 struct Cell {
@@ -123,6 +174,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut speedup_4096_critical = None;
+    let mut stretches: Vec<f64> = Vec::new();
     for &n in &sizes {
         // A transit–stub underlay scaled to N end hosts. The router core
         // stays at the paper's 600 routers; only host attachment grows, so
@@ -144,11 +196,12 @@ fn main() {
         let candidates: Vec<HostId> = all[n / 2..].iter().copied().map(HostId).collect();
         let dbound = |h: HostId| net.hosts.degree_bound(h);
         let p = Problem::new(root, members.clone(), &oracle, dbound);
-        let mut hp = HelperPool::new(candidates);
+        let mut hp = HelperPool::new(candidates.clone());
         hp.min_degree = 4;
         hp.radius_ms = 100.0;
 
         let mut engine_cells = Vec::new();
+        let mut exact_trees: Vec<MulticastTree> = Vec::new();
         for engine in ["amcast", "critical"] {
             let inc = timed(|| match engine {
                 "amcast" => amcast(&p),
@@ -203,6 +256,25 @@ fn main() {
                 "speedup": speedup,
                 "identical": reference.is_some(),
             }));
+            exact_trees.push(inc.tree);
+        }
+
+        // `LatencySource::Exact` gate: a plan through the PoolOracle
+        // enum's Exact arm must be bit-identical to the CachedLatency
+        // plan — the enum dispatch may not perturb anything.
+        if n <= REF_CAP {
+            let po = PoolOracle::Exact(CachedLatency::from_matrix(&net.latency));
+            let pe = Problem::new(root, members.clone(), &po, dbound);
+            assert_identical(
+                &format!("N={n} exact-source amcast"),
+                &amcast(&pe),
+                &exact_trees[0],
+            );
+            assert_identical(
+                &format!("N={n} exact-source critical"),
+                &critical(&pe, &hp),
+                &exact_trees[1],
+            );
         }
 
         // The adjustment pass over the incremental amcast tree.
@@ -249,6 +321,70 @@ fn main() {
                 "soa_height_ms": th_soa,
             });
         }
+        // ---- Tiered-oracle quality cell: the same sessions planned
+        // through the bounded-memory tiered oracle, trees re-evaluated
+        // under the exact matrix. The tiered path never touches
+        // `net.latency`: GNP coordinates are fit from landmark probes.
+        let tcfg = TieredConfig::default();
+        let t0 = Instant::now();
+        let landmarks = LandmarkSketch::default_landmarks(n, tcfg.landmarks, SEED ^ 0x7157);
+        let sketch = LandmarkSketch::build(&net.routers, &net.hosts, &landmarks);
+        let sketch_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let gnp = GnpSolver::new(GnpConfig::default()).solve_with_landmarks(
+            &sketch.probes(),
+            &landmarks,
+            SEED,
+        );
+        let gnp_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let tiered = TieredOracle::new(&net.routers, &net.hosts, gnp, sketch, &tcfg);
+        tiered.promote(&members);
+        tiered.promote(&candidates);
+        let tor = Counted(tiered.share());
+        let tp = Problem::new(root, members.clone(), &tor, dbound);
+        let mut tiered_engines = Vec::new();
+        for (ei, engine) in ["amcast", "critical"].iter().enumerate() {
+            let cell = timed(|| match *engine {
+                "amcast" => amcast(&tp),
+                _ => critical(&tp, &hp),
+            });
+            // Quality is judged under the exact matrix, against the
+            // exact-matrix tree of the same engine.
+            let exact_height = oracle_height(&cell.tree, &net.latency);
+            let stretch = exact_height / exact_trees[ei].max_height().max(1e-9);
+            let cost = degree_cost(&cell.tree);
+            let cost_ratio = cost as f64 / degree_cost(&exact_trees[ei]).max(1) as f64;
+            assert!(
+                stretch <= STRETCH_BOUND,
+                "N={n} {engine}: tiered latency stretch {stretch:.3} exceeds {STRETCH_BOUND}"
+            );
+            assert!(
+                cost_ratio <= DEGREE_COST_BOUND,
+                "N={n} {engine}: tiered degree-cost ratio {cost_ratio:.3} exceeds {DEGREE_COST_BOUND}"
+            );
+            stretches.push(stretch);
+            println!(
+                "{:>6} {:>9} | tiered {:>8.2} ms, stretch {:.3}, degree-cost {:.3}",
+                n,
+                format!("{engine}~"),
+                cell.wall_ms,
+                stretch,
+                cost_ratio
+            );
+            tiered_engines.push(json!({
+                "wall_ms": cell.wall_ms,
+                "latency_calls": cell.latency_calls,
+                "height_ms": cell.tree.max_height(),
+                "exact_height_ms": exact_height,
+                "stretch": stretch,
+                "degree_cost": cost,
+                "degree_cost_ratio": cost_ratio,
+            }));
+        }
+        let tstats = tiered.stats();
+        let tiered_bytes = tiered.resident_bytes();
+        let dense_bytes = n as u64 * n as u64 * 4;
+
         rows.push(json!({
             "n": n,
             "members": n / 2,
@@ -256,8 +392,33 @@ fn main() {
             "critical": engine_cells[1],
             "adjust": adjust_cell,
             "coords_kernel": coords_cell,
+            "tiered": {
+                "amcast": tiered_engines[0],
+                "critical": tiered_engines[1],
+                "sketch_ms": sketch_ms,
+                "gnp_ms": gnp_ms,
+                "stats": serde_json::to_value(&tstats),
+                "hot_hit_rate": tstats.hot as f64 / tstats.total().max(1) as f64,
+            },
+            "oracle_mem": {
+                "dense_bytes": dense_bytes,
+                "tiered_bytes": tiered_bytes,
+                "ratio": tiered_bytes as f64 / dense_bytes as f64,
+            },
         }));
     }
+
+    let mean_stretch = stretches.iter().sum::<f64>() / stretches.len().max(1) as f64;
+    let worst_stretch = stretches.iter().copied().fold(0.0_f64, f64::max);
+    println!(
+        "\ntiered quality: mean stretch {mean_stretch:.3}, worst {worst_stretch:.3} \
+         over {} cells",
+        stretches.len()
+    );
+    assert!(
+        mean_stretch <= MEAN_STRETCH_BOUND,
+        "acceptance: mean tiered latency stretch {mean_stretch:.3} exceeds {MEAN_STRETCH_BOUND}"
+    );
 
     if let Some(s) = speedup_4096_critical {
         println!("\ncritical-node planning speedup at N=4096: {s:.1}x");
@@ -308,16 +469,106 @@ fn main() {
         }));
     }
 
+    // ---- Matrix-free scale cell: N=131072. Built from RouterNet +
+    // HostSet directly; `Network::generate` (and with it the O(N²)
+    // LatencyMatrix) is never called on this path, so the only latency
+    // state that exists is the tiered oracle's own — the reported
+    // resident bytes account for *everything* the oracle holds.
+    let scale_cell = if smoke {
+        serde_json::Value::Null
+    } else {
+        let routers = RouterNet::generate(
+            &TransitStubConfig::default(),
+            simcore::rng::derive_seed(SEED, 1),
+        );
+        let hosts = HostSet::attach(
+            &routers,
+            SCALE_N,
+            (3.0, 8.0),
+            simcore::rng::derive_seed(SEED, 2),
+        );
+        let tcfg = TieredConfig::default();
+        let t0 = Instant::now();
+        let landmarks = LandmarkSketch::default_landmarks(SCALE_N, tcfg.landmarks, SEED ^ 0x7157);
+        let sketch = LandmarkSketch::build(&routers, &hosts, &landmarks);
+        let sketch_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let gnp = GnpSolver::new(GnpConfig::default()).solve_with_landmarks(
+            &sketch.probes(),
+            &landmarks,
+            SEED,
+        );
+        let gnp_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let tiered = TieredOracle::new(&routers, &hosts, gnp, sketch, &tcfg);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(SEED ^ SCALE_N as u64);
+        let mut all: Vec<u32> = (0..SCALE_N as u32).collect();
+        all.shuffle(&mut rng);
+        let members: Vec<HostId> = all[..SCALE_MEMBERS].iter().copied().map(HostId).collect();
+        let root = members[0];
+        tiered.promote(&members);
+        let dbound = |h: HostId| hosts.degree_bound(h);
+        let tor = Counted(tiered.share());
+        let p = Problem::new(root, members.clone(), &tor, dbound);
+        let cell = timed(|| amcast(&p));
+
+        let tiered_bytes = tiered.resident_bytes() as u64;
+        let dense_bytes = SCALE_N as u64 * SCALE_N as u64 * 4;
+        let ratio = tiered_bytes as f64 / dense_bytes as f64;
+        let stats = tiered.stats();
+        println!(
+            "\nscale cell: N={SCALE_N}, members={SCALE_MEMBERS} — amcast {:.1} ms \
+             (gnp fit {gnp_ms:.0} ms, sketch {sketch_ms:.0} ms)\n  oracle resident \
+             {:.1} MB vs dense {:.1} GB ({:.3}% — dense tier never materialized)\n  \
+             tier hits: hot {} / sketch {} / base {}, {} rows resident",
+            cell.wall_ms,
+            tiered_bytes as f64 / 1e6,
+            dense_bytes as f64 / 1e9,
+            ratio * 100.0,
+            stats.hot,
+            stats.sketch,
+            stats.base,
+            tiered.resident_rows(),
+        );
+        // The acceptance bar: tiered memory under 5% of the dense
+        // equivalent (it lands around 0.05%, three orders below the
+        // 68.7 GB the matrix would need).
+        assert!(
+            (tiered_bytes as f64) < 0.05 * dense_bytes as f64,
+            "scale cell: oracle resident {tiered_bytes} B is not under 5% of dense {dense_bytes} B"
+        );
+        json!({
+            "n": SCALE_N,
+            "members": SCALE_MEMBERS,
+            "amcast": cell_json(&cell),
+            "gnp_ms": gnp_ms,
+            "sketch_ms": sketch_ms,
+            "stats": serde_json::to_value(&stats),
+            "resident_rows": tiered.resident_rows(),
+            "oracle_mem": {
+                "dense_bytes": dense_bytes,
+                "tiered_bytes": tiered_bytes,
+                "ratio": ratio,
+            },
+        })
+    };
+
     let result = json!({
         "bench": "perf_planner",
         "smoke": smoke,
         "sizes": sizes,
         "ref_cap": REF_CAP,
+        "stretch_bound": STRETCH_BOUND,
+        "mean_stretch_bound": MEAN_STRETCH_BOUND,
+        "degree_cost_bound": DEGREE_COST_BOUND,
+        "mean_stretch": mean_stretch,
+        "worst_stretch": worst_stretch,
         "rows": rows,
         "market_replan": {
             "incremental": market_cells[0],
             "full_replan": market_cells[1],
         },
+        "scale": scale_cell,
     });
     dump_json("BENCH_planner", &result);
     compare_to_baseline(&result, enforce);
@@ -384,6 +635,24 @@ fn compare_to_baseline(current: &serde_json::Value, enforce: bool) {
             if ratio > 2.0 {
                 regressions.push(format!(
                     "N={n} {engine}: {cur:.2} ms vs baseline {base:.2} ms ({ratio:.2}x)"
+                ));
+            }
+        }
+        // Memory gate: the tiered oracle's resident footprint must not
+        // creep. A 1.5x blowup vs the committed baseline means someone
+        // widened a tier (or started materializing rows eagerly) — fail
+        // loudly rather than silently eroding the scaling story.
+        let mem_path = ["oracle_mem", "tiered_bytes"];
+        if let (Some(cur), Some(base)) =
+            (wall(current, n, &mem_path), wall(&baseline, n, &mem_path))
+        {
+            compared += 1;
+            let ratio = cur / base.max(1.0);
+            if ratio > 1.5 {
+                regressions.push(format!(
+                    "N={n} oracle_mem: {:.1} KB vs baseline {:.1} KB ({ratio:.2}x)",
+                    cur / 1e3,
+                    base / 1e3
                 ));
             }
         }

@@ -76,12 +76,46 @@ impl GnpSolver {
         let mut all: Vec<u32> = (0..n as u32).collect();
         all.shuffle(&mut rng);
         let landmarks: Vec<HostId> = all[..lm_count].iter().copied().map(HostId).collect();
+        self.solve_landmarked(oracle, &landmarks, &mut rng)
+    }
+
+    /// Like [`GnpSolver::solve`], but with a caller-chosen landmark set
+    /// (`cfg.landmarks` is ignored). This lets a partial oracle drive
+    /// the fit: GNP only ever measures landmark↔landmark and
+    /// host↔landmark pairs, so a model that knows just those — e.g. a
+    /// landmark distance sketch — suffices, and coordinates can be
+    /// solved at any N without a dense matrix.
+    pub fn solve_with_landmarks(
+        &self,
+        oracle: &impl LatencyModel,
+        landmarks: &[HostId],
+        seed: u64,
+    ) -> CoordStore {
+        assert!(landmarks.len() >= 2, "GNP needs at least two landmarks");
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.solve_landmarked(oracle, landmarks, &mut rng)
+    }
+
+    fn solve_landmarked(
+        &self,
+        oracle: &impl LatencyModel,
+        landmarks: &[HostId],
+        rng: &mut StdRng,
+    ) -> CoordStore {
+        let n = oracle.num_hosts();
+        let lm_count = landmarks.len();
 
         // Measured landmark-to-landmark latencies.
         let mut lm_meas = vec![vec![0.0f64; lm_count]; lm_count];
         for i in 0..lm_count {
             for j in (i + 1)..lm_count {
-                let m = measure(oracle, landmarks[i], landmarks[j], self.cfg.noise, &mut rng);
+                let m = measure(
+                    oracle,
+                    landmarks[i],
+                    landmarks[j],
+                    self.cfg.noise,
+                    &mut *rng,
+                );
                 lm_meas[i][j] = m;
                 lm_meas[j][i] = m;
             }
@@ -95,7 +129,7 @@ impl GnpSolver {
             .fold(0.0f64, f64::max)
             .max(1.0);
         let mut lm_coords: Vec<Coord> = (0..lm_count)
-            .map(|_| random_coord(self.cfg.dim, scale / 2.0, &mut rng))
+            .map(|_| random_coord(self.cfg.dim, scale / 2.0, &mut *rng))
             .collect();
         for _ in 0..self.cfg.sweeps {
             for i in 0..lm_count {
@@ -126,7 +160,7 @@ impl GnpSolver {
             }
             let meas: Vec<f64> = landmarks
                 .iter()
-                .map(|&lm| measure(oracle, h, lm, self.cfg.noise, &mut rng))
+                .map(|&lm| measure(oracle, h, lm, self.cfg.noise, &mut *rng))
                 .collect();
             let objective = |p: &[f64]| {
                 let c = Coord::from_slice(p);

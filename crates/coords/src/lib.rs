@@ -35,6 +35,6 @@ pub mod space;
 
 pub use dense::DenseCoords;
 pub use eval::relative_error_cdf;
-pub use gnp::GnpSolver;
+pub use gnp::{GnpConfig, GnpSolver};
 pub use leafset::LeafsetCoords;
 pub use space::{Coord, CoordStore};

@@ -204,10 +204,14 @@ mod tests {
         assert_eq!(g.dijkstra(0)[1], 1.0);
     }
 
-    /// Naive single-source shortest paths selecting the next settled node
-    /// with the historical `partial_cmp().unwrap()` comparator — the
-    /// reference the `total_cmp` heap is pinned against.
-    fn dijkstra_ref(g: &Graph, src: u32) -> Vec<f32> {
+    /// Naive single-source shortest paths with a pluggable frontier
+    /// comparator, so the same reference pins both the workspace-wide
+    /// `total_cmp` convention and the historical `partial_cmp` order.
+    fn dijkstra_ref_by(
+        g: &Graph,
+        src: u32,
+        cmp: impl Fn(&f32, &f32) -> std::cmp::Ordering,
+    ) -> Vec<f32> {
         let n = g.len();
         let mut dist = vec![f32::INFINITY; n];
         let mut done = vec![false; n];
@@ -215,7 +219,7 @@ mod tests {
         for _ in 0..n {
             let Some(v) = (0..n)
                 .filter(|&v| !done[v] && dist[v].is_finite())
-                .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap())
+                .min_by(|&a, &b| cmp(&dist[a], &dist[b]))
             else {
                 break;
             };
@@ -230,10 +234,18 @@ mod tests {
         dist
     }
 
+    /// The reference implementation, on the workspace's `total_cmp`
+    /// comparator convention (PR 5/6 sweep).
+    fn dijkstra_ref(g: &Graph, src: u32) -> Vec<f32> {
+        dijkstra_ref_by(g, src, f32::total_cmp)
+    }
+
     proptest::proptest! {
         // On NaN-free random graphs (quantized weights make equal-distance
-        // ties common), the `total_cmp`-ordered heap computes bit-identical
-        // distances to the historical `partial_cmp` selection order.
+        // ties common), the `total_cmp`-ordered heap, the `total_cmp`
+        // reference, and the historical `partial_cmp` selection order all
+        // compute bit-identical distances: on NaN-free inputs `total_cmp`
+        // and `partial_cmp().unwrap()` are the same total order.
         #[test]
         fn dijkstra_matches_partial_cmp_reference_on_nan_free_graphs(
             edges in proptest::collection::vec((0u32..12, 0u32..12, 1u32..20), 1..40),
@@ -247,8 +259,11 @@ mod tests {
             for src in 0..12u32 {
                 let fast = g.dijkstra(src);
                 let slow = dijkstra_ref(&g, src);
+                let historical =
+                    dijkstra_ref_by(&g, src, |a, b| a.partial_cmp(b).unwrap());
                 let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
-                proptest::prop_assert_eq!(bits(&fast), bits(&slow));
+                proptest::prop_assert_eq!(&bits(&fast), &bits(&slow));
+                proptest::prop_assert_eq!(&bits(&slow), &bits(&historical));
             }
         }
     }

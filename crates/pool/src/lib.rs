@@ -67,6 +67,7 @@ use bwest::{BwEstConfig, BwEstimates};
 use coords::{CoordStore, LeafsetCoords};
 use dht::Ring;
 use netsim::{HostId, Network, NetworkConfig};
+use oracle::{LandmarkSketch, LatencySource, PoolOracle, TierStats, TieredOracle};
 use somo::Report as _;
 
 /// Configuration for assembling a resource pool.
@@ -80,6 +81,13 @@ pub struct PoolConfig {
     pub coord_rounds: usize,
     /// SOMO tree fanout.
     pub somo_fanout: usize,
+    /// Which latency oracle planning reads go through. `Exact` (the
+    /// default) plans against the dense matrix exactly as before —
+    /// bit-identical results; `Tiered` plans against the bounded-memory
+    /// tiered oracle (`crates/oracle`). Evaluation metrics (oracle tree
+    /// heights, members-only baselines) always use the exact matrix so
+    /// quality numbers stay comparable across sources.
+    pub latency_source: LatencySource,
 }
 
 impl Default for PoolConfig {
@@ -89,6 +97,7 @@ impl Default for PoolConfig {
             leafset_size: 32,
             coord_rounds: 12,
             somo_fanout: 8,
+            latency_source: LatencySource::Exact,
         }
     }
 }
@@ -110,6 +119,10 @@ pub struct ResourcePool {
     tables: Vec<DegreeTable>,
     holdings: HashMap<SessionId, Vec<HostId>>,
     alive: Vec<bool>,
+    /// The latency oracle planning reads go through (see
+    /// [`PoolConfig::latency_source`]). Cloning the pool deep-copies the
+    /// tiered oracle's cache state, so what-if clones diverge.
+    oracle: PoolOracle,
 }
 
 impl ResourcePool {
@@ -140,6 +153,28 @@ impl ResourcePool {
             .map(|(_, h)| DegreeTable::new(h.degree_bound))
             .collect();
         let alive = vec![true; net.num_hosts()];
+        let oracle = match &cfg.latency_source {
+            LatencySource::Exact => {
+                PoolOracle::Exact(netsim::CachedLatency::from_matrix(&net.latency))
+            }
+            LatencySource::Tiered(tcfg) => {
+                let landmarks = LandmarkSketch::default_landmarks(
+                    net.num_hosts(),
+                    tcfg.landmarks,
+                    simcore::rng::derive_seed(seed, 7),
+                );
+                let sketch = LandmarkSketch::build(&net.routers, &net.hosts, &landmarks);
+                // Base tier = the pool's own leafset coordinates — the
+                // paper's practical latency estimator, already solved.
+                PoolOracle::Tiered(TieredOracle::new(
+                    &net.routers,
+                    &net.hosts,
+                    coords.clone(),
+                    sketch,
+                    tcfg,
+                ))
+            }
+        };
         ResourcePool {
             net,
             ring,
@@ -149,6 +184,7 @@ impl ResourcePool {
             tables,
             holdings: HashMap::new(),
             alive,
+            oracle,
         }
     }
 
@@ -192,6 +228,41 @@ impl ResourcePool {
     /// handle to stay on the inlined fast path without borrowing the pool.
     pub fn cached_latency(&self) -> netsim::CachedLatency {
         netsim::CachedLatency::from_matrix(&self.net.latency)
+    }
+
+    /// The oracle *planning* reads go through, per
+    /// [`PoolConfig::latency_source`]. Under `Exact` this is a zero-copy
+    /// handle on the dense matrix — value-identical to
+    /// [`Self::cached_latency`], so plans are bit-identical to the
+    /// historical planner. Under `Tiered` the handle **shares** the
+    /// pool's hot tier and hit counters (promotions made through it
+    /// persist; see [`oracle::TieredOracle::share`]).
+    pub fn planning_oracle(&self) -> PoolOracle {
+        self.oracle.share()
+    }
+
+    /// Promote hosts' Dijkstra rows into the tiered oracle's hot tier
+    /// (no-op under `Exact`). Task managers call this for session
+    /// members and candidate helpers before planning, which is the
+    /// *only* mutation path — lookups never change cache state.
+    pub fn promote_hot(&self, hosts: &[HostId]) {
+        self.oracle.promote(hosts);
+    }
+
+    /// Per-tier hit counters, if planning through the tiered oracle.
+    pub fn oracle_stats(&self) -> Option<TierStats> {
+        self.oracle.tier_stats_opt()
+    }
+
+    /// Bytes resident in the planning oracle's backing storage (the
+    /// dense `n² × 4` under `Exact`).
+    pub fn oracle_resident_bytes(&self) -> usize {
+        oracle::LatencyOracle::resident_bytes(&self.oracle)
+    }
+
+    /// Exact Dijkstra rows resident in the hot tier (0 under `Exact`).
+    pub fn oracle_resident_rows(&self) -> usize {
+        self.oracle.resident_rows()
     }
 
     /// The degree table of a host.

@@ -430,6 +430,13 @@ pub struct MarketOutcome {
     /// [`MarketSim::set_tracer`] — the default run is untraced and
     /// bit-identical to the pre-trace simulator).
     pub trace: Vec<TraceRecord>,
+    /// Per-tier hit counters of the tiered latency oracle, when the pool
+    /// planned through [`oracle::LatencySource::Tiered`] (`None` under
+    /// `Exact` — the dense matrix has no tiers to count).
+    pub oracle_tiers: Option<oracle::TierStats>,
+    /// Bytes resident in the planning oracle at the end of the run (the
+    /// dense `n² × 4` under `Exact`).
+    pub oracle_resident_bytes: u64,
 }
 
 impl MarketOutcome {
@@ -511,6 +518,14 @@ impl MarketOutcome {
         self.query_traffic.publish(reg, "market.query_traffic");
         self.query_maintenance
             .publish(reg, "market.query_maintenance");
+        if let Some(t) = &self.oracle_tiers {
+            reg.add("oracle.hits.hot", t.hot);
+            reg.add("oracle.hits.sketch", t.sketch);
+            reg.add("oracle.hits.base", t.base);
+            reg.add("oracle.promotions", t.promotions);
+            reg.add("oracle.evictions", t.evictions);
+        }
+        reg.set_gauge("oracle.resident_bytes", self.oracle_resident_bytes as f64);
     }
 }
 
@@ -743,6 +758,8 @@ impl MarketSim {
                 .query_maintenance
                 .absorb(&idx.maintenance_traffic());
         }
+        self.outcome.oracle_tiers = self.pool.oracle_stats();
+        self.outcome.oracle_resident_bytes = self.pool.oracle_resident_bytes() as u64;
         self.outcome.trace = self.tracer.take_records();
         (self.outcome, self.pool)
     }
@@ -1302,8 +1319,10 @@ impl MarketSim {
         }
         // Patch the broken tree in place: each orphaned subtree re-attaches
         // with bounded retries and capped exponential backoff (the PR 1
-        // recovery machinery), so the session keeps flowing.
-        let oracle = self.pool.cached_latency();
+        // recovery machinery), so the session keeps flowing. Repair is a
+        // planning decision, so it reads the configured latency source.
+        self.pool.promote_hot(&spec.members);
+        let oracle = self.pool.planning_oracle();
         let net = &self.pool.net;
         let p = Problem::new(spec.root, spec.members.clone(), &oracle, |x| {
             net.hosts.degree_bound(x)
@@ -1810,6 +1829,18 @@ impl MarketSim {
             if lease.is_some() {
                 self.tracer
                     .emit(now, || TraceEvent::MarketLeaseRenew { session });
+            }
+            // Tiered-source runs also sample the oracle's per-tier
+            // counters; exact-mode traces stay byte-identical.
+            if let Some(t) = self.pool.oracle_stats() {
+                let resident_rows = self.pool.oracle_resident_rows() as u32;
+                self.tracer.emit(now, || TraceEvent::OracleTiers {
+                    session,
+                    hot: t.hot,
+                    sketch: t.sketch,
+                    base: t.base,
+                    resident_rows,
+                });
             }
         }
         if now >= self.cfg.warmup {

@@ -230,8 +230,11 @@ pub fn plan_and_reserve_fair_leased(
     // member set first — so the budget trim below keeps the helpers the
     // planner can actually use, not an arbitrary prefix of the pool. The
     // sort is fully deterministic: latency is a pure function of the
-    // matrix, ties break by host id.
-    let oracle = pool.cached_latency();
+    // configured oracle's state (promotions happen before any lookup,
+    // and lookups never mutate), ties break by host id.
+    pool.promote_hot(&spec.members);
+    pool.promote_hot(&candidates);
+    let oracle = pool.planning_oracle();
     let mut keyed: Vec<(f64, HostId)> = candidates
         .iter()
         .map(|&h| {
@@ -433,10 +436,16 @@ fn plan_shaped(
     let stale: std::collections::HashMap<HostId, u32> = stale_avail.iter().copied().collect();
     let baseline_height = members_only_baseline(pool, spec);
     let mut helper_failures = 0u32;
-    // Zero-copy snapshot of the oracle kernel: value-identical to
-    // `pool.net.latency`, but owned, so the planning calls below don't
-    // hold a borrow across the mutable reservation loop.
-    let oracle = pool.cached_latency();
+    // Owned handle on the configured planning oracle, so the planning
+    // calls below don't hold a borrow across the mutable reservation
+    // loop. Under `LatencySource::Exact` it is a zero-copy snapshot of
+    // the dense kernel — value-identical to `pool.net.latency`; under
+    // `Tiered` the session's members and candidate helpers are promoted
+    // into the hot tier first, so member↔member and member↔helper pairs
+    // answer exactly.
+    pool.promote_hot(&spec.members);
+    pool.promote_hot(&candidates);
+    let oracle = pool.planning_oracle();
 
     // A multipath session budgets its members: each future standby tree
     // needs at least a parent link (and the root a child slot) on every
@@ -602,7 +611,12 @@ fn plan_shaped(
         preempted.dedup();
         preempted.retain(|&s| s != spec.id);
 
-        let oracle_height = oracle_height(&tree, &oracle);
+        // The reported quality metric is always evaluated under the
+        // exact matrix — even when planning went through the tiered
+        // oracle — so heights and improvements stay comparable across
+        // latency sources (and `Exact` mode stays bit-identical: there
+        // the two models are value-identical anyway).
+        let oracle_height = oracle_height(&tree, &pool.cached_latency());
         let helpers = helpers_used(&tree, &spec.members);
         return PlanOutcome {
             improvement: alm::problem::improvement(baseline_height, oracle_height),
@@ -679,7 +693,12 @@ pub fn plan_standby_trees(
     lease_until: Option<SimTime>,
 ) -> StandbyOutcome {
     let helper_rank = Rank::helper(spec.priority);
-    let oracle = pool.cached_latency();
+    // Standby planning is a planning decision: it reads the configured
+    // latency source. Member rows are promoted once; each round's
+    // surviving candidates are promoted below (the shared handle sees
+    // later promotions).
+    pool.promote_hot(&spec.members);
+    let oracle = pool.planning_oracle();
     let mut trees: Vec<MulticastTree> = Vec::new();
     let mut preempted: Vec<SessionId> = Vec::new();
     // Fan-out (children) this session's trees already consume per host —
@@ -738,6 +757,7 @@ pub fn plan_standby_trees(
             }
             a > 0
         });
+        pool.promote_hot(&candidates);
         let avail = |h: HostId| -> u32 { avail_map.get(&h).copied().unwrap_or(0) };
 
         // Budgeted members are mostly leaf-only, so helpers must form the
@@ -804,6 +824,9 @@ pub fn plan_standby_trees(
 
 /// The members-only AMCast baseline: physical degree bounds, oracle
 /// latencies — the denominator of every improvement figure in the paper.
+/// Always evaluated under the exact matrix regardless of
+/// [`crate::PoolConfig::latency_source`]: it is a quality *metric*, not a
+/// planning decision, and must stay comparable across sources.
 pub fn members_only_baseline(pool: &ResourcePool, spec: &SessionSpec) -> f64 {
     let oracle = pool.cached_latency();
     let dbound = |h: HostId| pool.net.hosts.degree_bound(h);

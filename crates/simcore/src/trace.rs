@@ -259,6 +259,22 @@ pub enum TraceEvent {
         /// `true` = the cluster just became scarce; `false` = recovered.
         scarce: bool,
     },
+    /// Tiered latency oracle accounting at a plan: cumulative per-tier
+    /// answer counts and the hot tier's residency. Emitted only when the
+    /// pool plans through a tiered latency source, so exact-mode traces
+    /// are byte-identical to the pre-oracle simulator.
+    OracleTiers {
+        /// Session id whose plan triggered the sample.
+        session: u32,
+        /// Pairs answered exactly (same-router shortcut or resident row).
+        hot: u64,
+        /// Pairs answered from landmark triangle bounds.
+        sketch: u64,
+        /// Pairs answered from coordinate distance (bound-clamped).
+        base: u64,
+        /// Exact Dijkstra rows resident in the hot tier.
+        resident_rows: u32,
+    },
 }
 
 /// One trace record: a sequence number, the simulated instant, the event.

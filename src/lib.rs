@@ -16,6 +16,7 @@
 //! | [`somo`] | self-organized metadata overlay (gather/disseminate) |
 //! | [`query`] | hierarchical aggregates + O(log N) scoped pool queries |
 //! | [`alm`] | DB-MHT trees: AMCast, adjust, critical-node helpers |
+//! | [`oracle`] | tiered latency oracle: hot LRU rows, landmark sketches, GNP base |
 //! | [`pool`] | the resource pool + market-driven multi-session scheduling |
 //!
 //! See `examples/` for runnable walkthroughs and the `bench` crate for the
@@ -26,6 +27,7 @@ pub use bwest;
 pub use coords;
 pub use dht;
 pub use netsim;
+pub use oracle;
 pub use pool;
 pub use query;
 pub use simcore;
@@ -38,6 +40,7 @@ pub mod prelude {
     pub use coords::{Coord, CoordStore, GnpSolver, LeafsetCoords};
     pub use dht::{NodeId, Ring};
     pub use netsim::{HostId, LatencyModel, Network, NetworkConfig};
+    pub use oracle::{LatencyOracle, LatencySource, TierStats, TieredConfig};
     pub use pool::{
         plan_and_reserve, plan_and_reserve_from_query, plan_and_reserve_leased, AdmissionConfig,
         AllocationMode, DiscoveryMode, MarketConfig, MarketSim, PlanConfig, PlanModel, PoolConfig,

@@ -1,0 +1,168 @@
+//! The tiered latency oracle wired through the whole stack: source
+//! selection on [`PoolConfig`], planning through the task manager and the
+//! market, per-tier accounting, and the determinism contract — tiered
+//! runs replay bit-for-bit, and `LatencySource::Exact` behaves exactly
+//! like the historical dense-matrix planner.
+
+use p2p_resource_pool::prelude::*;
+use pool::PlanOutcome;
+
+fn build(source: LatencySource, seed: u64) -> ResourcePool {
+    ResourcePool::build(
+        &PoolConfig {
+            net: NetworkConfig {
+                num_hosts: 300,
+                ..NetworkConfig::default()
+            },
+            coord_rounds: 4,
+            latency_source: source,
+            ..PoolConfig::default()
+        },
+        seed,
+    )
+}
+
+fn tiered() -> LatencySource {
+    LatencySource::Tiered(TieredConfig::default())
+}
+
+fn plan(pool: &mut ResourcePool) -> PlanOutcome {
+    let members = pool.sample_members(14, 9);
+    let spec = SessionSpec {
+        id: SessionId(1),
+        priority: 2,
+        root: members[0],
+        members,
+    };
+    plan_and_reserve(
+        pool,
+        &spec,
+        &PlanConfig {
+            model: PlanModel::Oracle,
+            ..PlanConfig::default()
+        },
+    )
+}
+
+#[test]
+fn exact_source_reports_no_tier_stats_and_dense_footprint() {
+    let pool = build(LatencySource::Exact, 42);
+    assert!(pool.oracle_stats().is_none());
+    let n = pool.num_hosts();
+    assert_eq!(pool.oracle_resident_bytes(), n * n * 4);
+}
+
+#[test]
+fn tiered_source_answers_planner_from_tiers_under_dense_footprint() {
+    let mut pool = build(tiered(), 42);
+    let out = plan(&mut pool);
+    assert!(out.oracle_height.is_finite() && out.oracle_height > 0.0);
+    let stats = pool.oracle_stats().expect("tiered pool exposes stats");
+    assert!(stats.total() > 0, "planner never consulted the oracle");
+    assert!(stats.promotions > 0, "planner touch promoted no rows");
+    let n = pool.num_hosts();
+    assert!(
+        pool.oracle_resident_bytes() < n * n * 4,
+        "tiered oracle is not smaller than the dense matrix"
+    );
+}
+
+/// The promotion policy makes small sessions exact: members and candidate
+/// helpers are promoted before any lookup, a 300-host pool's router
+/// spread fits the 128-row default hot tier, and quality is evaluated
+/// under the exact matrix either way — so the tiered plan must be
+/// *bit-identical* to the Exact-source plan, not merely close.
+#[test]
+fn tiered_plan_is_bit_identical_to_exact_plan_when_hot_tier_covers() {
+    let mut exact = build(LatencySource::Exact, 42);
+    let mut tier = build(tiered(), 42);
+    let a = plan(&mut exact);
+    let b = plan(&mut tier);
+    assert_eq!(a.tree.hosts(), b.tree.hosts());
+    for &h in a.tree.hosts() {
+        assert_eq!(a.tree.parent_of(h), b.tree.parent_of(h));
+        assert_eq!(a.tree.height_of(h).to_bits(), b.tree.height_of(h).to_bits());
+    }
+    assert_eq!(a.helpers, b.helpers);
+    assert_eq!(a.oracle_height.to_bits(), b.oracle_height.to_bits());
+    // All answers came from the exact hot tier (or the same-router
+    // shortcut), none from estimates.
+    let stats = tier.oracle_stats().unwrap();
+    assert_eq!(
+        stats.sketch + stats.base,
+        0,
+        "estimate tiers leaked into a covered session"
+    );
+}
+
+/// One faulted tiered-market trajectory: staggered crashes, leases,
+/// repairs — everything observable, including the oracle's own counters.
+fn tiered_market_trajectory(seed: u64) -> (u64, u64, Option<TierStats>, u64, Vec<TraceRecord>) {
+    let pool = build(tiered(), seed);
+    let mut faults = FaultPlan::none();
+    for h in (0..300u64).step_by(11) {
+        faults = faults.crash_forever(h, SimTime::from_secs(600 + h));
+    }
+    let cfg = MarketConfig {
+        sessions: 8,
+        member_size: 10,
+        horizon: SimTime::from_secs(1500),
+        warmup: SimTime::from_secs(300),
+        faults,
+        ..MarketConfig::default()
+    };
+    let mut sim = MarketSim::new(pool, cfg, seed);
+    sim.set_tracer(Tracer::ring(4096));
+    let (out, _) = sim.run_full();
+    (
+        out.plans,
+        out.crash_repairs,
+        out.oracle_tiers,
+        out.oracle_resident_bytes,
+        out.trace,
+    )
+}
+
+#[test]
+fn tiered_market_replays_bit_for_bit_and_traces_tier_activity() {
+    let a = tiered_market_trajectory(29);
+    let b = tiered_market_trajectory(29);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2, "tier counters diverged between identical runs");
+    assert_eq!(a.3, b.3);
+    assert_eq!(a.4.len(), b.4.len());
+    let stats = a.2.expect("tiered market publishes tier stats");
+    assert!(stats.total() > 0);
+    // The market emitted the per-plan tier snapshot events.
+    let tier_events =
+        a.4.iter()
+            .filter(|r| matches!(r.ev, TraceEvent::OracleTiers { .. }))
+            .count();
+    assert!(
+        tier_events > 0,
+        "no OracleTiers trace events in a tiered run"
+    );
+}
+
+#[test]
+fn exact_market_emits_no_oracle_trace_events() {
+    let pool = build(LatencySource::Exact, 29);
+    let cfg = MarketConfig {
+        sessions: 6,
+        member_size: 10,
+        horizon: SimTime::from_secs(900),
+        warmup: SimTime::from_secs(300),
+        ..MarketConfig::default()
+    };
+    let mut sim = MarketSim::new(pool, cfg, 29);
+    sim.set_tracer(Tracer::ring(4096));
+    let (out, _) = sim.run_full();
+    assert!(out.oracle_tiers.is_none());
+    assert!(
+        !out.trace
+            .iter()
+            .any(|r| matches!(r.ev, TraceEvent::OracleTiers { .. })),
+        "Exact-source run emitted an OracleTiers event — trace is no longer byte-identical"
+    );
+}
