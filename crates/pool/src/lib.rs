@@ -61,14 +61,74 @@ pub use task_manager::{
     PlanModel, PlanOutcome, SessionSpec, FAIR_HELPER_RANK,
 };
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use bwest::{BwEstConfig, BwEstimates};
 use coords::{CoordStore, LeafsetCoords};
 use dht::Ring;
 use netsim::{HostId, Network, NetworkConfig};
-use oracle::{LandmarkSketch, LatencySource, PoolOracle, TierStats, TieredOracle};
+use oracle::{
+    LandmarkSketch, LatencySource, OracleSpeculation, PoolOracle, TierStats, TieredOracle,
+};
 use somo::Report as _;
+
+/// One state-mutating pool call recorded by a speculative fork
+/// ([`ResourcePool::fork_for_speculation`]). Replaying the sequence on the
+/// live pool — in the order the fork made the calls — reproduces the
+/// fork's table trajectory exactly, including mid-retry victim evictions
+/// that the planner's retry loop never rolls back.
+#[derive(Clone, Debug)]
+pub enum PoolOp {
+    /// A [`ResourcePool::reserve_leased`] call and whether it succeeded.
+    /// Failed reserves mutate nothing but are still recorded: the host's
+    /// state was *read* (the refusal shaped the plan), so it belongs to
+    /// the speculation's conflict scope.
+    Reserve {
+        /// Host the reservation was made on.
+        host: HostId,
+        /// Claiming session.
+        session: SessionId,
+        /// Claim rank.
+        rank: Rank,
+        /// Degrees requested.
+        count: u32,
+        /// Lease deadline (`None` = permanent).
+        expires_at: Option<simcore::SimTime>,
+        /// Whether the fork's reservation succeeded.
+        ok: bool,
+    },
+    /// A [`ResourcePool::release_session`] call; `hosts` are the holdings
+    /// it drained on the fork.
+    ReleaseSession {
+        /// Session released.
+        session: SessionId,
+        /// Hosts the session held degrees on when released.
+        hosts: Vec<HostId>,
+    },
+    /// A [`ResourcePool::release_degrees`] call (standby-tree rollback).
+    ReleaseDegrees {
+        /// Host released on.
+        host: HostId,
+        /// Releasing session.
+        session: SessionId,
+        /// Claim rank.
+        rank: Rank,
+        /// Degrees returned.
+        count: u32,
+    },
+}
+
+impl PoolOp {
+    /// Every host this op read or wrote — the unit of conflict detection.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        match self {
+            PoolOp::Reserve { host, .. } | PoolOp::ReleaseDegrees { host, .. } => {
+                std::slice::from_ref(host).iter().copied()
+            }
+            PoolOp::ReleaseSession { hosts, .. } => hosts.as_slice().iter().copied(),
+        }
+    }
+}
 
 /// Configuration for assembling a resource pool.
 #[derive(Clone, Debug)]
@@ -123,6 +183,13 @@ pub struct ResourcePool {
     /// [`PoolConfig::latency_source`]). Cloning the pool deep-copies the
     /// tiered oracle's cache state, so what-if clones diverge.
     oracle: PoolOracle,
+    /// `Some` only on speculative forks: every mutating call is recorded
+    /// for commit-time replay (see [`PoolOp`]).
+    spec_log: Option<Vec<PoolOp>>,
+    /// `Some` only on the live pool while a speculative batch commits:
+    /// hosts whose tables changed so far, the set conflict detection
+    /// intersects read scopes against.
+    touched: Option<HashSet<HostId>>,
 }
 
 impl ResourcePool {
@@ -185,6 +252,118 @@ impl ResourcePool {
             holdings: HashMap::new(),
             alive,
             oracle,
+            spec_log: None,
+            touched: None,
+        }
+    }
+
+    /// A **speculative fork** for one worker's planning pass: private
+    /// copies of the degree tables, holdings and liveness (identical to
+    /// the live pool right now), a speculative oracle fork
+    /// ([`PoolOracle::fork_speculative`]), and an op log recording every
+    /// mutating call. The expensive shared state (latency matrix, router
+    /// graph, coordinates' backing data) is Arc-shared, so a fork costs
+    /// O(hosts), not O(hosts²).
+    pub fn fork_for_speculation(&self) -> ResourcePool {
+        ResourcePool {
+            net: self.net.clone(),
+            ring: self.ring.clone(),
+            coords: self.coords.clone(),
+            bw: self.bw.clone(),
+            somo_fanout: self.somo_fanout,
+            tables: self.tables.clone(),
+            holdings: self.holdings.clone(),
+            alive: self.alive.clone(),
+            oracle: self.oracle.fork_speculative(),
+            spec_log: Some(Vec::new()),
+            touched: None,
+        }
+    }
+
+    /// Drain the op log a speculative fork accumulated (empty on non-fork
+    /// pools).
+    pub fn take_speculation_ops(&mut self) -> Vec<PoolOp> {
+        self.spec_log.take().unwrap_or_default()
+    }
+
+    /// What this fork's planning pass did to its oracle (see
+    /// [`PoolOracle::speculation`]); `None` under `Exact`, where there is
+    /// nothing to validate or replay.
+    pub fn oracle_speculation(&self) -> Option<OracleSpeculation> {
+        self.oracle.speculation()
+    }
+
+    /// Can the live oracle replay a fork's oracle speculation without
+    /// evicting a hot row? (Trivially true under `Exact` / `None`.)
+    pub fn oracle_can_absorb(&self, spec: Option<&OracleSpeculation>) -> bool {
+        spec.is_none_or(|s| self.oracle.can_absorb_without_eviction(s))
+    }
+
+    /// Commit a validated oracle speculation onto the live oracle: replay
+    /// its promote calls in order and fold its hit counts in.
+    pub fn oracle_absorb(&self, spec: &OracleSpeculation) {
+        self.oracle.absorb_speculation(spec);
+    }
+
+    /// Start tracking which hosts' tables mutate (the commit phase of a
+    /// speculative batch).
+    pub fn begin_touched(&mut self) {
+        self.touched = Some(HashSet::new());
+    }
+
+    /// Stop tracking mutated hosts.
+    pub fn end_touched(&mut self) {
+        self.touched = None;
+    }
+
+    /// Has any host's table mutated since [`Self::begin_touched`]?
+    pub fn touched_any(&self) -> bool {
+        self.touched.as_ref().is_some_and(|t| !t.is_empty())
+    }
+
+    /// Has any of `hosts` mutated since [`Self::begin_touched`]?
+    pub fn touched_intersects(&self, hosts: impl IntoIterator<Item = HostId>) -> bool {
+        match &self.touched {
+            Some(t) => hosts.into_iter().any(|h| t.contains(&h)),
+            None => false,
+        }
+    }
+
+    /// Replay a fork's op log on the live pool, in recorded order. Valid
+    /// only when conflict detection proved no op host mutated since the
+    /// fork was taken: then every call sees exactly the state the fork
+    /// saw and reproduces its trajectory bit for bit (debug builds assert
+    /// each reserve resolves the same way).
+    pub fn replay_ops(&mut self, ops: &[PoolOp]) {
+        for op in ops {
+            match op {
+                PoolOp::Reserve {
+                    host,
+                    session,
+                    rank,
+                    count,
+                    expires_at,
+                    ok,
+                } => {
+                    let r = self.reserve_leased(*host, *session, *rank, *count, *expires_at);
+                    debug_assert_eq!(
+                        r.is_ok(),
+                        *ok,
+                        "speculative reserve diverged on replay (host {host:?})"
+                    );
+                }
+                PoolOp::ReleaseSession { session, .. } => {
+                    self.release_session(*session);
+                }
+                PoolOp::ReleaseDegrees {
+                    host,
+                    session,
+                    rank,
+                    count,
+                } => {
+                    self.release_degrees(*host, *session, *rank, *count);
+                }
+            }
         }
     }
 
@@ -420,6 +599,7 @@ impl ResourcePool {
         expires_at: Option<simcore::SimTime>,
     ) -> Result<Vec<(SessionId, u32)>, degree_table::InsufficientDegree> {
         if !self.alive[h.idx()] {
+            self.log_reserve(h, session, rank, count, expires_at, false);
             return Err(degree_table::InsufficientDegree {
                 requested: count,
                 available: 0,
@@ -431,7 +611,20 @@ impl ResourcePool {
         if count == 0 {
             return Ok(vec![]);
         }
-        let preempted = self.tables[h.idx()].reserve_until(session, rank, count, expires_at)?;
+        let preempted = match self.tables[h.idx()].reserve_until(session, rank, count, expires_at) {
+            Ok(p) => p,
+            Err(e) => {
+                // A refusal mutates nothing, but it *read* the host's
+                // state (the refusal shapes the retry loop), so a
+                // speculating fork records it for conflict detection.
+                self.log_reserve(h, session, rank, count, expires_at, false);
+                return Err(e);
+            }
+        };
+        self.log_reserve(h, session, rank, count, expires_at, true);
+        if let Some(t) = &mut self.touched {
+            t.insert(h);
+        }
         let held = self.holdings.entry(session).or_default();
         if !held.contains(&h) {
             held.push(h);
@@ -451,11 +644,42 @@ impl ResourcePool {
         Ok(preempted)
     }
 
+    #[inline]
+    fn log_reserve(
+        &mut self,
+        host: HostId,
+        session: SessionId,
+        rank: Rank,
+        count: u32,
+        expires_at: Option<simcore::SimTime>,
+        ok: bool,
+    ) {
+        if let Some(log) = &mut self.spec_log {
+            log.push(PoolOp::Reserve {
+                host,
+                session,
+                rank,
+                count,
+                expires_at,
+                ok,
+            });
+        }
+    }
+
     /// Release everything a session holds across the pool. Returns the
     /// number of degrees freed. Idempotent, like [`DegreeTable::release`].
     pub fn release_session(&mut self, session: SessionId) -> u32 {
         let mut freed = 0;
         if let Some(hosts) = self.holdings.remove(&session) {
+            if let Some(log) = &mut self.spec_log {
+                log.push(PoolOp::ReleaseSession {
+                    session,
+                    hosts: hosts.clone(),
+                });
+            }
+            if let Some(t) = &mut self.touched {
+                t.extend(hosts.iter().copied());
+            }
             for h in hosts {
                 freed += self.tables[h.idx()].release(session);
             }
@@ -490,6 +714,19 @@ impl ResourcePool {
         count: u32,
     ) -> u32 {
         let freed = self.tables[h.idx()].release_count(session, rank, count);
+        if let Some(log) = &mut self.spec_log {
+            log.push(PoolOp::ReleaseDegrees {
+                host: h,
+                session,
+                rank,
+                count,
+            });
+        }
+        if freed > 0 {
+            if let Some(t) = &mut self.touched {
+                t.insert(h);
+            }
+        }
         if freed > 0 && self.tables[h.idx()].held_by(session) == 0 {
             if let Some(held) = self.holdings.get_mut(&session) {
                 held.retain(|x| *x != h);

@@ -131,6 +131,14 @@ pub struct PlanOutcome {
     /// Helpers a stale view promised but that refused the reservation
     /// (always 0 when planning from live degree tables).
     pub helper_failures: u32,
+    /// Relaxations ([`alm::metrics::relaxations`]) this plan performed,
+    /// measured on the thread that ran it. Thread-local counters die with
+    /// worker threads, so parallel coordinators read the count here
+    /// instead of from their own thread-local delta.
+    pub relaxations: u64,
+    /// [`netsim::latency::latency_calls`] this plan performed, measured
+    /// like `relaxations` on the executing thread.
+    pub latency_calls: u64,
 }
 
 /// Plan a session's tree against current pool availability and reserve it.
@@ -434,6 +442,10 @@ fn plan_shaped(
 ) -> PlanOutcome {
     let helper_rank = shape.helper_rank;
     let stale: std::collections::HashMap<HostId, u32> = stale_avail.iter().copied().collect();
+    // Per-plan counter window: everything from the baseline evaluation to
+    // the final retry is this plan's work, charged to the executing thread.
+    let rel0 = alm::metrics::relaxations();
+    let lat0 = netsim::latency::latency_calls();
     let baseline_height = members_only_baseline(pool, spec);
     let mut helper_failures = 0u32;
     // Owned handle on the configured planning oracle, so the planning
@@ -626,6 +638,8 @@ fn plan_shaped(
             helpers,
             preempted,
             helper_failures,
+            relaxations: alm::metrics::relaxations().saturating_sub(rel0),
+            latency_calls: netsim::latency::latency_calls().saturating_sub(lat0),
         };
     }
     unreachable!("the members-only fallback always succeeds")
@@ -641,6 +655,12 @@ pub struct StandbyOutcome {
     pub trees: Vec<MulticastTree>,
     /// Sessions that lost degrees to the standby reservations.
     pub preempted: Vec<SessionId>,
+    /// Relaxations the standby pass performed on its executing thread
+    /// (see [`PlanOutcome::relaxations`]).
+    pub relaxations: u64,
+    /// Latency-model calls the standby pass performed on its executing
+    /// thread (see [`PlanOutcome::latency_calls`]).
+    pub latency_calls: u64,
 }
 
 /// The per-host fan-out cap of a multipath session: how many **children**
@@ -693,6 +713,8 @@ pub fn plan_standby_trees(
     lease_until: Option<SimTime>,
 ) -> StandbyOutcome {
     let helper_rank = Rank::helper(spec.priority);
+    let rel0 = alm::metrics::relaxations();
+    let lat0 = netsim::latency::latency_calls();
     // Standby planning is a planning decision: it reads the configured
     // latency source. Member rows are promoted once; each round's
     // surviving candidates are promoted below (the shared handle sees
@@ -819,7 +841,12 @@ pub fn plan_standby_trees(
     preempted.sort_unstable();
     preempted.dedup();
     preempted.retain(|&s| s != spec.id);
-    StandbyOutcome { trees, preempted }
+    StandbyOutcome {
+        trees,
+        preempted,
+        relaxations: alm::metrics::relaxations().saturating_sub(rel0),
+        latency_calls: netsim::latency::latency_calls().saturating_sub(lat0),
+    }
 }
 
 /// The members-only AMCast baseline: physical degree bounds, oracle

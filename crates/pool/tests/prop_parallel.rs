@@ -1,0 +1,123 @@
+//! Property tests for the speculative parallel planner: under random
+//! batch shapes and scarce degrees, planning with 8 worker threads must
+//! converge to exactly the sequential engine's state — same trees, same
+//! stats, same books — with the invariant auditor clean throughout and
+//! nothing leaked. Conflict replans are part of the contract: when
+//! speculations collide on scarce hosts, the losers fall back inline and
+//! the result must still be bit-identical.
+
+use std::sync::OnceLock;
+
+use netsim::NetworkConfig;
+use pool::degree_table::Allocation;
+use pool::market::{MarketConfig, MarketSim};
+use pool::{PlanConfig, PoolConfig, ResourcePool};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+/// One shared pristine pool (building coordinates is the expensive part);
+/// every case clones it.
+fn pristine() -> &'static ResourcePool {
+    static POOL: OnceLock<ResourcePool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: 150,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 3,
+                ..PoolConfig::default()
+            },
+            1234,
+        )
+    })
+}
+
+/// Everything a run exposes that the parallel path could plausibly skew.
+#[derive(Debug, PartialEq)]
+struct Digest {
+    plans: u64,
+    preemptions: Vec<u64>,
+    improvement: Vec<(u64, f64)>,
+    planner_work: (u64, u64),
+    leaked: u32,
+    lapsed: u64,
+    tables: Vec<Vec<Allocation>>,
+}
+
+fn run(cfg: &MarketConfig, seed: u64, plan_threads: usize) -> (Digest, bool, u64) {
+    let pool = pristine().clone();
+    let cfg = MarketConfig {
+        plan_threads,
+        ..cfg.clone()
+    };
+    let (out, pool) = MarketSim::new(pool, cfg, seed).run_full();
+    let digest = Digest {
+        plans: out.plans,
+        preemptions: (1..=3).map(|p| out.class(p).preemptions).collect(),
+        improvement: (1..=3)
+            .map(|p| {
+                let s = &out.class(p).improvement;
+                (s.count(), s.mean())
+            })
+            .collect(),
+        planner_work: (out.planner_relaxations, out.planner_latency_calls),
+        leaked: out.leaked_degrees,
+        lapsed: out.lapsed_lease_degrees,
+        tables: pool
+            .net
+            .hosts
+            .ids()
+            .map(|h| pool.table(h).allocations().to_vec())
+            .collect(),
+    };
+    (digest, out.audit.is_clean(), out.speculative_commits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_batches_converge_to_sequential_trees(
+        seed in 0u64..1000,
+        sessions in 6usize..13,
+        member_size in 8usize..12,
+        gap_idx in 0usize..3,
+        view in any::<bool>(),
+        faulted in any::<bool>(),
+    ) {
+        // Disjoint member sets over 150 hosts cap the helper supply, so
+        // competing sessions genuinely fight over the same scarce degrees
+        // (preemptions and commit conflicts both fire). The gap draws the
+        // batch shape: 1 µs phase-locks everything into maximal batches,
+        // 1 ms mixes batches with stragglers, 60 s is mostly sequential.
+        prop_assume!(sessions * member_size <= 150);
+        let gap_us = [1u64, 1000, 60_000_000][gap_idx];
+        let mut faults = simcore::FaultPlan::none();
+        if faulted {
+            for h in (0..150u64).step_by(17) {
+                faults = faults.crash_forever(h, SimTime::from_secs(400 + h));
+            }
+        }
+        let cfg = MarketConfig {
+            sessions,
+            member_size,
+            mean_gap: SimTime::from_micros(gap_us),
+            horizon: SimTime::from_secs(900),
+            warmup: SimTime::from_secs(200),
+            view_refresh: view.then(|| SimTime::from_secs(60)),
+            audit_period: Some(SimTime::from_secs(120)),
+            faults,
+            plan: PlanConfig::default(),
+            ..MarketConfig::default()
+        };
+        let (seq, seq_clean, seq_commits) = run(&cfg, seed, 1);
+        let (par, par_clean, _) = run(&cfg, seed, 8);
+        prop_assert_eq!(seq_commits, 0, "sequential run speculated");
+        prop_assert!(seq_clean, "sequential auditor found violations");
+        prop_assert!(par_clean, "parallel auditor found violations");
+        prop_assert_eq!(&seq, &par, "parallel run diverged from sequential");
+        prop_assert_eq!(seq.leaked, 0, "degrees leaked");
+    }
+}

@@ -121,6 +121,13 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse(e)| e.at)
     }
 
+    /// Peek at the earliest pending event without popping it: the same
+    /// `(at, event)` the next [`EventQueue::pop`] would return. The clock
+    /// does not advance.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|Reverse(e)| (e.at, &e.event))
+    }
+
     /// Drain and discard all pending events (the clock is left where it is).
     pub fn clear(&mut self) {
         self.heap.clear();
@@ -180,6 +187,19 @@ mod tests {
         q.schedule_after(SimTime::from_millis(5), 1);
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn peek_matches_next_pop_without_advancing() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "b");
+        q.schedule(SimTime::from_millis(10), "a");
+        assert_eq!(q.peek(), Some((SimTime::from_millis(10), &"a")));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(10), "a")));
+        assert_eq!(q.peek(), Some((SimTime::from_millis(30), &"b")));
+        q.pop();
+        assert_eq!(q.peek(), None);
     }
 
     #[test]

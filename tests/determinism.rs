@@ -276,6 +276,142 @@ fn faulted_multipath_market_trajectory_is_bit_identical_across_runs() {
     assert_eq!(a.leaked, 0, "multipath run leaked degrees");
 }
 
+/// One parallel-planning trajectory: a microsecond arrival gap collapses
+/// every first start onto `t = 0` and keeps the surviving sessions'
+/// replans phase-locked, so the scheduler sees same-timestamp batches all
+/// run long; the snapshot view plus the tiered oracle make speculative
+/// commits real (frozen-view plans carry a finite conflict scope), and the
+/// staggered crash plan keeps the fault paths interleaved with the
+/// batches. Captures everything [`MarketTrace`] pins plus the exact
+/// planner-work counters and the oracle's own per-tier hits.
+fn parallel_market_trajectory(
+    seed: u64,
+    plan_threads: usize,
+    k_trees: usize,
+) -> (MarketTrace, u64, u64, Option<TierStats>, u64) {
+    let pool = ResourcePool::build(
+        &PoolConfig {
+            net: NetworkConfig {
+                num_hosts: 300,
+                ..NetworkConfig::default()
+            },
+            coord_rounds: 4,
+            latency_source: LatencySource::Tiered(TieredConfig::default()),
+            ..PoolConfig::default()
+        },
+        seed,
+    );
+    let mut faults = simcore::FaultPlan::none();
+    for h in (0..300u64).step_by(13) {
+        faults = faults.crash_forever(h, SimTime::from_secs(600 + h));
+    }
+    let cfg = MarketConfig {
+        sessions: 12,
+        member_size: 10,
+        mean_gap: SimTime::from_micros(1),
+        horizon: SimTime::from_secs(1500),
+        warmup: SimTime::from_secs(300),
+        view_refresh: Some(SimTime::from_secs(60)),
+        faults,
+        plan: PlanConfig {
+            k_trees,
+            ..PlanConfig::default()
+        },
+        plan_threads,
+        ..MarketConfig::default()
+    };
+    let (out, pool) = MarketSim::new(pool, cfg, seed).run_full();
+    let per_class: Vec<(u64, u64, u64, u64)> = (1..=3)
+        .map(|p| {
+            let c = out.class(p);
+            (
+                c.helper_crashes,
+                c.failovers,
+                c.sessions_lost,
+                c.preemptions,
+            )
+        })
+        .collect();
+    let tables: Vec<Vec<pool::degree_table::Allocation>> = pool
+        .net
+        .hosts
+        .ids()
+        .map(|h| pool.table(h).allocations().to_vec())
+        .collect();
+    let trace = MarketTrace {
+        plans: out.plans,
+        per_class,
+        crash_repairs: out.crash_repairs,
+        lapsed: out.lapsed_lease_degrees,
+        leaked: out.leaked_degrees,
+        multipath: (
+            out.tree_failovers,
+            out.trees_rebuilt,
+            out.delivery.count(),
+            out.delivery.mean(),
+            out.restore_rounds.count(),
+            out.restore_rounds.mean(),
+        ),
+        tables,
+    };
+    (
+        trace,
+        out.planner_relaxations,
+        out.planner_latency_calls,
+        out.oracle_tiers,
+        out.speculative_commits,
+    )
+}
+
+#[test]
+fn parallel_planning_is_bit_identical_across_thread_counts() {
+    // The tentpole contract: the outcome, the exact planner-work counters,
+    // the oracle's per-tier hits and the final books of every host are a
+    // function of the seed alone — never of `plan_threads`. Thread count 1
+    // IS the sequential engine (no batching, no forks), so equality at 2
+    // and 8 is equality with the sequential path.
+    let t1 = parallel_market_trajectory(29, 1, 1);
+    let t2 = parallel_market_trajectory(29, 2, 1);
+    let t8 = parallel_market_trajectory(29, 8, 1);
+    assert_eq!(t1.0, t2.0, "outcome diverged at plan_threads = 2");
+    assert_eq!(t1.0, t8.0, "outcome diverged at plan_threads = 8");
+    assert_eq!(
+        (t1.1, t1.2),
+        (t2.1, t2.2),
+        "planner-work counters diverged at plan_threads = 2"
+    );
+    assert_eq!(
+        (t1.1, t1.2),
+        (t8.1, t8.2),
+        "planner-work counters diverged at plan_threads = 8"
+    );
+    assert_eq!(t1.3, t2.3, "oracle tier counters diverged");
+    assert_eq!(t1.3, t8.3, "oracle tier counters diverged");
+    assert!(t1.1 > 0, "run did no planner work at all");
+    // The sequential run never speculates; the parallel runs actually did
+    // (otherwise this test exercises nothing).
+    assert_eq!(t1.4, 0, "plan_threads = 1 took the speculative path");
+    assert!(t8.4 > 0, "plan_threads = 8 never committed a speculation");
+}
+
+#[test]
+fn parallel_multipath_planning_is_bit_identical_across_thread_counts() {
+    // k = 2: standby rounds scan live candidates, so every speculation in
+    // a batch after the first conflicts and replans inline — the fallback
+    // path itself must preserve bit-identity (and the books).
+    let t1 = parallel_market_trajectory(29, 1, 2);
+    let t8 = parallel_market_trajectory(29, 8, 2);
+    assert_eq!(t1.0, t8.0, "multipath outcome diverged at plan_threads = 8");
+    assert_eq!(
+        (t1.1, t1.2),
+        (t8.1, t8.2),
+        "multipath planner-work counters diverged"
+    );
+    assert_eq!(t1.3, t8.3, "multipath oracle tier counters diverged");
+    assert!(t1.0.multipath.2 > 0, "delivery ratio was never sampled");
+    assert_eq!(t1.0.leaked, 0, "multipath run leaked degrees");
+}
+
 /// One faulted Admission-mode trajectory: the same staggered crash plan
 /// as the market tests, but the sessions pass through the admission
 /// controller under starvation-level thresholds, so the queue, the

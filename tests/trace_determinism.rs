@@ -74,6 +74,76 @@ fn faulted_multipath_market_traces_are_bit_identical_across_runs() {
     }
 }
 
+/// A faulted, traced market tuned so the parallel planner actually forms
+/// batches: microsecond arrival gap (every first start lands at `t = 0`
+/// and replans stay phase-locked), snapshot view so speculative plans
+/// carry finite conflict scopes, tiered oracle so the per-plan
+/// `OracleTiers` snapshots are part of the contract too.
+fn traced_parallel_market(seed: u64, plan_threads: usize, k_trees: usize) -> (String, u64) {
+    let pool = ResourcePool::build(
+        &PoolConfig {
+            net: NetworkConfig {
+                num_hosts: 300,
+                ..NetworkConfig::default()
+            },
+            coord_rounds: 4,
+            latency_source: LatencySource::Tiered(TieredConfig::default()),
+            ..PoolConfig::default()
+        },
+        seed,
+    );
+    let mut faults = simcore::FaultPlan::none();
+    for h in (0..300u64).step_by(13) {
+        faults = faults.crash_forever(h, SimTime::from_secs(600 + h));
+    }
+    let cfg = MarketConfig {
+        sessions: 12,
+        member_size: 10,
+        mean_gap: SimTime::from_micros(1),
+        horizon: SimTime::from_secs(1500),
+        warmup: SimTime::from_secs(300),
+        view_refresh: Some(SimTime::from_secs(60)),
+        faults,
+        plan: PlanConfig {
+            k_trees,
+            ..PlanConfig::default()
+        },
+        plan_threads,
+        ..MarketConfig::default()
+    };
+    let mut sim = MarketSim::new(pool, cfg, seed);
+    sim.set_tracer(Tracer::ring(1 << 16));
+    let (out, _) = sim.run_full();
+    (to_json_lines(&out.trace), out.speculative_commits)
+}
+
+#[test]
+fn parallel_market_traces_are_bit_identical_across_thread_counts() {
+    // The observability contract extends to the parallel planner: every
+    // trace byte — per-plan relaxation and latency-call counts included —
+    // must be independent of `plan_threads`.
+    let (t1, c1) = traced_parallel_market(29, 1, 1);
+    let (t2, _) = traced_parallel_market(29, 2, 1);
+    let (t8, c8) = traced_parallel_market(29, 8, 1);
+    assert_eq!(t1, t2, "traces diverged at plan_threads = 2");
+    assert_eq!(t1, t8, "traces diverged at plan_threads = 8");
+    assert_eq!(c1, 0, "plan_threads = 1 took the speculative path");
+    assert!(c8 > 0, "plan_threads = 8 never committed a speculation");
+    assert!(
+        t1.contains("OracleTiers"),
+        "no per-plan tier snapshots in a tiered trace"
+    );
+}
+
+#[test]
+fn parallel_multipath_market_traces_are_bit_identical_across_thread_counts() {
+    // k = 2: the conflict-fallback path (standby rounds scan the live
+    // pool) must also leave the trace untouched.
+    let (t1, _) = traced_parallel_market(29, 1, 2);
+    let (t8, _) = traced_parallel_market(29, 8, 2);
+    assert_eq!(t1, t8, "multipath traces diverged at plan_threads = 8");
+}
+
 /// A faulted Admission-mode market with starvation-level thresholds, so
 /// the controller's whole surface — queue, degraded admission, retry,
 /// rejection, pressure shifts — lands in the trace.
