@@ -73,7 +73,9 @@ fn main() {
             if traced {
                 dump_jsonl(
                     "ext_churn_trace",
-                    &simcore::trace::to_json_lines(&sim.take_trace()),
+                    &simcore::trace::to_json_lines(
+                        &sim.take_trace().expect("ring tracer owns its records"),
+                    ),
                 );
             }
             let alive = (N as usize - f) as f64;

@@ -1,0 +1,300 @@
+//! Extension: the live operations surface — streaming sink + queryable
+//! run store, audited for correctness on a faulted fig10-style market.
+//!
+//! Four same-seed runs of one crash-laden market workload, each observed
+//! through a different surface, with every pair of observations held to a
+//! byte-identity or exact-count gate:
+//!
+//! * **ring** — the legacy post-hoc ring tracer: the reference trace and
+//!   final degree tables;
+//! * **store** — a [`pool::LiveOps`] surface attached: trace streams into
+//!   the run store, every pool op / slot / queue change lands in the
+//!   delta log, periodic [`pool::MarketSnapshot`]s are taken. Gates: the
+//!   store's trace is byte-identical to the ring run's; the final degree
+//!   tables match host for host; **replaying from every snapshot**
+//!   reconstructs the final state byte-identically (JSON of the replayed
+//!   state vs the final snapshot's); nothing was evicted;
+//! * **stream** — a bounded [`simcore::StreamSink`] at sufficient
+//!   capacity: drained records byte-identical to the ring trace, zero
+//!   drops;
+//! * **tiny** — the same stream sink deliberately undersized: drops are
+//!   counted exactly (`emitted == delivered + dropped`), oldest-first,
+//!   and surfaced through the metrics registry — never silent.
+//!
+//! The operator queries ride the same store: "which hosts are over 90%
+//! degree utilization", "which hosts crossed up in the last N rounds" —
+//! answers carry the [`query`] crate's `Freshness` contract (an empty
+//! window reports the a-priori bound, not false freshness).
+//!
+//! Set `EXT_LIVEOPS_SMOKE=1` for the CI slice (smaller pool, shorter
+//! horizon — every gate still runs). Pass `--store-out` to dump the live
+//! and store traces plus the delta/snapshot logs as JSON lines for the
+//! byte-comparison step in CI.
+//!
+//! Run with: `cargo run --release -p bench --bin ext_liveops`
+
+use bench::{dump_json, dump_jsonl, store_out_requested};
+use netsim::NetworkConfig;
+use pool::liveops::{hosts_crossed_up, hosts_over_threshold, reconstruct_at};
+use pool::{LiveOps, LiveOpsConfig, MarketConfig, MarketSim, PlanConfig, PoolConfig, ResourcePool};
+use serde_json::json;
+use simcore::trace::to_json_lines;
+use simcore::{FaultPlan, MetricsRegistry, SimTime, StreamSink, Tracer};
+
+const SEED: u64 = 3001;
+const UTIL_THRESHOLD: f64 = 0.9;
+/// Undersized stream capacity for the drop-accounting gate.
+const TINY_CAP: usize = 256;
+
+struct Workload {
+    hosts: usize,
+    sessions: usize,
+    member_size: usize,
+    horizon: SimTime,
+    warmup: SimTime,
+    crash_step: usize,
+}
+
+fn main() {
+    let smoke = std::env::var("EXT_LIVEOPS_SMOKE").is_ok();
+    let w = if smoke {
+        Workload {
+            hosts: 200,
+            sessions: 6,
+            member_size: 10,
+            horizon: SimTime::from_secs(1200),
+            warmup: SimTime::from_secs(300),
+            crash_step: 9,
+        }
+    } else {
+        Workload {
+            hosts: 300,
+            sessions: 9,
+            member_size: 12,
+            horizon: SimTime::from_secs(1800),
+            warmup: SimTime::from_secs(300),
+            crash_step: 7,
+        }
+    };
+    println!(
+        "building the {}-host pool (faulted fig10-style market, {} sessions)...",
+        w.hosts, w.sessions
+    );
+    let pristine = ResourcePool::build(
+        &PoolConfig {
+            net: NetworkConfig {
+                num_hosts: w.hosts,
+                ..NetworkConfig::default()
+            },
+            coord_rounds: 4,
+            ..PoolConfig::default()
+        },
+        SEED,
+    );
+
+    // --- run 1: the reference ring trace -------------------------------
+    println!("run 1/4: ring tracer (reference trace + final tables)...");
+    let mut sim = market(&pristine, &w);
+    sim.set_tracer(Tracer::ring(1 << 16));
+    let (ring_out, ring_pool) = sim.run_full();
+    let ring_trace = to_json_lines(&ring_out.trace);
+    let emitted = ring_out.trace.len() as u64;
+    assert!(emitted > 0, "the faulted market must emit trace records");
+    assert!(
+        (emitted as usize) < (1 << 16),
+        "ring capacity too small for a byte-identity reference"
+    );
+
+    // --- run 2: the live-operations store ------------------------------
+    println!("run 2/4: live-operations store (trace + deltas + snapshots)...");
+    let mut sim = market(&pristine, &w);
+    let mut lo = LiveOps::new(LiveOpsConfig {
+        snapshot_period: SimTime::from_secs(60),
+        util_threshold: UTIL_THRESHOLD,
+        ..LiveOpsConfig::default()
+    });
+    // A standing operator query: alarm when fewer than 5 hosts near the
+    // origin still offer free rank-3 degrees.
+    lo.subscribe(0, [0.0, 0.0], 1e9, 3, 1, 5);
+    let handle = sim.attach_liveops(lo);
+    let (store_out, store_pool) = sim.run_full();
+    assert!(
+        store_out.trace.is_empty(),
+        "the store owns the records; the outcome's inline trace is empty"
+    );
+    let store = handle.lock().expect("store lock");
+
+    // Gate: byte-identical trace through the store path.
+    let store_trace = store
+        .trace_json_lines()
+        .expect("nothing evicted at this capacity");
+    assert_eq!(
+        ring_trace, store_trace,
+        "store-streamed trace diverged from the ring trace"
+    );
+    // Gate: attaching the surface did not move the trajectory.
+    assert_eq!(ring_out.plans, store_out.plans, "plan count diverged");
+    assert_eq!(
+        ring_out.leaked_degrees, store_out.leaked_degrees,
+        "leak census diverged"
+    );
+    let mut tables_checked = 0u64;
+    for h in (0..w.hosts as u32).map(netsim::HostId) {
+        assert_eq!(
+            ring_pool.table(h),
+            store_pool.table(h),
+            "final degree table diverged on host {h:?}"
+        );
+        assert_eq!(ring_pool.is_alive(h), store_pool.is_alive(h));
+        tables_checked += 1;
+    }
+
+    // Gate: counted-nothing-dropped store accounting.
+    let stats = store.stats();
+    assert_eq!(stats.trace_appended, emitted, "store missed trace records");
+    assert_eq!(stats.trace_evicted, 0, "store evicted trace records");
+    assert_eq!(stats.delta_evicted, 0, "store evicted deltas");
+    assert!(stats.snapshots >= 2, "need snapshots to replay from");
+
+    // Gate: replay from EVERY snapshot reconstructs the final state
+    // byte-identically (JSON of the replayed state vs the final
+    // snapshot's state, which run_full captured at the horizon).
+    let final_state = store
+        .latest_snapshot()
+        .expect("final snapshot exists")
+        .state
+        .clone();
+    let final_json = serde_json::to_string(&final_state).expect("snapshot serializes");
+    let mut replays = 0u64;
+    for idx in 0..store.snapshots().len() {
+        let replayed = reconstruct_at(&store, idx).expect("nothing evicted");
+        let got = serde_json::to_string(&replayed).expect("replayed state serializes");
+        assert_eq!(
+            got, final_json,
+            "replay from snapshot {idx} diverged from the final state"
+        );
+        replays += 1;
+    }
+    // And the reconstructed tables are the live run's final tables.
+    for (i, hs) in final_state.hosts.iter().enumerate() {
+        let h = netsim::HostId(i as u32);
+        assert_eq!(&hs.table, store_pool.table(h), "snapshot table diverged");
+        assert_eq!(hs.alive, store_pool.is_alive(h));
+    }
+
+    // Operator queries against the store, with the Freshness contract.
+    let bound = SimTime::from_secs(60);
+    let over = hosts_over_threshold(&store, UTIL_THRESHOLD, bound);
+    assert!(!over.freshness.empty_scope(), "populated store has a scope");
+    let crossed = hosts_crossed_up(&store, SimTime::ZERO, bound);
+    let empty = hosts_crossed_up(&store, w.horizon + SimTime::from_secs(1), bound);
+    assert!(empty.hosts.is_empty());
+    assert!(
+        empty.freshness.empty_scope() && empty.freshness.staleness(w.horizon) == bound,
+        "an empty window must report the a-priori bound"
+    );
+
+    // --- run 3: bounded stream sink at capacity ------------------------
+    println!("run 3/4: stream sink at capacity (byte-identity, zero drops)...");
+    let (sink, stream) = StreamSink::bounded(1 << 16);
+    let mut sim = market(&pristine, &w);
+    sim.set_tracer(Tracer::with_sink(Box::new(sink)));
+    let _ = sim.run_full();
+    assert_eq!(stream.dropped(), 0, "at-capacity stream dropped records");
+    assert_eq!(stream.delivered(), emitted);
+    let streamed = to_json_lines(&stream.drain());
+    assert_eq!(ring_trace, streamed, "streamed trace diverged from ring");
+
+    // --- run 4: undersized stream sink ---------------------------------
+    println!("run 4/4: undersized stream sink (exact counted drops)...");
+    let (sink, tiny) = StreamSink::bounded(TINY_CAP);
+    let mut sim = market(&pristine, &w);
+    sim.set_tracer(Tracer::with_sink(Box::new(sink)));
+    let _ = sim.run_full();
+    let expect_dropped = emitted.saturating_sub(TINY_CAP as u64);
+    assert_eq!(tiny.dropped(), expect_dropped, "drop count not exact");
+    assert_eq!(tiny.delivered() + tiny.dropped(), emitted);
+    let survivors = tiny.drain();
+    assert_eq!(survivors.len() as u64, emitted.min(TINY_CAP as u64));
+    assert_eq!(
+        survivors.first().map(|r| r.seq),
+        Some(expect_dropped),
+        "overflow must drop oldest-first"
+    );
+    let mut reg = MetricsRegistry::new();
+    tiny.publish_metrics(&mut reg);
+    assert_eq!(reg.counter("trace.dropped_records"), expect_dropped);
+
+    println!(
+        "\nall gates passed: trace byte-identity (ring == store == stream), \
+         {replays} snapshot replays byte-identical to the final state, \
+         {tables_checked} final tables matched, {expect_dropped} undersized-stream \
+         drops counted exactly"
+    );
+
+    if store_out_requested() {
+        dump_jsonl("ext_liveops_trace_live", &ring_trace);
+        dump_jsonl("ext_liveops_trace_store", &store_trace);
+        dump_jsonl("ext_liveops_deltas", &store.deltas_json_lines());
+        dump_jsonl("ext_liveops_snapshots", &store.snapshots_json_lines());
+    }
+
+    dump_json(
+        "ext_liveops",
+        &json!({
+            "extension": "liveops",
+            "smoke": smoke,
+            "workload": {
+                "hosts": w.hosts,
+                "sessions": w.sessions,
+                "member_size": w.member_size,
+                "horizon_s": w.horizon.as_secs_f64(),
+                "crash_step": w.crash_step,
+            },
+            "trace": {
+                "emitted": emitted,
+                "ring_equals_store": true,
+                "ring_equals_stream": true,
+            },
+            "store": {
+                "trace_appended": stats.trace_appended,
+                "trace_evicted": stats.trace_evicted,
+                "delta_appended": stats.delta_appended,
+                "delta_evicted": stats.delta_evicted,
+                "snapshots": stats.snapshots,
+                "replays_byte_identical": replays,
+                "final_tables_checked": tables_checked,
+            },
+            "queries": {
+                "util_threshold": UTIL_THRESHOLD,
+                "hosts_over_threshold_final": over.hosts.len(),
+                "hosts_crossed_up_total": crossed.hosts.len(),
+                "freshness_bound_s": bound.as_secs_f64(),
+                "empty_window_reports_bound": true,
+            },
+            "undersized_stream": {
+                "cap": TINY_CAP,
+                "dropped": expect_dropped,
+                "delivered": emitted.min(TINY_CAP as u64),
+                "oldest_first": true,
+            },
+        }),
+    );
+}
+
+fn market(pristine: &ResourcePool, w: &Workload) -> MarketSim {
+    let mut faults = FaultPlan::none();
+    for h in (0..w.hosts as u64).step_by(w.crash_step) {
+        faults = faults.crash_forever(h, SimTime::from_secs(600 + h));
+    }
+    let cfg = MarketConfig {
+        sessions: w.sessions,
+        member_size: w.member_size,
+        horizon: w.horizon,
+        warmup: w.warmup,
+        faults,
+        plan: PlanConfig::default(),
+        ..MarketConfig::default()
+    };
+    MarketSim::new(pristine.clone(), cfg, SEED)
+}

@@ -203,7 +203,9 @@ fn main() {
         let _ = run_pipeline_traced(&cfg_for(0.05, 8, 0), &mut tracer);
         dump_jsonl(
             "ext_recovery_trace",
-            &simcore::trace::to_json_lines(&tracer.take_records()),
+            &simcore::trace::to_json_lines(
+                &tracer.take_records().expect("ring tracer owns its records"),
+            ),
         );
     }
 

@@ -40,6 +40,13 @@ pub fn trace_out_requested() -> bool {
     std::env::args().any(|a| a == "--trace-out")
 }
 
+/// Whether `--store-out` was passed on the command line: binaries that
+/// attach a live-operations run store dump its trace/delta/snapshot logs
+/// as JSON lines next to their JSON results.
+pub fn store_out_requested() -> bool {
+    std::env::args().any(|a| a == "--store-out")
+}
+
 /// Mean of a slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

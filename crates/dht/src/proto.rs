@@ -175,8 +175,9 @@ impl<D: Fn(HostId, HostId) -> SimTime> DhtSim<D> {
         self.tracer = tracer;
     }
 
-    /// Drain the attached tracer's ring buffer (empty when untraced).
-    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+    /// Drain the attached tracer's buffered records (empty when untraced,
+    /// `None` when a custom sink owns them — drain that sink instead).
+    pub fn take_trace(&mut self) -> Option<Vec<TraceRecord>> {
         self.tracer.take_records()
     }
 

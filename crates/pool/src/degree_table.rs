@@ -69,8 +69,9 @@ fn later_expiry(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
     }
 }
 
-/// The degree table of one host.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// The degree table of one host. `PartialEq` compares the full allocation
+/// list in order — the equality the replay-determinism gates assert.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DegreeTable {
     dbound: u32,
     alloc: Vec<Allocation>,

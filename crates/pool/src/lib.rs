@@ -41,12 +41,17 @@
 //! ```
 
 pub mod degree_table;
+pub mod liveops;
 pub mod market;
 pub mod recovery;
 pub mod report;
 pub mod task_manager;
 
 pub use degree_table::{DegreeTable, Rank, SessionId};
+pub use liveops::{
+    LiveOps, LiveOpsConfig, MarketDelta, MarketSnapshot, MarketStore, MarketStoreHandle, OpsNote,
+    SlotSnap,
+};
 pub use market::{
     water_fill, AdmissionConfig, AllocationMode, ClassStatsMap, DiscoveryMode, MarketConfig,
     MarketOutcome, MarketSim, DEGRADED_CLASS,
@@ -70,14 +75,23 @@ use netsim::{HostId, Network, NetworkConfig};
 use oracle::{
     LandmarkSketch, LatencySource, OracleSpeculation, PoolOracle, TierStats, TieredOracle,
 };
+use serde::{Deserialize, Serialize};
 use somo::Report as _;
 
-/// One state-mutating pool call recorded by a speculative fork
-/// ([`ResourcePool::fork_for_speculation`]). Replaying the sequence on the
-/// live pool — in the order the fork made the calls — reproduces the
-/// fork's table trajectory exactly, including mid-retry victim evictions
-/// that the planner's retry loop never rolls back.
-#[derive(Clone, Debug)]
+/// One state-mutating pool call, recorded in two places:
+///
+/// * by a speculative fork ([`ResourcePool::fork_for_speculation`]) —
+///   replaying the sequence on the live pool, in the order the fork made
+///   the calls, reproduces the fork's table trajectory exactly, including
+///   mid-retry victim evictions that the planner's retry loop never rolls
+///   back;
+/// * by the live pool itself once [`ResourcePool::enable_op_log`] is on —
+///   there the sequence is the run's **delta log**, drained into a
+///   `runstore::RunStore` so snapshot-plus-replay reconstructs the pool
+///   state byte for byte (see [`liveops`]).
+///
+/// Serializable so stores can export delta logs as JSON lines.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum PoolOp {
     /// A [`ResourcePool::reserve_leased`] call and whether it succeeded.
     /// Failed reserves mutate nothing but are still recorded: the host's
@@ -116,16 +130,52 @@ pub enum PoolOp {
         /// Degrees returned.
         count: u32,
     },
+    /// A [`ResourcePool::release_on_host`] call (dropping one stranded
+    /// claim). Live-log only — forks never make this call.
+    ReleaseOnHost {
+        /// Releasing session.
+        session: SessionId,
+        /// Host released on.
+        host: HostId,
+    },
+    /// A [`ResourcePool::renew_session`] call (the task manager's periodic
+    /// lease renewal). Live-log only.
+    Renew {
+        /// Renewing session.
+        session: SessionId,
+        /// The new lease deadline.
+        expires_at: simcore::SimTime,
+    },
+    /// An [`ResourcePool::expire_leases`] sweep. Live-log only.
+    ExpireLeases {
+        /// The sweep instant every overdue lease lapsed at.
+        now: simcore::SimTime,
+    },
+    /// A [`ResourcePool::kill_host`] / [`ResourcePool::revive_host`]
+    /// liveness flip. Live-log only.
+    SetAlive {
+        /// The host whose liveness changed.
+        host: HostId,
+        /// Its new state.
+        alive: bool,
+    },
 }
 
 impl PoolOp {
     /// Every host this op read or wrote — the unit of conflict detection.
+    /// [`PoolOp::Renew`] and [`PoolOp::ExpireLeases`] report none: they are
+    /// live-log-only ops that speculative forks never emit, so they never
+    /// enter a conflict scope.
     pub fn hosts(&self) -> impl Iterator<Item = HostId> + '_ {
         match self {
-            PoolOp::Reserve { host, .. } | PoolOp::ReleaseDegrees { host, .. } => {
-                std::slice::from_ref(host).iter().copied()
-            }
+            PoolOp::Reserve { host, .. }
+            | PoolOp::ReleaseDegrees { host, .. }
+            | PoolOp::ReleaseOnHost { host, .. }
+            | PoolOp::SetAlive { host, .. } => std::slice::from_ref(host).iter().copied(),
             PoolOp::ReleaseSession { hosts, .. } => hosts.as_slice().iter().copied(),
+            PoolOp::Renew { .. } | PoolOp::ExpireLeases { .. } => {
+                (&[] as &[HostId]).iter().copied()
+            }
         }
     }
 }
@@ -281,9 +331,29 @@ impl ResourcePool {
     }
 
     /// Drain the op log a speculative fork accumulated (empty on non-fork
-    /// pools).
+    /// pools). Unlike [`Self::drain_op_log`] this *disables* further
+    /// logging — a fork is drained exactly once, at commit.
     pub fn take_speculation_ops(&mut self) -> Vec<PoolOp> {
         self.spec_log.take().unwrap_or_default()
+    }
+
+    /// Turn on the **live op log**: from here on every state-mutating call
+    /// on this pool is recorded as a [`PoolOp`], to be drained periodically
+    /// with [`Self::drain_op_log`] into a run store. Idempotent; a
+    /// re-enable keeps any undrained ops.
+    pub fn enable_op_log(&mut self) {
+        if self.spec_log.is_none() {
+            self.spec_log = Some(Vec::new());
+        }
+    }
+
+    /// Drain the live op log, keeping it enabled (contrast
+    /// [`Self::take_speculation_ops`]). Empty when logging is off.
+    pub fn drain_op_log(&mut self) -> Vec<PoolOp> {
+        match &mut self.spec_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// What this fork's planning pass did to its oracle (see
@@ -363,6 +433,25 @@ impl ResourcePool {
                 } => {
                     self.release_degrees(*host, *session, *rank, *count);
                 }
+                PoolOp::ReleaseOnHost { session, host } => {
+                    self.release_on_host(*session, *host);
+                }
+                PoolOp::Renew {
+                    session,
+                    expires_at,
+                } => {
+                    self.renew_session(*session, *expires_at);
+                }
+                PoolOp::ExpireLeases { now } => {
+                    self.expire_leases(*now);
+                }
+                PoolOp::SetAlive { host, alive } => {
+                    if *alive {
+                        self.revive_host(*host);
+                    } else {
+                        self.kill_host(*host);
+                    }
+                }
             }
         }
     }
@@ -379,12 +468,24 @@ impl ResourcePool {
     /// but the host stops being a candidate and refuses new reservations.
     pub fn kill_host(&mut self, h: HostId) {
         self.alive[h.idx()] = false;
+        if let Some(log) = &mut self.spec_log {
+            log.push(PoolOp::SetAlive {
+                host: h,
+                alive: false,
+            });
+        }
     }
 
     /// Mark a crashed host up again. Degrees still booked on it from before
     /// the crash remain booked until released or expired.
     pub fn revive_host(&mut self, h: HostId) {
         self.alive[h.idx()] = true;
+        if let Some(log) = &mut self.spec_log {
+            log.push(PoolOp::SetAlive {
+                host: h,
+                alive: true,
+            });
+        }
     }
 
     /// Number of hosts currently down.
@@ -692,6 +793,14 @@ impl ResourcePool {
     /// keeps running). Returns the degrees freed.
     pub fn release_on_host(&mut self, session: SessionId, h: HostId) -> u32 {
         let freed = self.tables[h.idx()].release(session);
+        if let Some(log) = &mut self.spec_log {
+            log.push(PoolOp::ReleaseOnHost { session, host: h });
+        }
+        if freed > 0 {
+            if let Some(t) = &mut self.touched {
+                t.insert(h);
+            }
+        }
         if let Some(held) = self.holdings.get_mut(&session) {
             held.retain(|x| *x != h);
             if held.is_empty() {
@@ -748,6 +857,12 @@ impl ResourcePool {
                 renewed += self.tables[h.idx()].renew(session, expires_at);
             }
         }
+        if let Some(log) = &mut self.spec_log {
+            log.push(PoolOp::Renew {
+                session,
+                expires_at,
+            });
+        }
         renewed
     }
 
@@ -776,6 +891,9 @@ impl ResourcePool {
         }
         let mut out: Vec<(SessionId, u32)> = reclaimed.into_iter().collect();
         out.sort_unstable_by_key(|(s, _)| *s);
+        if let Some(log) = &mut self.spec_log {
+            log.push(PoolOp::ExpireLeases { now });
+        }
         out
     }
 

@@ -1,0 +1,714 @@
+//! # liveops — the live operations surface over a running market
+//!
+//! A [`crate::MarketSim`] run used to be observable only after the fact:
+//! drain the tracer's ring, read the outcome. This module wires a running
+//! market into a [`runstore::RunStore`] so an operator can watch and query
+//! it *while it runs*, and reconstruct any moment of it afterwards:
+//!
+//! * every trace record streams into the store's trace log (via
+//!   [`runstore::StoreSink`]);
+//! * every state-mutating pool call ([`PoolOp`]), slot transition
+//!   ([`SlotSnap`]) and admission-queue change lands in the store's delta
+//!   log as a [`MarketDelta`];
+//! * each snapshot round captures a full [`MarketSnapshot`] — degree
+//!   tables, liveness, slot states, admission queues, lease horizons —
+//!   and evaluates the operator's standing queries
+//!   ([`query::SubscriptionSet`], [`query::PressureWatch`], utilization
+//!   crossings), appending what fired as [`OpsNote`] deltas.
+//!
+//! Reconstruction is [`reconstruct_at`]: clone a snapshot's state and fold
+//! the later deltas forward with [`MarketSnapshot::apply`]. The
+//! replay-determinism gate (`tests/liveops.rs`, `ext_liveops`) asserts the
+//! result byte-identical to the live run's final state from *every*
+//! snapshot of a faulted market run.
+//!
+//! Attaching the surface must not change the run: the market's snapshot
+//! event is strictly read-only (it mutates only this module's private
+//! mirrors and the store), emits no trace events, and the operator's
+//! standing queries are evaluated against a **private** [`QueryIndex`] so
+//! their traffic never lands in the market's own query accounting. The
+//! trace-equivalence gate asserts a store-attached run byte-identical to a
+//! ring-traced one.
+//!
+//! Answers carry the existing [`Freshness`] contract: `oldest` is the
+//! newest instant the store has absorbed (snapshot or delta), `bound` the
+//! snapshot cadence; an empty store answers with `staleness == bound` —
+//! honest uncertainty, not false confidence.
+
+use std::collections::BTreeMap;
+
+use netsim::HostId;
+use query::{Freshness, PressureWatch, QueryIndex, SubscriptionSet, ThresholdDelta};
+use runstore::{ReplayGap, RunStore, StoreConfig, StoreHandle};
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+use crate::degree_table::{DegreeTable, SessionId};
+use crate::{PoolOp, ResourcePool};
+
+/// The market's run store: [`MarketDelta`] deltas, [`MarketSnapshot`]
+/// snapshots.
+pub type MarketStore = RunStore<MarketDelta, MarketSnapshot>;
+
+/// Shared handle to a [`MarketStore`] (simulator, sink and operator each
+/// hold a clone).
+pub type MarketStoreHandle = StoreHandle<MarketDelta, MarketSnapshot>;
+
+/// One host's state inside a [`MarketSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HostSnap {
+    /// The host.
+    pub host: HostId,
+    /// Whether it was up.
+    pub alive: bool,
+    /// Its full degree table.
+    pub table: DegreeTable,
+}
+
+/// One market slot's state, mirrored into the store whenever it changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotSnap {
+    /// The slot's session id.
+    pub session: u32,
+    /// Whether a cycle is currently active.
+    pub active: bool,
+    /// A preemption-triggered replan is scheduled but has not fired yet.
+    pub replan_pending: bool,
+    /// Activity-cycle counter.
+    pub cycle: u64,
+    /// The current cycle was admitted degraded (Admission mode).
+    pub degraded: bool,
+    /// Starts deferred because no member was alive.
+    pub defers: u64,
+    /// When the slot entered the admission queue (µs); `None` = not queued.
+    pub queued_since_us: Option<u64>,
+    /// When the current outage opened (µs); `None` = serving.
+    pub broken_since_us: Option<u64>,
+}
+
+/// A session's earliest lease deadline pool-wide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaseHorizon {
+    /// The leasing session.
+    pub session: SessionId,
+    /// Its earliest `expires_at` across every host it holds degrees on
+    /// (µs); permanent claims carry no horizon and are not listed.
+    pub expires_at_us: u64,
+}
+
+/// An operator-facing observation appended to the delta log when a
+/// standing query fires. Notes are pure annotations: replay ignores them
+/// ([`MarketSnapshot::apply`] treats them as no-ops).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OpsNote {
+    /// A registered threshold subscription crossed (see
+    /// [`query::SubscriptionSet::evaluate`]).
+    Threshold(ThresholdDelta),
+    /// The cluster pressure signal crossed the scarcity threshold.
+    Pressure {
+        /// `true` = entered scarcity, `false` = recovered.
+        scarce: bool,
+    },
+    /// A host's degree utilization crossed the configured threshold.
+    UtilCrossing {
+        /// The host.
+        host: HostId,
+        /// `true` = rose to at-or-above the threshold, `false` = fell
+        /// back below it.
+        up: bool,
+    },
+}
+
+/// One entry of the market's delta log.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MarketDelta {
+    /// A state-mutating pool call, in execution order.
+    Pool(PoolOp),
+    /// Slot `index` transitioned to `state`.
+    Slot {
+        /// Slot index in the market.
+        index: u32,
+        /// Its new state.
+        state: SlotSnap,
+    },
+    /// The admission FIFOs changed (queued slot indices, class 1 first).
+    Queues {
+        /// The new queue contents.
+        queues: [Vec<u32>; 3],
+    },
+    /// A standing-query observation (no state effect on replay).
+    Note(OpsNote),
+}
+
+/// Full market state at one instant. Capture time lives on the store's
+/// [`runstore::SnapshotEntry`], not here, so a replayed-to-the-end state
+/// compares byte-for-byte against a later snapshot's `state`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MarketSnapshot {
+    /// Every host: liveness and full degree table.
+    pub hosts: Vec<HostSnap>,
+    /// Every market slot.
+    pub slots: Vec<SlotSnap>,
+    /// Admission FIFOs (queued slot indices, class 1 first).
+    pub admission_queues: [Vec<u32>; 3],
+    /// Per-session earliest lease deadlines, session order. Derived from
+    /// `hosts` by [`MarketSnapshot::refresh_derived`].
+    pub lease_horizons: Vec<LeaseHorizon>,
+    /// Degrees allocated pool-wide. Derived.
+    pub used: u32,
+    /// Degree capacity pool-wide. Derived.
+    pub capacity: u32,
+}
+
+impl MarketSnapshot {
+    /// Capture the current state of `pool` plus the market's slot and
+    /// queue mirrors.
+    pub fn capture(pool: &ResourcePool, slots: &[SlotSnap], queues: &[Vec<u32>; 3]) -> Self {
+        let hosts = (0..pool.num_hosts() as u32)
+            .map(|i| {
+                let h = HostId(i);
+                HostSnap {
+                    host: h,
+                    alive: pool.is_alive(h),
+                    table: pool.table(h).clone(),
+                }
+            })
+            .collect();
+        let mut snap = MarketSnapshot {
+            hosts,
+            slots: slots.to_vec(),
+            admission_queues: queues.clone(),
+            lease_horizons: Vec::new(),
+            used: 0,
+            capacity: 0,
+        };
+        snap.refresh_derived();
+        snap
+    }
+
+    /// Recompute the derived fields (`lease_horizons`, `used`,
+    /// `capacity`) from the authoritative tables. Call after a replay.
+    pub fn refresh_derived(&mut self) {
+        let mut horizons: BTreeMap<SessionId, u64> = BTreeMap::new();
+        let mut used = 0u32;
+        let mut capacity = 0u32;
+        for h in &self.hosts {
+            used += h.table.used();
+            capacity += h.table.dbound();
+            for a in h.table.allocations() {
+                if let Some(at) = a.expires_at {
+                    let e = horizons.entry(a.session).or_insert(u64::MAX);
+                    *e = (*e).min(at.as_micros());
+                }
+            }
+        }
+        self.lease_horizons = horizons
+            .into_iter()
+            .map(|(session, expires_at_us)| LeaseHorizon {
+                session,
+                expires_at_us,
+            })
+            .collect();
+        self.used = used;
+        self.capacity = capacity;
+    }
+
+    /// Fold one delta forward. Pool ops re-execute against the snapshot's
+    /// tables exactly as the live pool executed them; slot and queue
+    /// deltas overwrite the mirrors; notes are annotations and do
+    /// nothing. Derived fields are **not** refreshed here — call
+    /// [`MarketSnapshot::refresh_derived`] once after the fold.
+    pub fn apply(&mut self, delta: &MarketDelta) {
+        match delta {
+            MarketDelta::Pool(op) => self.apply_pool_op(op),
+            MarketDelta::Slot { index, state } => {
+                self.slots[*index as usize] = *state;
+            }
+            MarketDelta::Queues { queues } => {
+                self.admission_queues = queues.clone();
+            }
+            MarketDelta::Note(_) => {}
+        }
+    }
+
+    fn apply_pool_op(&mut self, op: &PoolOp) {
+        match op {
+            PoolOp::Reserve {
+                host,
+                session,
+                rank,
+                count,
+                expires_at,
+                ok,
+            } => {
+                if *ok {
+                    let r = self.hosts[host.idx()].table.reserve_until(
+                        *session,
+                        *rank,
+                        *count,
+                        *expires_at,
+                    );
+                    debug_assert!(r.is_ok(), "logged-ok reserve must replay ok ({host:?})");
+                }
+            }
+            PoolOp::ReleaseSession { session, hosts } => {
+                for h in hosts {
+                    self.hosts[h.idx()].table.release(*session);
+                }
+            }
+            PoolOp::ReleaseDegrees {
+                host,
+                session,
+                rank,
+                count,
+            } => {
+                self.hosts[host.idx()]
+                    .table
+                    .release_count(*session, *rank, *count);
+            }
+            PoolOp::ReleaseOnHost { session, host } => {
+                self.hosts[host.idx()].table.release(*session);
+            }
+            PoolOp::Renew {
+                session,
+                expires_at,
+            } => {
+                for h in &mut self.hosts {
+                    h.table.renew(*session, *expires_at);
+                }
+            }
+            PoolOp::ExpireLeases { now } => {
+                for h in &mut self.hosts {
+                    h.table.expire(*now);
+                }
+            }
+            PoolOp::SetAlive { host, alive } => {
+                self.hosts[host.idx()].alive = *alive;
+            }
+        }
+    }
+
+    /// Hosts whose degree utilization (`used / dbound`) is at or above
+    /// `threshold`, host order. Degree-less hosts never qualify.
+    pub fn hosts_over_utilization(&self, threshold: f64) -> Vec<HostId> {
+        self.hosts
+            .iter()
+            .filter(|h| {
+                h.table.dbound() > 0 && h.table.used() as f64 / h.table.dbound() as f64 >= threshold
+            })
+            .map(|h| h.host)
+            .collect()
+    }
+}
+
+/// Configuration of the live operations surface.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LiveOpsConfig {
+    /// Retention of the backing store's trace and delta logs.
+    pub store: StoreConfig,
+    /// Snapshot cadence — also the a-priori [`Freshness::bound`] carried
+    /// by store-backed answers.
+    pub snapshot_period: SimTime,
+    /// Per-host degree-utilization threshold whose crossings are noted
+    /// ([`OpsNote::UtilCrossing`]).
+    pub util_threshold: f64,
+    /// Claim rank of the pressure watch.
+    pub pressure_rank: u8,
+    /// Scarcity threshold of the pressure watch.
+    pub pressure_threshold: f64,
+}
+
+impl Default for LiveOpsConfig {
+    fn default() -> Self {
+        LiveOpsConfig {
+            store: StoreConfig::default(),
+            snapshot_period: SimTime::from_secs(60),
+            util_threshold: 0.9,
+            pressure_rank: 3,
+            pressure_threshold: 0.15,
+        }
+    }
+}
+
+/// The live operations surface attached to one [`crate::MarketSim`] run.
+/// Owns the store handle, the operator's standing queries and the private
+/// change mirrors. Driven by the market: [`LiveOps::sync`] after every
+/// handled event, [`LiveOps::snapshot_round`] on the snapshot cadence.
+pub struct LiveOps {
+    cfg: LiveOpsConfig,
+    handle: MarketStoreHandle,
+    subs: SubscriptionSet,
+    /// Private index the standing queries evaluate against — never the
+    /// market's own, so operator traffic stays out of market accounting.
+    qindex: Option<QueryIndex>,
+    watch: PressureWatch,
+    last_slots: Vec<Option<SlotSnap>>,
+    last_queues: [Vec<u32>; 3],
+    /// Last observed side of the utilization threshold per host (`None`
+    /// before first snapshot round).
+    last_over: Vec<Option<bool>>,
+}
+
+impl LiveOps {
+    /// A fresh surface with an empty store. Register standing queries via
+    /// [`LiveOps::subscribe`] before (or during) the run.
+    pub fn new(cfg: LiveOpsConfig) -> LiveOps {
+        let watch = PressureWatch::new(cfg.pressure_rank, cfg.pressure_threshold);
+        LiveOps {
+            handle: runstore::shared(RunStore::new(cfg.store)),
+            cfg,
+            subs: SubscriptionSet::new(),
+            qindex: None,
+            watch,
+            last_slots: Vec::new(),
+            last_queues: [Vec::new(), Vec::new(), Vec::new()],
+            last_over: Vec::new(),
+        }
+    }
+
+    /// A clone of the store handle (for the trace sink and the operator).
+    pub fn handle(&self) -> MarketStoreHandle {
+        self.handle.clone()
+    }
+
+    /// The snapshot cadence.
+    pub fn snapshot_period(&self) -> SimTime {
+        self.cfg.snapshot_period
+    }
+
+    /// Register a standing threshold query (see
+    /// [`query::SubscriptionSet::subscribe`]); returns its id.
+    pub fn subscribe(
+        &mut self,
+        member: u32,
+        center: [f64; 2],
+        radius: f64,
+        rank: u8,
+        min_free: u32,
+        threshold: u64,
+    ) -> u64 {
+        self.subs
+            .subscribe(member, center, radius, rank, min_free, threshold)
+    }
+
+    /// Absorb everything one handled market event changed: the drained
+    /// pool op log (in execution order), then any slot transitions, then
+    /// any admission-queue change. Order matters — replay folds deltas in
+    /// append order.
+    pub fn sync(
+        &mut self,
+        at: SimTime,
+        ops: Vec<PoolOp>,
+        slots: &[SlotSnap],
+        queues: &[Vec<u32>; 3],
+    ) {
+        let dirty_slots: Vec<(u32, SlotSnap)> = {
+            self.last_slots.resize(slots.len(), None);
+            slots
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| self.last_slots[*i] != Some(**s))
+                .map(|(i, s)| (i as u32, *s))
+                .collect()
+        };
+        let queues_dirty = &self.last_queues != queues;
+        if ops.is_empty() && dirty_slots.is_empty() && !queues_dirty {
+            return;
+        }
+        let mut store = self.handle.lock().expect("run store lock poisoned");
+        for op in ops {
+            store.append_delta(at, MarketDelta::Pool(op));
+        }
+        for (index, state) in dirty_slots {
+            self.last_slots[index as usize] = Some(state);
+            store.append_delta(at, MarketDelta::Slot { index, state });
+        }
+        if queues_dirty {
+            self.last_queues = queues.clone();
+            store.append_delta(
+                at,
+                MarketDelta::Queues {
+                    queues: queues.clone(),
+                },
+            );
+        }
+    }
+
+    /// One snapshot round: evaluate the standing queries against a
+    /// refreshed private index (threshold subscriptions, pressure watch,
+    /// utilization crossings), append what fired as notes, then capture
+    /// and store a full [`MarketSnapshot`]. Read-only on the market.
+    pub fn snapshot_round(
+        &mut self,
+        now: SimTime,
+        pool: &ResourcePool,
+        slots: &[SlotSnap],
+        queues: &[Vec<u32>; 3],
+    ) {
+        let period = self.cfg.snapshot_period;
+        match &mut self.qindex {
+            Some(idx) => pool.refresh_query_index(idx, now),
+            None => self.qindex = Some(pool.build_query_index(period, now)),
+        }
+        let idx = self.qindex.as_mut().expect("just built");
+        let mut notes: Vec<OpsNote> = self
+            .subs
+            .evaluate(idx, now)
+            .into_iter()
+            .map(OpsNote::Threshold)
+            .collect();
+        if let Some(scarce) = self.watch.observe(idx.root_aggregate()) {
+            notes.push(OpsNote::Pressure { scarce });
+        }
+        self.last_over.resize(pool.num_hosts(), None);
+        for i in 0..pool.num_hosts() {
+            let h = HostId(i as u32);
+            let t = pool.table(h);
+            if t.dbound() == 0 {
+                continue;
+            }
+            let over = t.used() as f64 / t.dbound() as f64 >= self.cfg.util_threshold;
+            let fire = match self.last_over[i] {
+                None => over, // first observation alarms only
+                Some(prev) => prev != over,
+            };
+            self.last_over[i] = Some(over);
+            if fire {
+                notes.push(OpsNote::UtilCrossing { host: h, up: over });
+            }
+        }
+        let snap = MarketSnapshot::capture(pool, slots, queues);
+        let mut store = self.handle.lock().expect("run store lock poisoned");
+        for n in notes {
+            store.append_delta(now, MarketDelta::Note(n));
+        }
+        // The slot/queue mirrors the snapshot carries are by definition
+        // current; future syncs diff against them.
+        self.last_slots = slots.iter().map(|s| Some(*s)).collect();
+        self.last_queues = queues.clone();
+        store.snapshot(now, snap);
+    }
+}
+
+/// An operator query's answer: the qualifying hosts plus the
+/// [`Freshness`] of the store state that produced them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpsAnswer {
+    /// Qualifying hosts, host order.
+    pub hosts: Vec<HostId>,
+    /// How stale the answer can be.
+    pub freshness: Freshness,
+}
+
+/// The freshness of answers served from `store`: `oldest` is the newest
+/// instant the store has absorbed (latest snapshot or delta), `bound` the
+/// snapshot cadence. An empty store has an empty scope
+/// ([`Freshness::empty_scope`]), so `staleness` reports `bound`.
+pub fn store_freshness(store: &MarketStore, bound: SimTime) -> Freshness {
+    let snap_at = store.latest_snapshot().map(|s| s.at_us);
+    let delta_at = store.deltas_stored().last().map(|d| d.at_us);
+    let oldest = match snap_at.into_iter().chain(delta_at).max() {
+        Some(us) => SimTime::from_micros(us),
+        None => SimTime::MAX,
+    };
+    Freshness { oldest, bound }
+}
+
+/// Reconstruct the state at the end of the log from snapshot `idx`:
+/// clone its state, fold every later delta with
+/// [`MarketSnapshot::apply`], refresh the derived fields.
+///
+/// # Errors
+/// [`ReplayGap`] when delta eviction dropped part of the needed range.
+pub fn reconstruct_at(store: &MarketStore, idx: usize) -> Result<MarketSnapshot, ReplayGap> {
+    let mut snap = store.replay(idx, |s, d| s.apply(&d.delta))?;
+    snap.refresh_derived();
+    Ok(snap)
+}
+
+/// [`reconstruct_at`] from the latest snapshot; `None` when the store has
+/// no snapshot yet or the replay range was evicted.
+pub fn reconstruct_latest(store: &MarketStore) -> Option<MarketSnapshot> {
+    let idx = store.snapshots().len().checked_sub(1)?;
+    reconstruct_at(store, idx).ok()
+}
+
+/// "Which hosts are at or above `threshold` degree utilization right
+/// now?" — answered from the store alone: latest snapshot plus retained
+/// deltas. An empty store answers no hosts with `staleness == bound`.
+pub fn hosts_over_threshold(store: &MarketStore, threshold: f64, bound: SimTime) -> OpsAnswer {
+    let hosts = reconstruct_latest(store)
+        .map(|s| s.hosts_over_utilization(threshold))
+        .unwrap_or_default();
+    OpsAnswer {
+        hosts,
+        freshness: store_freshness(store, bound),
+    }
+}
+
+/// "Which hosts crossed **up** through the utilization threshold since
+/// `since`?" — scans the retained [`OpsNote::UtilCrossing`] notes. The
+/// answer's scope is the retained deltas in the window: none at all (or
+/// an empty store) is an empty scope, so `staleness` reports `bound`.
+pub fn hosts_crossed_up(store: &MarketStore, since: SimTime, bound: SimTime) -> OpsAnswer {
+    let mut hosts: Vec<HostId> = Vec::new();
+    let mut oldest_in_scope = SimTime::MAX;
+    for d in store.deltas_stored() {
+        if d.at_us < since.as_micros() {
+            continue;
+        }
+        oldest_in_scope = oldest_in_scope.min(SimTime::from_micros(d.at_us));
+        if let MarketDelta::Note(OpsNote::UtilCrossing { host, up: true }) = d.delta {
+            if !hosts.contains(&host) {
+                hosts.push(host);
+            }
+        }
+    }
+    hosts.sort_unstable();
+    OpsAnswer {
+        hosts,
+        freshness: Freshness {
+            oldest: oldest_in_scope,
+            bound,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree_table::Rank;
+
+    fn snap_with(tables: Vec<DegreeTable>) -> MarketSnapshot {
+        let hosts = tables
+            .into_iter()
+            .enumerate()
+            .map(|(i, table)| HostSnap {
+                host: HostId(i as u32),
+                alive: true,
+                table,
+            })
+            .collect();
+        let mut s = MarketSnapshot {
+            hosts,
+            slots: Vec::new(),
+            admission_queues: [Vec::new(), Vec::new(), Vec::new()],
+            lease_horizons: Vec::new(),
+            used: 0,
+            capacity: 0,
+        };
+        s.refresh_derived();
+        s
+    }
+
+    #[test]
+    fn pool_ops_fold_identically_to_direct_table_calls() {
+        let mut live = vec![DegreeTable::new(8), DegreeTable::new(8)];
+        let mut snap = snap_with(live.clone());
+        let lease = Some(SimTime::from_secs(100));
+        // Live trajectory.
+        live[0]
+            .reserve_until(SessionId(1), Rank::helper(1), 3, lease)
+            .unwrap();
+        live[1]
+            .reserve_until(SessionId(2), Rank::helper(2), 2, lease)
+            .unwrap();
+        live[0].renew(SessionId(1), SimTime::from_secs(200));
+        live[1].expire(SimTime::from_secs(150));
+        // The same trajectory as logged ops.
+        for op in [
+            PoolOp::Reserve {
+                host: HostId(0),
+                session: SessionId(1),
+                rank: Rank::helper(1),
+                count: 3,
+                expires_at: lease,
+                ok: true,
+            },
+            PoolOp::Reserve {
+                host: HostId(1),
+                session: SessionId(2),
+                rank: Rank::helper(2),
+                count: 2,
+                expires_at: lease,
+                ok: true,
+            },
+            PoolOp::Renew {
+                session: SessionId(1),
+                expires_at: SimTime::from_secs(200),
+            },
+            PoolOp::ExpireLeases {
+                now: SimTime::from_secs(150),
+            },
+        ] {
+            snap.apply(&MarketDelta::Pool(op));
+        }
+        snap.refresh_derived();
+        assert_eq!(snap.hosts[0].table, live[0]);
+        assert_eq!(snap.hosts[1].table, live[1]);
+        // Session 2's lease lapsed at 150 s; session 1 renewed to 200 s.
+        assert_eq!(
+            snap.lease_horizons,
+            vec![LeaseHorizon {
+                session: SessionId(1),
+                expires_at_us: SimTime::from_secs(200).as_micros(),
+            }]
+        );
+        assert_eq!(snap.used, 3);
+        assert_eq!(snap.capacity, 16);
+    }
+
+    #[test]
+    fn store_replay_reconstructs_the_final_state_byte_for_byte() {
+        let mut store: MarketStore = RunStore::new(StoreConfig::default());
+        let base = snap_with(vec![DegreeTable::new(4), DegreeTable::new(4)]);
+        store.snapshot(SimTime::ZERO, base);
+        let lease = Some(SimTime::from_secs(50));
+        store.append_delta(
+            SimTime::from_secs(1),
+            MarketDelta::Pool(PoolOp::Reserve {
+                host: HostId(1),
+                session: SessionId(7),
+                rank: Rank::helper(3),
+                count: 4,
+                expires_at: lease,
+                ok: true,
+            }),
+        );
+        store.append_delta(
+            SimTime::from_secs(2),
+            MarketDelta::Note(OpsNote::UtilCrossing {
+                host: HostId(1),
+                up: true,
+            }),
+        );
+        let got = reconstruct_at(&store, 0).unwrap();
+        assert_eq!(got.used, 4);
+        assert_eq!(got.hosts_over_utilization(0.9), vec![HostId(1)]);
+        // Queries against the reconstructed store.
+        let ans = hosts_over_threshold(&store, 0.9, SimTime::from_secs(60));
+        assert_eq!(ans.hosts, vec![HostId(1)]);
+        assert!(!ans.freshness.empty_scope());
+        let crossed = hosts_crossed_up(&store, SimTime::ZERO, SimTime::from_secs(60));
+        assert_eq!(crossed.hosts, vec![HostId(1)]);
+        // A window past every delta is an empty scope: staleness reports
+        // the bound, never a false "perfectly fresh".
+        let empty = hosts_crossed_up(&store, SimTime::from_secs(999), SimTime::from_secs(60));
+        assert!(empty.hosts.is_empty());
+        assert!(empty.freshness.empty_scope());
+        assert_eq!(
+            empty.freshness.staleness(SimTime::from_secs(1000)),
+            SimTime::from_secs(60)
+        );
+    }
+
+    #[test]
+    fn empty_store_answers_with_the_a_priori_bound() {
+        let store: MarketStore = RunStore::new(StoreConfig::default());
+        let bound = SimTime::from_secs(60);
+        let ans = hosts_over_threshold(&store, 0.9, bound);
+        assert!(ans.hosts.is_empty());
+        assert!(ans.freshness.empty_scope());
+        assert_eq!(ans.freshness.staleness(SimTime::from_secs(5)), bound);
+    }
+}

@@ -83,6 +83,7 @@ use simcore::{EventQueue, FaultPlan, MetricsRegistry, SimTime};
 use std::collections::{HashSet, VecDeque};
 
 use crate::degree_table::SessionId;
+use crate::liveops::{LiveOps, MarketStoreHandle, SlotSnap};
 use crate::task_manager::{
     fanout_cap, plan_and_reserve_fair_leased, plan_and_reserve_from_query_leased,
     plan_and_reserve_from_view_leased, plan_and_reserve_leased, plan_standby_trees, FairShareCaps,
@@ -580,6 +581,12 @@ enum Ev {
     AdmissionRetry(usize, u32),
     /// Periodic invariant-audit sample.
     Audit,
+    /// Periodic live-operations snapshot round (scheduled only when a
+    /// [`LiveOps`] surface is attached). Strictly read-only on market
+    /// state — it mutates only the surface's private mirrors and store
+    /// and emits no trace events — so attaching a store cannot perturb
+    /// the trajectory.
+    Snapshot,
 }
 
 struct Slot {
@@ -642,6 +649,9 @@ pub struct MarketSim {
     /// A committed speculative plan awaiting consumption by [`Self::plan`]
     /// for the event currently being handled (parallel batches only).
     spec: Option<SpecResult>,
+    /// The attached live-operations surface (see [`crate::liveops`]);
+    /// `None` unless [`Self::attach_liveops`] was called.
+    liveops: Option<LiveOps>,
 }
 
 /// Everything a worker thread needs to plan one session speculatively:
@@ -764,6 +774,7 @@ impl MarketSim {
             pressure_cache: None,
             pressure_watch,
             spec: None,
+            liveops: None,
         }
     }
 
@@ -772,6 +783,64 @@ impl MarketSim {
     /// instrumentation site and leaves the trajectory untouched.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attach a live-operations surface (see [`crate::liveops`]): the
+    /// tracer is rewired to stream every record into the surface's run
+    /// store, the pool's live op log is enabled so every mutation lands in
+    /// the store's delta log, and a periodic snapshot round is scheduled.
+    /// Returns the shared store handle the operator queries.
+    ///
+    /// The attachment is trajectory-neutral: the run's events, RNG draws
+    /// and final state are byte-identical to the same seed without a
+    /// surface (the trace-equivalence gate in `tests/liveops.rs`).
+    pub fn attach_liveops(&mut self, lo: LiveOps) -> MarketStoreHandle {
+        let handle = lo.handle();
+        self.tracer = Tracer::with_sink(Box::new(runstore::StoreSink::new(handle.clone())));
+        self.pool.enable_op_log();
+        self.queue.schedule(SimTime::ZERO, Ev::Snapshot);
+        self.liveops = Some(lo);
+        handle
+    }
+
+    /// The market's slot states as store-ready mirrors.
+    fn slot_snaps(&self) -> Vec<SlotSnap> {
+        self.slots
+            .iter()
+            .map(|s| SlotSnap {
+                session: s.spec.id.0,
+                active: s.active,
+                replan_pending: s.replan_pending,
+                cycle: s.cycle,
+                degraded: s.degraded,
+                defers: s.defers,
+                queued_since_us: s.queued_since.map(|t| t.as_micros()),
+                broken_since_us: s.broken_since.map(|t| t.as_micros()),
+            })
+            .collect()
+    }
+
+    /// The admission FIFOs as store-ready mirrors.
+    fn queue_snaps(&self) -> [Vec<u32>; 3] {
+        [
+            self.admission_queues[0].iter().copied().collect(),
+            self.admission_queues[1].iter().copied().collect(),
+            self.admission_queues[2].iter().copied().collect(),
+        ]
+    }
+
+    /// Absorb one handled event's changes into the attached store: the
+    /// drained pool op log plus any slot/queue transitions. No-op without
+    /// a surface.
+    fn store_sync(&mut self, at: SimTime) {
+        let Some(mut lo) = self.liveops.take() else {
+            return;
+        };
+        let ops = self.pool.drain_op_log();
+        let slots = self.slot_snaps();
+        let queues = self.queue_snaps();
+        lo.sync(at, ops, &slots, &queues);
+        self.liveops = Some(lo);
     }
 
     /// Run to the configured horizon and return the aggregated outcome.
@@ -811,6 +880,21 @@ impl MarketSim {
             } else {
                 self.handle(now, ev);
             }
+            if self.liveops.is_some() {
+                self.store_sync(now);
+            }
+        }
+        // Closing snapshot round at the horizon: the final degree tables,
+        // slot states and queues the replay-determinism gate reconstructs
+        // toward.
+        if self.liveops.is_some() {
+            self.store_sync(self.cfg.horizon);
+            let slots = self.slot_snaps();
+            let queues = self.queue_snaps();
+            if let Some(mut lo) = self.liveops.take() {
+                lo.snapshot_round(self.cfg.horizon, &self.pool, &slots, &queues);
+                self.liveops = Some(lo);
+            }
         }
         self.outcome.admission.queued_final = self.queued_now();
         // Closing audit sample at the horizon, then the leak census: any
@@ -833,7 +917,10 @@ impl MarketSim {
         }
         self.outcome.oracle_tiers = self.pool.oracle_stats();
         self.outcome.oracle_resident_bytes = self.pool.oracle_resident_bytes() as u64;
-        self.outcome.trace = self.tracer.take_records();
+        // A custom sink (live-operations store) owns its records; the
+        // outcome's inline trace is then empty and the store is the
+        // authoritative copy.
+        self.outcome.trace = self.tracer.take_records().unwrap_or_default();
         (self.outcome, self.pool)
     }
 
@@ -979,6 +1066,18 @@ impl MarketSim {
                 self.audit_sample(now);
                 if let Some(period) = self.cfg.audit_period {
                     self.queue.schedule(now + period, Ev::Audit);
+                }
+            }
+            Ev::Snapshot => {
+                // Read-only beyond the surface's own mirrors and store:
+                // no pool mutation, no RNG draw, no trace emission.
+                let slots = self.slot_snaps();
+                let queues = self.queue_snaps();
+                if let Some(mut lo) = self.liveops.take() {
+                    lo.snapshot_round(now, &self.pool, &slots, &queues);
+                    let period = lo.snapshot_period();
+                    self.liveops = Some(lo);
+                    self.queue.schedule(now + period, Ev::Snapshot);
                 }
             }
         }

@@ -113,10 +113,22 @@ pub struct Freshness {
 }
 
 impl Freshness {
+    /// Whether the consulted scope contained no samples at all.
+    pub fn empty_scope(&self) -> bool {
+        self.oldest == SimTime::MAX
+    }
+
     /// Observed staleness of the answer at time `now`.
+    ///
+    /// An **empty** consulted scope proves nothing about the pool, so it
+    /// reports the a-priori `bound` — the worst staleness the serving
+    /// surface admits — rather than the `ZERO` ("perfectly fresh") it used
+    /// to claim. An operator dashboard watching an empty answer sees the
+    /// honest uncertainty, not false confidence; use
+    /// [`Freshness::empty_scope`] to distinguish the two cases explicitly.
     pub fn staleness(&self, now: SimTime) -> SimTime {
-        if self.oldest == SimTime::MAX {
-            SimTime::ZERO
+        if self.empty_scope() {
+            self.bound
         } else {
             now.saturating_sub(self.oldest)
         }
@@ -595,6 +607,22 @@ mod tests {
                 .unwrap()
         );
         assert!(ans.freshness.staleness(SimTime::from_secs(30)) <= SimTime::from_secs(20));
+        assert!(!ans.freshness.empty_scope());
+    }
+
+    #[test]
+    fn empty_scope_staleness_reports_the_bound_not_zero() {
+        let mut idx = build(64, 2);
+        // A point query for an unknown host consults nothing.
+        let ans = idx.point(HostId(9999));
+        assert!(ans.hosts.is_empty());
+        assert!(ans.freshness.empty_scope());
+        let bound = ans.freshness.bound;
+        assert!(bound > SimTime::ZERO);
+        // An empty answer proves nothing — it must admit the a-priori
+        // bound at any `now`, never claim perfect freshness.
+        assert_eq!(ans.freshness.staleness(SimTime::from_secs(30)), bound);
+        assert_eq!(ans.freshness.staleness(SimTime::ZERO), bound);
     }
 
     #[test]

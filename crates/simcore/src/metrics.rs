@@ -35,9 +35,13 @@ impl MetricsRegistry {
     }
 
     /// Add `delta` to counter `name` (creating it at 0 first if absent).
+    /// Accumulation saturates at `u64::MAX`: a hot counter on a long-lived
+    /// live market pins at the ceiling instead of wrapping (or panicking
+    /// under debug assertions). [`MetricsRegistry::absorb`] inherits the
+    /// same behavior.
     pub fn add(&mut self, name: &str, delta: u64) {
         if let Some(c) = self.counters.get_mut(name) {
-            *c += delta;
+            *c = c.saturating_add(delta);
         } else {
             self.counters.insert(name.to_owned(), delta);
         }
@@ -197,6 +201,24 @@ mod tests {
     fn observing_an_unregistered_histogram_panics() {
         let mut m = MetricsRegistry::new();
         m.observe("missing", 1.0);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let mut m = MetricsRegistry::new();
+        m.add("hot", u64::MAX - 1);
+        // The add that would overflow pins the counter at the ceiling.
+        m.add("hot", 5);
+        assert_eq!(m.counter("hot"), u64::MAX);
+        m.inc("hot");
+        assert_eq!(m.counter("hot"), u64::MAX);
+        // Absorb goes through the same saturating path.
+        let mut other = MetricsRegistry::new();
+        other.add("hot", u64::MAX);
+        let mut a = MetricsRegistry::new();
+        a.add("hot", 7);
+        a.absorb(&other);
+        assert_eq!(a.counter("hot"), u64::MAX);
     }
 
     #[test]

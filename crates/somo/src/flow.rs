@@ -247,8 +247,9 @@ where
         self.tracer = tracer;
     }
 
-    /// Drain the tracer's ring buffer (empty if tracing is disabled).
-    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+    /// Drain the tracer's buffered records (empty if tracing is disabled,
+    /// `None` when a custom sink owns them — drain that sink instead).
+    pub fn take_trace(&mut self) -> Option<Vec<TraceRecord>> {
         self.tracer.take_records()
     }
 
@@ -973,7 +974,7 @@ mod tests {
         sim.kill_member(victim);
         // Well before the 5 s child timeout could fire.
         sim.run_until(SimTime::from_secs(4));
-        let trace = sim.take_trace();
+        let trace = sim.take_trace().expect("ring tracer owns its records");
         let close = trace
             .iter()
             .find_map(|rec| match rec.ev {

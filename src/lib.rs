@@ -17,6 +17,7 @@
 //! | [`query`] | hierarchical aggregates + O(log N) scoped pool queries |
 //! | [`alm`] | DB-MHT trees: AMCast, adjust, critical-node helpers |
 //! | [`oracle`] | tiered latency oracle: hot LRU rows, landmark sketches, GNP base |
+//! | [`runstore`] | queryable run store: segmented trace/delta logs + snapshots |
 //! | [`pool`] | the resource pool + market-driven multi-session scheduling |
 //!
 //! See `examples/` for runnable walkthroughs and the `bench` crate for the
@@ -30,6 +31,7 @@ pub use netsim;
 pub use oracle;
 pub use pool;
 pub use query;
+pub use runstore;
 pub use simcore;
 pub use somo;
 
@@ -43,13 +45,15 @@ pub mod prelude {
     pub use oracle::{LatencyOracle, LatencySource, TierStats, TieredConfig};
     pub use pool::{
         plan_and_reserve, plan_and_reserve_from_query, plan_and_reserve_leased, AdmissionConfig,
-        AllocationMode, DiscoveryMode, MarketConfig, MarketSim, PlanConfig, PlanModel, PoolConfig,
-        Rank, ResourcePool, SessionId, SessionSpec,
+        AllocationMode, DiscoveryMode, LiveOps, LiveOpsConfig, MarketConfig, MarketSim,
+        MarketSnapshot, PlanConfig, PlanModel, PoolConfig, Rank, ResourcePool, SessionId,
+        SessionSpec,
     };
     pub use query::{
         Aggregate, HostSample, PressureReport, PressureWatch, QueryAnswer, QueryIndex,
         RegionBounds, Scope, Subscription, SubscriptionSet, ThresholdDelta,
     };
+    pub use runstore::{ReplayGap, RunStore, StoreConfig, StoreSink};
     pub use simcore::{
         AuditReport, Auditor, CloseReason, EventQueue, FaultPlan, InvariantSet, MetricsRegistry,
         SimTime, TraceEvent, TraceRecord, Tracer,

@@ -1,0 +1,177 @@
+//! The live-operations surface's correctness contract, end to end on a
+//! faulted market run:
+//!
+//! * attaching a [`LiveOps`] store is **trajectory-neutral** — the traced
+//!   run is byte-identical to a plain ring-traced run, and the store's
+//!   streamed copy of the trace is byte-identical to both;
+//! * **replay determinism** — reconstructing from *every* retained
+//!   snapshot (snapshot + delta fold) lands on the same final state,
+//!   byte for byte, as the snapshot the run took at the horizon;
+//! * the bounded **stream sink** delivers the exact same records as the
+//!   ring when sized, and counts its drops exactly (oldest-first,
+//!   surfaced as metrics, never silent) when undersized;
+//! * store-served operator queries carry the honest [`Freshness`]
+//!   contract: an empty window reports the a-priori bound, not zero.
+
+use std::sync::OnceLock;
+
+use p2p_resource_pool::pool::liveops::{hosts_crossed_up, hosts_over_threshold, reconstruct_at};
+use p2p_resource_pool::prelude::*;
+use p2p_resource_pool::simcore::trace::to_json_lines;
+use p2p_resource_pool::simcore::StreamSink;
+
+const SEED: u64 = 29;
+const HOSTS: usize = 150;
+
+/// One pristine pool shared across tests (cloned per run; building the
+/// coordinate space is the expensive part).
+fn pristine() -> &'static ResourcePool {
+    static POOL: OnceLock<ResourcePool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        ResourcePool::build(
+            &PoolConfig {
+                net: NetworkConfig {
+                    num_hosts: HOSTS,
+                    ..NetworkConfig::default()
+                },
+                coord_rounds: 4,
+                ..PoolConfig::default()
+            },
+            SEED,
+        )
+    })
+}
+
+/// A fig10-style faulted market: helper and root crashes, leases,
+/// failover — every market event family fires.
+fn market() -> MarketSim {
+    let mut faults = simcore::FaultPlan::none();
+    for h in (0..HOSTS as u64).step_by(7) {
+        faults = faults.crash_forever(h, SimTime::from_secs(600 + h));
+    }
+    let cfg = MarketConfig {
+        sessions: 6,
+        member_size: 12,
+        horizon: SimTime::from_secs(1200),
+        warmup: SimTime::from_secs(300),
+        faults,
+        ..MarketConfig::default()
+    };
+    MarketSim::new(pristine().clone(), cfg, SEED)
+}
+
+#[test]
+fn liveops_store_is_trajectory_neutral_and_replays_byte_identically() {
+    // Reference: the plain ring-traced run.
+    let mut sim = market();
+    sim.set_tracer(Tracer::ring(1 << 16));
+    let (ring_out, ring_pool) = sim.run_full();
+    let ring_trace = to_json_lines(&ring_out.trace);
+    assert!(
+        !ring_out.trace.is_empty(),
+        "faulted market must emit events"
+    );
+
+    // The same run with the live-operations surface attached.
+    let mut sim = market();
+    let lo = LiveOps::new(LiveOpsConfig {
+        snapshot_period: SimTime::from_secs(60),
+        ..LiveOpsConfig::default()
+    });
+    let handle = sim.attach_liveops(lo);
+    let (store_out, store_pool) = sim.run_full();
+    let store = handle.lock().expect("store lock");
+
+    // Trajectory neutrality: same trace through the store, same outcome,
+    // same final degree tables.
+    assert_eq!(
+        ring_trace,
+        store.trace_json_lines().expect("nothing evicted"),
+        "attaching the store changed (or lost part of) the trace"
+    );
+    assert!(store_out.trace.is_empty(), "store owns the records");
+    assert_eq!(ring_out.plans, store_out.plans);
+    assert_eq!(ring_out.leaked_degrees, store_out.leaked_degrees);
+    for h in (0..HOSTS as u32).map(HostId) {
+        assert_eq!(ring_pool.table(h), store_pool.table(h));
+        assert_eq!(ring_pool.is_alive(h), store_pool.is_alive(h));
+    }
+
+    // Exact accounting: every record appended, nothing evicted or silent.
+    let stats = store.stats();
+    assert_eq!(stats.trace_appended, ring_out.trace.len() as u64);
+    assert_eq!(stats.trace_evicted, 0);
+    assert_eq!(stats.delta_evicted, 0);
+    assert!(stats.snapshots >= 2, "periodic snapshots must have fired");
+
+    // Replay determinism: every snapshot + delta fold reconstructs the
+    // final state byte-identically, and that state is the live pool's.
+    let final_state = &store.latest_snapshot().expect("final snapshot").state;
+    let final_json = serde_json::to_string(final_state).expect("serializes");
+    for idx in 0..store.snapshots().len() {
+        let replayed = reconstruct_at(&store, idx).expect("nothing evicted");
+        assert_eq!(
+            serde_json::to_string(&replayed).expect("serializes"),
+            final_json,
+            "replay from snapshot {idx} diverged"
+        );
+    }
+    for (i, hs) in final_state.hosts.iter().enumerate() {
+        assert_eq!(&hs.table, store_pool.table(HostId(i as u32)));
+    }
+
+    // Store-served operator queries carry the Freshness contract.
+    let bound = SimTime::from_secs(60);
+    let over = hosts_over_threshold(&store, 0.9, bound);
+    assert!(!over.freshness.empty_scope());
+    let horizon = SimTime::from_secs(1200);
+    let empty = hosts_crossed_up(&store, horizon + SimTime::from_secs(1), bound);
+    assert!(empty.hosts.is_empty());
+    assert!(empty.freshness.empty_scope());
+    assert_eq!(
+        empty.freshness.staleness(horizon),
+        bound,
+        "an empty window must admit the a-priori bound, not claim freshness"
+    );
+}
+
+#[test]
+fn stream_sink_matches_ring_when_sized_and_counts_drops_exactly_when_not() {
+    let mut sim = market();
+    sim.set_tracer(Tracer::ring(1 << 16));
+    let (ring_out, _) = sim.run_full();
+    let emitted = ring_out.trace.len() as u64;
+    let ring_trace = to_json_lines(&ring_out.trace);
+
+    // Sized stream: byte-identical delivery, zero drops.
+    let (sink, stream) = StreamSink::bounded(1 << 16);
+    let mut sim = market();
+    sim.set_tracer(Tracer::with_sink(Box::new(sink)));
+    let _ = sim.run_full();
+    assert_eq!(stream.dropped(), 0);
+    assert_eq!(stream.delivered(), emitted);
+    assert_eq!(to_json_lines(&stream.drain()), ring_trace);
+
+    // Undersized stream: exact counted drops, oldest evicted first, and
+    // the loss surfaced through the metrics registry — never silent.
+    const TINY: usize = 96;
+    assert!(
+        emitted > TINY as u64,
+        "workload must overflow the tiny sink"
+    );
+    let (sink, tiny) = StreamSink::bounded(TINY);
+    let mut sim = market();
+    sim.set_tracer(Tracer::with_sink(Box::new(sink)));
+    let _ = sim.run_full();
+    let expect_dropped = emitted - TINY as u64;
+    assert_eq!(tiny.dropped(), expect_dropped);
+    assert_eq!(tiny.delivered() + tiny.dropped(), emitted);
+    let survivors = tiny.drain();
+    assert_eq!(survivors.len(), TINY);
+    assert_eq!(survivors[0].seq, expect_dropped, "oldest must go first");
+    assert_eq!(survivors.last().expect("non-empty").seq, emitted - 1);
+    let mut reg = MetricsRegistry::new();
+    tiny.publish_metrics(&mut reg);
+    assert_eq!(reg.counter("trace.dropped_records"), expect_dropped);
+    assert_eq!(reg.counter("trace.stream_delivered"), TINY as u64);
+}

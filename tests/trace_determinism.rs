@@ -227,7 +227,7 @@ fn traced_gather(seed: u64) -> (String, String) {
     sim.run_until(SimTime::from_secs(30));
     sim.kill_member(7);
     sim.run_until(SimTime::from_secs(90));
-    let trace = to_json_lines(&sim.take_trace());
+    let trace = to_json_lines(&sim.take_trace().expect("ring tracer owns its records"));
     let metrics = sim.metrics().to_json_lines();
     (trace, metrics)
 }
@@ -265,7 +265,10 @@ fn recovery_pipeline_phase_trace_is_bit_identical_across_runs() {
             },
             &mut tracer,
         );
-        (to_json_lines(&tracer.take_records()), out)
+        (
+            to_json_lines(&tracer.take_records().expect("ring tracer owns its records")),
+            out,
+        )
     };
     let (a, out) = run();
     let (b, _) = run();
@@ -297,7 +300,7 @@ fn dht_heartbeat_trace_is_bit_identical_across_runs() {
         sim.run_until(SimTime::from_secs(30));
         sim.kill(7);
         sim.run_until(SimTime::from_secs(120));
-        to_json_lines(&sim.take_trace())
+        to_json_lines(&sim.take_trace().expect("ring tracer owns its records"))
     };
     let a = run();
     let b = run();
